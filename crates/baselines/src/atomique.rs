@@ -1,0 +1,272 @@
+//! Atomique baseline (Wang et al. 2024) — re-implementation of the
+//! algorithmic core at the complexity class of paper Table 2 (`O(N³)`,
+//! SABRE-lineage mapping on reconfigurable atom arrays).
+//!
+//! Atomique compiles generic 2-qubit-gate circuits: qubits live on a square
+//! atom grid and two-qubit gates execute by *moving* one atom next to the
+//! other (no SWAPs), one Rydberg pulse per gate. A periodic layout
+//! refinement sweep re-places every qubit against a look-ahead window of
+//! upcoming gates — the cubic term.
+
+use crate::common::{BaselineOutput, FpqaCompiler, Timeout};
+use std::time::Instant;
+use weaver_circuit::{native, NativeBasis};
+use weaver_core::Metrics;
+use weaver_fpqa::{FpqaParams, PulseOp, PulseSchedule};
+use weaver_sat::{qaoa, Formula};
+
+/// The Atomique baseline compiler.
+#[derive(Clone, Debug)]
+pub struct Atomique {
+    /// FPQA hardware parameters (shared with Weaver for fairness).
+    pub params: FpqaParams,
+    /// Grid spacing in µm.
+    pub spacing: f64,
+    /// QAOA parameters for the workload lowering.
+    pub qaoa: qaoa::QaoaParams,
+}
+
+impl Atomique {
+    /// Creates the baseline with default parameters.
+    pub fn new(params: FpqaParams) -> Self {
+        Atomique {
+            params,
+            spacing: 30.0,
+            qaoa: qaoa::QaoaParams::default(),
+        }
+    }
+}
+
+impl FpqaCompiler for Atomique {
+    fn name(&self) -> &'static str {
+        "Atomique"
+    }
+
+    fn compile(&self, formula: &Formula) -> Result<BaselineOutput, Timeout> {
+        let start = Instant::now();
+        let n = formula.num_vars();
+        let circuit = qaoa::build_circuit(formula, &self.qaoa, false);
+        let nativized = native::nativize(&circuit, NativeBasis::U3Cz);
+
+        // Square grid of cells with spare rows/columns so atoms can always
+        // park next to a partner; qubit i starts at cell i.
+        let width = (n as f64).sqrt().ceil() as usize + 1;
+        let height = n.div_ceil(width) + 1;
+        let cells = width * height;
+        let mut pos: Vec<usize> = (0..n).collect(); // qubit -> cell
+        let mut cell_of: Vec<Option<usize>> = (0..cells)
+            .map(|c| if c < n { Some(c) } else { None })
+            .collect();
+        let home_cell: Vec<Option<usize>> = (0..n).map(Some).collect();
+
+        let cell_xy = |c: usize| ((c % width) as f64, (c / width) as f64);
+        let dist = |a: usize, b: usize| {
+            let (ax, ay) = cell_xy(a);
+            let (bx, by) = cell_xy(b);
+            ((ax - bx).abs() + (ay - by).abs()) * self.spacing
+        };
+
+        // Gate stream: (is_two_qubit, qubits).
+        let gates: Vec<(bool, Vec<usize>)> = nativized
+            .instructions()
+            .map(|i| (i.gate.num_qubits() == 2, i.qubits.clone()))
+            .collect();
+        let two_qubit_positions: Vec<usize> = gates
+            .iter()
+            .enumerate()
+            .filter(|(_, (is2, _))| *is2)
+            .map(|(i, _)| i)
+            .collect();
+
+        let mut schedule = PulseSchedule::new();
+        let mut steps: u64 = 0;
+        let window = (4 * n).max(8);
+        let mut processed_2q = 0usize;
+
+        for (gi, (is2, qubits)) in gates.iter().enumerate() {
+            if !is2 {
+                schedule.push(PulseOp::RamanLocal {
+                    qubit: qubits[0],
+                    angles: (0.0, 0.0, 0.0),
+                });
+                continue;
+            }
+            let (a, b) = (qubits[0], qubits[1]);
+            processed_2q += 1;
+
+            // Periodic O(N³) layout refinement: every N two-qubit gates,
+            // re-place each qubit into the free cell minimizing distance to
+            // its partners in the look-ahead window.
+            if processed_2q % (n / 2).max(1) == 0 {
+                for q in 0..n {
+                    let mut best_cell = pos[q];
+                    let mut best_cost = f64::MAX;
+                    for c in 0..cells {
+                        if cell_of[c].is_some() && cell_of[c] != Some(q) {
+                            continue;
+                        }
+                        let mut cost = dist(pos[q], c) * 0.1;
+                        for &future in two_qubit_positions
+                            .iter()
+                            .filter(|&&p| p > gi)
+                            .take(window)
+                        {
+                            steps += 1;
+                            let (_, fq) = &gates[future];
+                            if fq.contains(&q) {
+                                let other = if fq[0] == q { fq[1] } else { fq[0] };
+                                cost += dist(c, pos[other]);
+                            }
+                        }
+                        if cost < best_cost {
+                            best_cost = cost;
+                            best_cell = c;
+                        }
+                    }
+                    if best_cell != pos[q] {
+                        cell_of[pos[q]] = None;
+                        cell_of[best_cell] = Some(q);
+                        let d = dist(pos[q], best_cell);
+                        pos[q] = best_cell;
+                        schedule.push(PulseOp::Transfer);
+                        schedule.push(PulseOp::Shuttle { distance: d });
+                        schedule.push(PulseOp::Transfer);
+                    }
+                }
+            }
+
+            // Bring a next to b if they are not neighbours: move a to the
+            // free cell adjacent to b with the lowest cost over the window.
+            if dist(pos[a], pos[b]) > self.spacing + 1e-9 {
+                let (bx, by) = ((pos[b] % width) as i64, (pos[b] / width) as i64);
+                let mut best: Option<(usize, f64)> = None;
+                for (dx, dy) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)] {
+                    let (cx, cy) = (bx + dx, by + dy);
+                    if cx < 0 || cy < 0 || cx >= width as i64 || cy >= height as i64 {
+                        continue;
+                    }
+                    let c = cy as usize * width + cx as usize;
+                    if cell_of[c].is_some() {
+                        continue;
+                    }
+                    let mut cost = dist(pos[a], c);
+                    for &future in two_qubit_positions
+                        .iter()
+                        .filter(|&&p| p > gi)
+                        .take(window)
+                    {
+                        steps += 1;
+                        let (_, fq) = &gates[future];
+                        if fq.contains(&a) {
+                            let other = if fq[0] == a { fq[1] } else { fq[0] };
+                            cost += 0.2 * dist(c, pos[other]);
+                        }
+                    }
+                    if best.is_none() || cost < best.unwrap().1 {
+                        best = Some((c, cost));
+                    }
+                }
+                // A full grid with no free neighbour: evict by moving b
+                // instead (rare; grid has ≥ n cells and gates touch 2).
+                let target = match best {
+                    Some((c, _)) => c,
+                    None => {
+                        // Move a anywhere free, then b next to it.
+                        let free = cell_of
+                            .iter()
+                            .position(|c| c.is_none())
+                            .expect("grid larger than qubit count");
+                        free
+                    }
+                };
+                let d = dist(pos[a], target);
+                cell_of[pos[a]] = None;
+                cell_of[target] = Some(a);
+                pos[a] = target;
+                schedule.push(PulseOp::Transfer);
+                schedule.push(PulseOp::Shuttle { distance: d });
+                schedule.push(PulseOp::Transfer);
+            }
+            // One Rydberg pulse per gate (Atomique executes gate-by-gate).
+            schedule.push(PulseOp::Rydberg {
+                groups: vec![vec![a, b]],
+            });
+            // The visiting atom cannot stay parked next to its partner
+            // through later global pulses: it returns to a home cell
+            // (Atomique's arrays move back and forth between interaction
+            // and storage configurations each stage).
+            if let Some(home) = home_cell[a] {
+                if home != pos[a] && cell_of[home].is_none() {
+                    let d = dist(pos[a], home);
+                    cell_of[pos[a]] = None;
+                    cell_of[home] = Some(a);
+                    pos[a] = home;
+                    schedule.push(PulseOp::Transfer);
+                    schedule.push(PulseOp::Shuttle { distance: d });
+                    schedule.push(PulseOp::Transfer);
+                }
+            }
+        }
+
+        let metrics = Metrics {
+            compilation_seconds: start.elapsed().as_secs_f64(),
+            execution_micros: schedule.duration(&self.params),
+            eps: weaver_fpqa::eps(&schedule, &self.params, n),
+            pulses: schedule.pulse_count(),
+            motion_ops: schedule.motion_count(),
+            steps,
+        };
+        Ok(BaselineOutput {
+            name: self.name(),
+            metrics,
+            schedule,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weaver_sat::generator;
+
+    #[test]
+    fn compiles_uf20() {
+        let f = generator::instance(20, 1);
+        let out = Atomique::new(FpqaParams::default()).compile(&f).unwrap();
+        assert!(out.metrics.eps > 0.0 && out.metrics.eps <= 1.0);
+        assert!(out.metrics.pulses > 0);
+        assert!(out.metrics.motion_ops > 0);
+        assert!(out.metrics.steps > 0);
+    }
+
+    #[test]
+    fn one_rydberg_pulse_per_two_qubit_gate() {
+        let f = generator::instance(20, 2);
+        let out = Atomique::new(FpqaParams::default()).compile(&f).unwrap();
+        let circuit = qaoa::build_circuit(&f, &qaoa::QaoaParams::default(), false);
+        let nativized =
+            weaver_circuit::native::nativize(&circuit, weaver_circuit::NativeBasis::U3Cz);
+        let rydbergs = out
+            .schedule
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, PulseOp::Rydberg { .. }))
+            .count();
+        assert_eq!(rydbergs, nativized.two_qubit_count());
+    }
+
+    #[test]
+    fn steps_grow_superlinearly() {
+        let c = |n: usize| {
+            Atomique::new(FpqaParams::default())
+                .compile(&generator::instance(n, 1))
+                .unwrap()
+                .metrics
+                .steps as f64
+        };
+        let s20 = c(20);
+        let s50 = c(50);
+        // O(N³)-class: 2.5× the variables should cost well over 2.5× steps.
+        assert!(s50 / s20 > 4.0, "s20={s20} s50={s50}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Shared interface of the baseline FPQA compilers (paper §8.1).
+
+use std::fmt;
+use weaver_core::Metrics;
+use weaver_fpqa::PulseSchedule;
+use weaver_sat::Formula;
+
+/// Result of a baseline compilation.
+#[derive(Clone, Debug)]
+pub struct BaselineOutput {
+    /// Compiler name as used in the paper's figures.
+    pub name: &'static str,
+    /// Evaluation metrics (same struct as Weaver's pipeline).
+    pub metrics: Metrics,
+    /// Low-level schedule (for pulse counting and timing).
+    pub schedule: PulseSchedule,
+}
+
+/// A baseline failed to finish within its budget — the paper marks these
+/// points `✗` (Geyser and DPQA beyond 20 variables).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Timeout {
+    /// The compiler that timed out.
+    pub compiler: &'static str,
+    /// Steps or seconds it was allowed.
+    pub budget: String,
+}
+
+impl fmt::Display for Timeout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} timed out (budget {})", self.compiler, self.budget)
+    }
+}
+
+impl std::error::Error for Timeout {}
+
+/// The common compiler interface the benchmark harness drives.
+pub trait FpqaCompiler {
+    /// Display name matching the paper's legends.
+    fn name(&self) -> &'static str;
+
+    /// Compiles a Max-3SAT formula to an FPQA pulse program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Timeout`] when the compiler exhausts its budget, mirroring
+    /// the paper's 20-hour timeout policy.
+    fn compile(&self, formula: &Formula) -> Result<BaselineOutput, Timeout>;
+}

@@ -1,0 +1,32 @@
+//! Baseline FPQA compilers used in the Weaver evaluation (paper §8.1):
+//! re-implementations of the algorithmic cores of **Geyser** (ISCA'22),
+//! **Atomique** (2024), and **DPQA** (Quantum 2024) at the computational
+//! complexity classes the paper reports in Table 2.
+//!
+//! All baselines share the [`FpqaCompiler`] trait, the same FPQA hardware
+//! parameters and workload lowering as Weaver, and the same pulse-schedule
+//! timing/noise model, so the comparison is apples-to-apples.
+//!
+//! # Example
+//!
+//! ```
+//! use weaver_baselines::{Atomique, FpqaCompiler};
+//! use weaver_fpqa::FpqaParams;
+//! use weaver_sat::generator;
+//!
+//! let f = generator::instance(20, 1);
+//! let out = Atomique::new(FpqaParams::default()).compile(&f).unwrap();
+//! assert!(out.metrics.eps > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod atomique;
+mod common;
+pub mod dpqa;
+pub mod geyser;
+
+pub use atomique::Atomique;
+pub use common::{BaselineOutput, FpqaCompiler, Timeout};
+pub use dpqa::Dpqa;
+pub use geyser::Geyser;

@@ -1,0 +1,61 @@
+//! Regenerates the paper's figures as text tables.
+//!
+//! ```text
+//! figures [--quick] [fig8a|fig8b|fig10a|fig10b|fig10c|fig11a|fig11b|fig12a|fig12b|table2|ablation|all]
+//! ```
+//!
+//! `--quick` restricts the size sweep to {20, 50, 75} with 3 variants so a
+//! full run finishes in minutes; without it the paper's full methodology
+//! ({20..250} × 10 variants) is used.
+
+use weaver_bench::{figures, Suite};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let suite = if quick { Suite::quick() } else { Suite::paper() };
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let all = wanted.is_empty() || wanted.contains(&"all");
+    let has = |name: &str| all || wanted.contains(&name);
+
+    if has("table2") {
+        println!("{}", figures::table2());
+    }
+    if has("fig8a") {
+        println!("{}", figures::fig8a(&suite));
+    }
+    if has("fig8b") {
+        println!("{}", figures::fig8b(&suite));
+    }
+    if has("fig10a") {
+        println!("{}", figures::fig10a(&suite));
+    }
+    if has("fig10b") {
+        println!("{}", figures::fig10b(&suite));
+    }
+    if has("fig10c") {
+        println!("{}", figures::fig10c(&suite));
+    }
+    if has("fig11a") {
+        println!("{}", figures::fig11a(&suite));
+    }
+    if has("fig11b") {
+        println!("{}", figures::fig11b(&suite));
+    }
+    if has("fig12a") {
+        println!("{}", figures::fig12a(&suite));
+    }
+    if has("fig12b") {
+        println!("{}", figures::fig12b(&suite));
+    }
+    if has("ablation") {
+        println!("{}", figures::ablation(&suite));
+    }
+    if has("threshold") || all {
+        println!("{}", figures::threshold_summary());
+    }
+}

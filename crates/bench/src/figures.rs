@@ -1,0 +1,435 @@
+//! Figure and table regeneration (paper §8, Figs. 8–12 + Table 2).
+//!
+//! Every function renders one figure's data as an aligned text table whose
+//! rows/series match the paper's plots; the `figures` binary prints them.
+
+use crate::harness::{run_compiler, CompilerId, RunOutcome, Suite};
+use weaver_core::{compress, Weaver};
+use weaver_fpqa::FpqaParams;
+use weaver_sat::generator;
+
+fn render_table(title: &str, header: Vec<String>, rows: Vec<Vec<String>>) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let fmt_row = |cells: &[String], widths: &[usize]| {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let pad = widths[i] - cell.chars().count();
+            line.push_str(cell);
+            line.push_str(&" ".repeat(pad + 2));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(&header, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(&row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+fn sci(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if (0.01..10_000.0).contains(&v.abs()) {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+/// Fig. 8a — compilation time in seconds for the ten fixed-size (20-variable)
+/// benchmarks plus their mean.
+pub fn fig8a(suite: &Suite) -> String {
+    let mut rows = Vec::new();
+    let mut sums: Vec<(f64, usize)> = vec![(0.0, 0); CompilerId::ALL.len()];
+    for variant in 1..=suite.variants {
+        let f = generator::instance(20, variant);
+        let mut row = vec![generator::instance_name(20, variant)];
+        for (ci, id) in CompilerId::ALL.into_iter().enumerate() {
+            let out = run_compiler(id, &f, &suite.params);
+            if let Some(m) = out.metrics() {
+                sums[ci].0 += m.compilation_seconds.max(1e-300).ln();
+                sums[ci].1 += 1;
+            }
+            row.push(out.cell(|m| sci(m.compilation_seconds)));
+        }
+        rows.push(row);
+    }
+    let mut mean = vec!["Mean".to_string()];
+    for (acc, count) in sums {
+        mean.push(if count == 0 {
+            "✗".to_string()
+        } else {
+            sci((acc / count as f64).exp())
+        });
+    }
+    rows.push(mean);
+    let header = std::iter::once("benchmark".to_string())
+        .chain(CompilerId::ALL.iter().map(|c| c.name().to_string()))
+        .collect();
+    render_table(
+        "Figure 8(a): Compilation time [seconds], fixed-size 20-variable suite",
+        header,
+        rows,
+    )
+}
+
+/// Fig. 8b — compilation time in seconds vs number of variables.
+pub fn fig8b(suite: &Suite) -> String {
+    metric_vs_size(
+        suite,
+        "Figure 8(b): Compilation time [seconds] vs circuit size",
+        &CompilerId::ALL,
+        |m| m.compilation_seconds,
+    )
+}
+
+/// Fig. 11a — execution time in seconds, fixed 20-variable suite.
+pub fn fig11a(suite: &Suite) -> String {
+    let mut rows = Vec::new();
+    for variant in 1..=suite.variants {
+        let f = generator::instance(20, variant);
+        let mut row = vec![generator::instance_name(20, variant)];
+        for id in CompilerId::ALL {
+            let out = run_compiler(id, &f, &suite.params);
+            row.push(out.cell(|m| sci(m.execution_micros * 1e-6)));
+        }
+        rows.push(row);
+    }
+    let header = std::iter::once("benchmark".to_string())
+        .chain(CompilerId::ALL.iter().map(|c| c.name().to_string()))
+        .collect();
+    render_table(
+        "Figure 11(a): Execution time [seconds], fixed-size 20-variable suite",
+        header,
+        rows,
+    )
+}
+
+/// Fig. 11b — execution time in seconds vs number of variables.
+pub fn fig11b(suite: &Suite) -> String {
+    metric_vs_size(
+        suite,
+        "Figure 11(b): Execution time [seconds] vs circuit size",
+        &CompilerId::ALL,
+        |m| m.execution_micros * 1e-6,
+    )
+}
+
+/// Fig. 12a — EPS, fixed 20-variable suite (Geyser excluded as in the
+/// paper: its block approximation makes EPS computation unfair).
+pub fn fig12a(suite: &Suite) -> String {
+    let systems = [CompilerId::Atomique, CompilerId::Weaver, CompilerId::Dpqa];
+    let mut rows = Vec::new();
+    for variant in 1..=suite.variants {
+        let f = generator::instance(20, variant);
+        let mut row = vec![generator::instance_name(20, variant)];
+        for id in systems {
+            let out = run_compiler(id, &f, &suite.params);
+            row.push(out.cell(|m| sci(m.eps)));
+        }
+        rows.push(row);
+    }
+    let header = std::iter::once("benchmark".to_string())
+        .chain(systems.iter().map(|c| c.name().to_string()))
+        .collect();
+    render_table(
+        "Figure 12(a): Estimated probability of success, 20-variable suite",
+        header,
+        rows,
+    )
+}
+
+/// Fig. 12b — EPS vs number of variables (all systems).
+pub fn fig12b(suite: &Suite) -> String {
+    metric_vs_size(
+        suite,
+        "Figure 12(b): Estimated probability of success vs circuit size",
+        &CompilerId::ALL,
+        |m| m.eps,
+    )
+}
+
+/// Fig. 10b — mean number of pulses vs size (FPQA systems only).
+pub fn fig10b(suite: &Suite) -> String {
+    let systems = [
+        CompilerId::Atomique,
+        CompilerId::Weaver,
+        CompilerId::Geyser,
+        CompilerId::Dpqa,
+    ];
+    metric_vs_size(
+        suite,
+        "Figure 10(b): Number of pulses vs circuit size",
+        &systems,
+        |m| m.pulses as f64,
+    )
+}
+
+/// Fig. 10a — compilation complexity: measured work steps vs size next to
+/// the analytic classes of Table 2.
+pub fn fig10a(suite: &Suite) -> String {
+    let mut rows = Vec::new();
+    for &size in &suite.sizes {
+        let f = generator::instance(size, 1);
+        let k = weaver_sat::qaoa::build_circuit(&f, &Default::default(), false).gate_count();
+        let mut row = vec![size.to_string(), k.to_string()];
+        for id in CompilerId::ALL {
+            let out = run_compiler(id, &f, &suite.params);
+            row.push(out.cell(|m| sci(m.steps as f64)));
+        }
+        // Analytic curves of Table 2 (up to constants).
+        let n = size as f64;
+        let kf = k as f64;
+        row.push(sci(n * n * n)); // Qiskit / Atomique O(N³)
+        row.push(sci(n * n)); // Weaver O(N²)
+        row.push(sci(kf * kf)); // Geyser O(K²)
+        row.push(format!("2^{k}")); // DPQA O(2^K)
+        rows.push(row);
+    }
+    let header: Vec<String> = [
+        "N", "K(gates)", "SC steps", "Atomique steps", "Weaver steps", "DPQA steps",
+        "Geyser steps", "O(N^3)", "O(N^2)", "O(K^2)", "O(2^K)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    render_table(
+        "Figure 10(a)/Table 2: Compilation complexity — measured steps and analytic classes",
+        header,
+        rows,
+    )
+}
+
+/// Fig. 10c — EPS of each system at 20 variables as the hardware CCZ
+/// fidelity sweeps upward; reports the threshold where Weaver overtakes
+/// every baseline (paper: 0.9916).
+pub fn fig10c(suite: &Suite) -> String {
+    let sweep: Vec<f64> = (0..=19).map(|i| 0.980 + i as f64 * 0.001).collect();
+    let systems = [
+        CompilerId::Weaver,
+        CompilerId::Atomique,
+        CompilerId::Superconducting,
+        CompilerId::Dpqa,
+    ];
+    let mut rows = Vec::new();
+    let mut threshold: Option<f64> = None;
+    for &fid in &sweep {
+        let params = FpqaParams::default().with_ccz_fidelity(fid);
+        let mut row = vec![format!("{fid:.4}")];
+        let mut eps: Vec<Option<f64>> = Vec::new();
+        for id in systems {
+            // Mean EPS over the first 3 variants keeps the sweep fast while
+            // preserving the crossover shape.
+            let mut acc = 0.0;
+            let mut count = 0;
+            for variant in 1..=3.min(suite.variants) {
+                let f = generator::instance(20, variant);
+                if let RunOutcome::Done(m) = run_compiler(id, &f, &params) {
+                    acc += m.eps.max(1e-300).ln();
+                    count += 1;
+                }
+            }
+            let value = (count > 0).then(|| (acc / count as f64).exp());
+            eps.push(value);
+            row.push(value.map_or("✗".into(), sci));
+        }
+        if threshold.is_none() {
+            if let (Some(weaver), rest) = (eps[0], &eps[1..]) {
+                if rest.iter().flatten().all(|&b| weaver > b) {
+                    threshold = Some(fid);
+                }
+            }
+        }
+        rows.push(row);
+    }
+    let header = std::iter::once("CCZ fidelity".to_string())
+        .chain(systems.iter().map(|c| c.name().to_string()))
+        .collect();
+    let mut out = render_table(
+        "Figure 10(c): EPS vs CCZ gate fidelity (20-variable mean)",
+        header,
+        rows,
+    );
+    out.push_str(&match threshold {
+        Some(t) => format!(
+            "Weaver surpasses all baselines above CCZ fidelity ≈ {t:.4} (paper: 0.9916)\n"
+        ),
+        None => "Weaver did not overtake every baseline within the sweep\n".to_string(),
+    });
+    out
+}
+
+/// Table 2 — compilation complexity classes (static, from the paper).
+pub fn table2() -> String {
+    render_table(
+        "Table 2: Compilation complexity comparison",
+        vec!["Compiler".into(), "Computational complexity".into()],
+        vec![
+            vec!["Qiskit".into(), "O(N^3)".into()],
+            vec!["Atomique".into(), "O(N^3)".into()],
+            vec!["Geyser".into(), "O(K^2)".into()],
+            vec!["DPQA".into(), "O(2^K)".into()],
+            vec!["Weaver".into(), "O(N^2)".into()],
+        ],
+    )
+}
+
+/// Shared size-sweep rendering.
+fn metric_vs_size(
+    suite: &Suite,
+    title: &str,
+    systems: &[CompilerId],
+    metric: impl Fn(&weaver_core::Metrics) -> f64 + Copy,
+) -> String {
+    let mut rows = Vec::new();
+    for &size in &suite.sizes {
+        let mut row = vec![size.to_string()];
+        for &id in systems {
+            row.push(match suite.mean_at_size(id, size, metric) {
+                Some(v) => sci(v),
+                None => "✗".to_string(),
+            });
+        }
+        rows.push(row);
+    }
+    let header = std::iter::once("variables".to_string())
+        .chain(systems.iter().map(|c| c.name().to_string()))
+        .collect();
+    render_table(title, header, rows)
+}
+
+/// Ablation summary (DESIGN.md §6): DSatur vs first-fit, compression
+/// on/off, parallel shuttling on/off — at 20 variables.
+pub fn ablation(suite: &Suite) -> String {
+    use weaver_core::CodegenOptions;
+    let f = generator::instance(20, 1);
+    let configs: Vec<(&str, CodegenOptions)> = vec![
+        ("full wOptimizer", CodegenOptions::default()),
+        (
+            "first-fit coloring",
+            CodegenOptions {
+                dsatur: false,
+                ..CodegenOptions::default()
+            },
+        ),
+        (
+            "no compression",
+            CodegenOptions {
+                compression: false,
+                ..CodegenOptions::default()
+            },
+        ),
+        (
+            "sequential shuttles",
+            CodegenOptions {
+                parallel_shuttling: false,
+                ..CodegenOptions::default()
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, options) in configs {
+        let weaver = Weaver::new()
+            .with_fpqa_params(suite.params.clone())
+            .with_options(options);
+        let out = weaver.compile_fpqa(&f);
+        rows.push(vec![
+            name.to_string(),
+            sci(out.metrics.compilation_seconds),
+            sci(out.metrics.execution_micros * 1e-6),
+            sci(out.metrics.eps),
+            out.metrics.pulses.to_string(),
+            out.metrics.motion_ops.to_string(),
+        ]);
+    }
+    render_table(
+        "Ablation (uf20-01): wOptimizer pass contributions",
+        vec![
+            "configuration".into(),
+            "compile [s]".into(),
+            "execute [s]".into(),
+            "EPS".into(),
+            "pulses".into(),
+            "motion".into(),
+        ],
+        rows,
+    )
+}
+
+/// The compression-threshold formula check behind Fig. 10c.
+pub fn threshold_summary() -> String {
+    let params = FpqaParams::default();
+    format!(
+        "Pulse-only compression threshold: f_ccz > f_cz^4 = {:.4} (f_cz = {:.3});\n\
+         with motion savings included, compression is beneficial at f_ccz = {:.3}: {}\n",
+        compress::compression_threshold(params.fidelity_cz),
+        params.fidelity_cz,
+        params.fidelity_ccz,
+        compress::compression_beneficial(&params, 30.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_suite() -> Suite {
+        Suite {
+            sizes: vec![20],
+            variants: 2,
+            params: FpqaParams::default(),
+        }
+    }
+
+    #[test]
+    fn fig8a_renders_all_systems() {
+        let s = Suite {
+            sizes: vec![20],
+            variants: 1,
+            params: FpqaParams::default(),
+        };
+        let text = fig8a(&s);
+        for name in ["Superconducting", "Atomique", "Weaver", "DPQA", "Geyser", "Mean"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn fig10b_has_pulse_numbers() {
+        let text = fig10b(&tiny_suite());
+        assert!(text.contains("pulses"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn table2_is_static() {
+        let text = table2();
+        assert!(text.contains("O(N^2)"));
+        assert!(text.contains("Weaver"));
+    }
+
+    #[test]
+    fn ablation_renders() {
+        let text = ablation(&tiny_suite());
+        assert!(text.contains("full wOptimizer"));
+        assert!(text.contains("no compression"));
+    }
+
+    #[test]
+    fn threshold_summary_mentions_formula() {
+        let text = threshold_summary();
+        assert!(text.contains("f_cz^4"));
+    }
+}

@@ -1,0 +1,10 @@
+//! Benchmark harness regenerating every table and figure of the Weaver
+//! paper's evaluation (§8). The `figures` binary drives this library; see
+//! EXPERIMENTS.md for the experiment index.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod harness;
+
+pub use harness::{run_compiler, CompilerId, RunOutcome, Suite};

@@ -1,0 +1,451 @@
+//! The quantum circuit IR: an ordered list of operations over a register.
+
+use crate::Gate;
+use std::fmt;
+use weaver_simulator::{Matrix, State, UnitaryBuilder};
+
+/// A gate bound to concrete qubit operands.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Instruction {
+    /// The gate being applied.
+    pub gate: Gate,
+    /// Operand qubits, length equal to `gate.num_qubits()`. For controlled
+    /// gates the controls come first.
+    pub qubits: Vec<usize>,
+}
+
+impl Instruction {
+    /// Creates an instruction, validating operand count and distinctness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand count does not match the gate arity or if a
+    /// qubit repeats.
+    pub fn new(gate: Gate, qubits: Vec<usize>) -> Self {
+        assert_eq!(
+            qubits.len(),
+            gate.num_qubits(),
+            "gate {gate} expects {} operands, got {}",
+            gate.num_qubits(),
+            qubits.len()
+        );
+        for (i, q) in qubits.iter().enumerate() {
+            assert!(
+                !qubits[..i].contains(q),
+                "duplicate operand qubit {q} for gate {gate}"
+            );
+        }
+        Instruction { gate, qubits }
+    }
+
+    /// Whether this instruction shares a qubit with another.
+    pub fn overlaps(&self, other: &Instruction) -> bool {
+        self.qubits.iter().any(|q| other.qubits.contains(q))
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ", self.gate)?;
+        for (i, q) in self.qubits.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "q[{q}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// One element of a circuit: a unitary instruction, a measurement, or a
+/// barrier (scheduling fence).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Operation {
+    /// A unitary gate application.
+    Gate(Instruction),
+    /// Measurement of one qubit into a classical bit of the same index.
+    Measure(usize),
+    /// Scheduling barrier across the listed qubits (all if empty).
+    Barrier(Vec<usize>),
+}
+
+impl Operation {
+    /// Qubits touched by the operation.
+    pub fn qubits(&self) -> &[usize] {
+        match self {
+            Operation::Gate(i) => &i.qubits,
+            Operation::Measure(q) => std::slice::from_ref(q),
+            Operation::Barrier(qs) => qs,
+        }
+    }
+}
+
+/// An ordered quantum circuit over a fixed-size register.
+///
+/// # Examples
+///
+/// ```
+/// use weaver_circuit::{Circuit, Gate};
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// assert_eq!(c.gate_count(), 2);
+/// assert_eq!(c.depth(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Circuit {
+    num_qubits: usize,
+    ops: Vec<Operation>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit {
+            num_qubits,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Register width.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// All operations in order.
+    #[inline]
+    pub fn operations(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Iterator over only the unitary instructions, in order.
+    pub fn instructions(&self) -> impl Iterator<Item = &Instruction> {
+        self.ops.iter().filter_map(|op| match op {
+            Operation::Gate(i) => Some(i),
+            _ => None,
+        })
+    }
+
+    /// Appends a gate application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand is out of range or repeated.
+    pub fn push(&mut self, gate: Gate, qubits: &[usize]) -> &mut Self {
+        for &q in qubits {
+            assert!(q < self.num_qubits, "qubit {q} out of range");
+        }
+        self.ops
+            .push(Operation::Gate(Instruction::new(gate, qubits.to_vec())));
+        self
+    }
+
+    /// Appends an already-built operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced qubit is out of range.
+    pub fn push_op(&mut self, op: Operation) -> &mut Self {
+        for &q in op.qubits() {
+            assert!(q < self.num_qubits, "qubit {q} out of range");
+        }
+        self.ops.push(op);
+        self
+    }
+
+    /// Appends a measurement of `qubit`.
+    pub fn measure(&mut self, qubit: usize) -> &mut Self {
+        assert!(qubit < self.num_qubits, "qubit {qubit} out of range");
+        self.ops.push(Operation::Measure(qubit));
+        self
+    }
+
+    /// Appends measurements on every qubit.
+    pub fn measure_all(&mut self) -> &mut Self {
+        for q in 0..self.num_qubits {
+            self.ops.push(Operation::Measure(q));
+        }
+        self
+    }
+
+    /// Appends a full barrier.
+    pub fn barrier(&mut self) -> &mut Self {
+        self.ops.push(Operation::Barrier(Vec::new()));
+        self
+    }
+
+    // ---- convenience builders -------------------------------------------
+
+    /// Appends `H q`.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::H, &[q])
+    }
+    /// Appends `X q`.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::X, &[q])
+    }
+    /// Appends `Y q`.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Y, &[q])
+    }
+    /// Appends `Z q`.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Z, &[q])
+    }
+    /// Appends `RX(θ) q`.
+    pub fn rx(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.push(Gate::Rx(theta), &[q])
+    }
+    /// Appends `RY(θ) q`.
+    pub fn ry(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.push(Gate::Ry(theta), &[q])
+    }
+    /// Appends `RZ(θ) q`.
+    pub fn rz(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.push(Gate::Rz(theta), &[q])
+    }
+    /// Appends `U3(θ, φ, λ) q`.
+    pub fn u3(&mut self, theta: f64, phi: f64, lambda: f64, q: usize) -> &mut Self {
+        self.push(Gate::U3(theta, phi, lambda), &[q])
+    }
+    /// Appends `S q`.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::S, &[q])
+    }
+    /// Appends `T q`.
+    pub fn t(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::T, &[q])
+    }
+    /// Appends `P(λ) q`.
+    pub fn p(&mut self, lambda: f64, q: usize) -> &mut Self {
+        self.push(Gate::P(lambda), &[q])
+    }
+    /// Appends `CX control, target`.
+    pub fn cx(&mut self, control: usize, target: usize) -> &mut Self {
+        self.push(Gate::Cx, &[control, target])
+    }
+    /// Appends `CZ a, b`.
+    pub fn cz(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push(Gate::Cz, &[a, b])
+    }
+    /// Appends `SWAP a, b`.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push(Gate::Swap, &[a, b])
+    }
+    /// Appends `CCX c0, c1, target`.
+    pub fn ccx(&mut self, c0: usize, c1: usize, target: usize) -> &mut Self {
+        self.push(Gate::Ccx, &[c0, c1, target])
+    }
+    /// Appends `CCZ a, b, c`.
+    pub fn ccz(&mut self, a: usize, b: usize, c: usize) -> &mut Self {
+        self.push(Gate::Ccz, &[a, b, c])
+    }
+
+    // ---- composition -----------------------------------------------------
+
+    /// Appends all operations of `other` (same register width required).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn extend(&mut self, other: &Circuit) -> &mut Self {
+        assert_eq!(
+            self.num_qubits, other.num_qubits,
+            "cannot extend: register widths differ"
+        );
+        self.ops.extend(other.ops.iter().cloned());
+        self
+    }
+
+    /// Returns the adjoint (inverse) circuit: reversed order, inverted gates.
+    /// Measurements and barriers are dropped.
+    pub fn inverse(&self) -> Circuit {
+        let mut out = Circuit::new(self.num_qubits);
+        for op in self.ops.iter().rev() {
+            if let Operation::Gate(i) = op {
+                out.push(i.gate.inverse(), &i.qubits);
+            }
+        }
+        out
+    }
+
+    // ---- metrics ----------------------------------------------------------
+
+    /// Number of unitary gate instructions.
+    pub fn gate_count(&self) -> usize {
+        self.instructions().count()
+    }
+
+    /// Number of instructions acting on at least `k` qubits.
+    pub fn count_with_arity_at_least(&self, k: usize) -> usize {
+        self.instructions()
+            .filter(|i| i.gate.num_qubits() >= k)
+            .count()
+    }
+
+    /// Number of two-qubit instructions.
+    pub fn two_qubit_count(&self) -> usize {
+        self.instructions()
+            .filter(|i| i.gate.num_qubits() == 2)
+            .count()
+    }
+
+    /// Circuit depth counting every instruction as one time step; barriers
+    /// synchronize the qubits they cover.
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.num_qubits];
+        let mut max_level = 0;
+        for op in &self.ops {
+            match op {
+                Operation::Gate(i) => {
+                    let l = i.qubits.iter().map(|&q| level[q]).max().unwrap_or(0) + 1;
+                    for &q in &i.qubits {
+                        level[q] = l;
+                    }
+                    max_level = max_level.max(l);
+                }
+                Operation::Measure(q) => {
+                    level[*q] += 1;
+                    max_level = max_level.max(level[*q]);
+                }
+                Operation::Barrier(qs) => {
+                    let scope: Vec<usize> = if qs.is_empty() {
+                        (0..self.num_qubits).collect()
+                    } else {
+                        qs.clone()
+                    };
+                    let l = scope.iter().map(|&q| level[q]).max().unwrap_or(0);
+                    for &q in &scope {
+                        level[q] = l;
+                    }
+                }
+            }
+        }
+        max_level
+    }
+
+    // ---- simulation --------------------------------------------------------
+
+    /// The circuit's unitary (ignoring measurements and barriers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register exceeds 12 qubits (see
+    /// [`UnitaryBuilder::new`]).
+    pub fn unitary(&self) -> Matrix {
+        let mut b = UnitaryBuilder::new(self.num_qubits);
+        for instr in self.instructions() {
+            b.apply(&instr.gate.matrix(), &instr.qubits);
+        }
+        b.finish()
+    }
+
+    /// Simulates the circuit from `|0…0⟩` (ignoring measurements/barriers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register exceeds 24 qubits.
+    pub fn statevector(&self) -> State {
+        let mut s = State::zero(self.num_qubits);
+        for instr in self.instructions() {
+            s.apply(&instr.gate.matrix(), &instr.qubits);
+        }
+        s
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit({} qubits) {{", self.num_qubits)?;
+        for op in &self.ops {
+            match op {
+                Operation::Gate(i) => writeln!(f, "  {i};")?,
+                Operation::Measure(q) => writeln!(f, "  measure q[{q}];")?,
+                Operation::Barrier(qs) if qs.is_empty() => writeln!(f, "  barrier;")?,
+                Operation::Barrier(qs) => writeln!(f, "  barrier {qs:?};")?,
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weaver_simulator::equiv;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn builder_chains_and_counts() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ccz(0, 1, 2).rz(0.5, 2).barrier().measure_all();
+        assert_eq!(c.gate_count(), 4);
+        assert_eq!(c.two_qubit_count(), 1);
+        assert_eq!(c.count_with_arity_at_least(3), 1);
+        assert_eq!(c.operations().len(), 4 + 1 + 3);
+    }
+
+    #[test]
+    fn depth_of_parallel_vs_serial() {
+        let mut parallel = Circuit::new(4);
+        parallel.h(0).h(1).h(2).h(3);
+        assert_eq!(parallel.depth(), 1);
+
+        let mut serial = Circuit::new(2);
+        serial.h(0).cx(0, 1).h(1);
+        assert_eq!(serial.depth(), 3);
+    }
+
+    #[test]
+    fn inverse_reverses_unitary() {
+        let mut c = Circuit::new(2);
+        c.h(0).rz(0.7, 0).cx(0, 1).rx(-0.3, 1);
+        let mut composed = c.clone();
+        composed.extend(&c.inverse());
+        let u = composed.unitary();
+        assert!(equiv::compare(&u, &Matrix::identity(4), TOL).is_equivalent());
+    }
+
+    #[test]
+    fn ghz_statevector() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let s = c.statevector();
+        assert!((s.probability_of(0) - 0.5).abs() < TOL);
+        assert!((s.probability_of(7) - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_panics() {
+        let mut c = Circuit::new(1);
+        c.cx(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate operand")]
+    fn repeated_operand_panics() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx, &[1, 1]);
+    }
+
+    #[test]
+    fn display_round_readable() {
+        let mut c = Circuit::new(2);
+        c.h(0).cz(0, 1).measure(0);
+        let text = c.to_string();
+        assert!(text.contains("h q[0]"));
+        assert!(text.contains("cz q[0], q[1]"));
+        assert!(text.contains("measure q[0]"));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Instruction::new(Gate::Cx, vec![0, 1]);
+        let b = Instruction::new(Gate::H, vec![1]);
+        let c = Instruction::new(Gate::H, vec![2]);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+}

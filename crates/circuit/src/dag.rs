@@ -1,0 +1,213 @@
+//! Dependency-DAG view of a circuit.
+//!
+//! wQasm's logical-gate instructions "can be executed in parallel if their
+//! dependencies are met and they do not share qubits, following the order
+//! dictated by a dependency graph" (paper §4.2). This module computes that
+//! graph and its ASAP layering, which the schedulers and the parallelism
+//! analysis use.
+
+use crate::{Circuit, Instruction, Operation};
+
+/// A dependency DAG over the unitary instructions of a circuit.
+#[derive(Clone, Debug)]
+pub struct DependencyDag {
+    nodes: Vec<Instruction>,
+    /// `preds[i]` lists node indices that must run before node `i`.
+    preds: Vec<Vec<usize>>,
+    /// `succs[i]` lists node indices that depend on node `i`.
+    succs: Vec<Vec<usize>>,
+}
+
+impl DependencyDag {
+    /// Builds the DAG of a circuit: instruction B depends on the closest
+    /// earlier instruction A touching any common qubit. Barriers introduce
+    /// dependencies across their scope; measurements are excluded (they
+    /// terminate a wire).
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let mut nodes = Vec::new();
+        let mut preds: Vec<Vec<usize>> = Vec::new();
+        let mut succs: Vec<Vec<usize>> = Vec::new();
+        // Last node to touch each qubit; barriers reset to a synthetic "all"
+        // dependency by pointing every wire at the latest frontier.
+        let mut last_on: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+
+        for op in circuit.operations() {
+            match op {
+                Operation::Gate(instr) => {
+                    let id = nodes.len();
+                    nodes.push(instr.clone());
+                    preds.push(Vec::new());
+                    succs.push(Vec::new());
+                    for &q in &instr.qubits {
+                        if let Some(p) = last_on[q] {
+                            if !preds[id].contains(&p) {
+                                preds[id].push(p);
+                                succs[p].push(id);
+                            }
+                        }
+                        last_on[q] = Some(id);
+                    }
+                }
+                Operation::Barrier(scope) => {
+                    // A barrier makes every later op on covered wires depend
+                    // on all earlier ops on covered wires. We conservatively
+                    // model it by making all covered wires point at every
+                    // frontier node in the scope.
+                    let covered: Vec<usize> = if scope.is_empty() {
+                        (0..circuit.num_qubits()).collect()
+                    } else {
+                        scope.clone()
+                    };
+                    let frontier: Vec<usize> =
+                        covered.iter().filter_map(|&q| last_on[q]).collect();
+                    if let Some(&max) = frontier.iter().max() {
+                        for &q in &covered {
+                            last_on[q] = Some(max);
+                        }
+                        // Ensure the chosen representative depends on the
+                        // rest of the frontier so ordering is preserved.
+                        for &fnode in &frontier {
+                            if fnode != max && !preds[max].contains(&fnode) {
+                                preds[max].push(fnode);
+                                succs[fnode].push(max);
+                            }
+                        }
+                    }
+                }
+                Operation::Measure(_) => {}
+            }
+        }
+        DependencyDag {
+            nodes,
+            preds,
+            succs,
+        }
+    }
+
+    /// Number of nodes (unitary instructions).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The instruction at a node index.
+    pub fn instruction(&self, id: usize) -> &Instruction {
+        &self.nodes[id]
+    }
+
+    /// Direct predecessors of a node.
+    pub fn predecessors(&self, id: usize) -> &[usize] {
+        &self.preds[id]
+    }
+
+    /// Direct successors of a node.
+    pub fn successors(&self, id: usize) -> &[usize] {
+        &self.succs[id]
+    }
+
+    /// ASAP layering: each layer is a set of node indices that can execute
+    /// simultaneously (no shared qubits, all dependencies satisfied).
+    pub fn layers(&self) -> Vec<Vec<usize>> {
+        let n = self.nodes.len();
+        let mut level = vec![0usize; n];
+        for id in 0..n {
+            // preds always have smaller indices (circuit order), so a single
+            // forward pass computes longest-path levels.
+            level[id] = self.preds[id]
+                .iter()
+                .map(|&p| level[p] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        let depth = level.iter().copied().max().map_or(0, |m| m + 1);
+        let mut layers = vec![Vec::new(); depth];
+        for id in 0..n {
+            layers[level[id]].push(id);
+        }
+        layers
+    }
+
+    /// Longest dependency chain length (the DAG's critical path = circuit
+    /// depth restricted to unitary instructions).
+    pub fn critical_path_len(&self) -> usize {
+        self.layers().len()
+    }
+
+    /// Average number of instructions per layer — the parallelism the
+    /// hardware could exploit with unlimited simultaneous gates.
+    pub fn average_parallelism(&self) -> f64 {
+        let layers = self.layers();
+        if layers.is_empty() {
+            return 0.0;
+        }
+        self.len() as f64 / layers.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Circuit;
+
+    #[test]
+    fn independent_gates_share_a_layer() {
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).h(2).h(3);
+        let dag = DependencyDag::from_circuit(&c);
+        assert_eq!(dag.layers(), vec![vec![0, 1, 2, 3]]);
+        assert_eq!(dag.average_parallelism(), 4.0);
+    }
+
+    #[test]
+    fn chained_gates_stack_layers() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).h(1);
+        let dag = DependencyDag::from_circuit(&c);
+        assert_eq!(dag.critical_path_len(), 3);
+        assert_eq!(dag.predecessors(1), &[0]);
+        assert_eq!(dag.predecessors(2), &[1]);
+        assert_eq!(dag.successors(0), &[1]);
+    }
+
+    #[test]
+    fn disjoint_two_qubit_gates_parallelize() {
+        let mut c = Circuit::new(4);
+        c.cz(0, 1).cz(2, 3).cz(1, 2);
+        let dag = DependencyDag::from_circuit(&c);
+        let layers = dag.layers();
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0], vec![0, 1]);
+        assert_eq!(layers[1], vec![2]);
+    }
+
+    #[test]
+    fn barrier_orders_across_wires() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.barrier();
+        c.h(1);
+        let dag = DependencyDag::from_circuit(&c);
+        // h(1) must come after h(0) because of the barrier.
+        assert_eq!(dag.predecessors(1), &[0]);
+    }
+
+    #[test]
+    fn measurements_are_not_nodes() {
+        let mut c = Circuit::new(1);
+        c.h(0).measure(0);
+        let dag = DependencyDag::from_circuit(&c);
+        assert_eq!(dag.len(), 1);
+    }
+
+    #[test]
+    fn empty_circuit_has_no_layers() {
+        let dag = DependencyDag::from_circuit(&Circuit::new(3));
+        assert!(dag.is_empty());
+        assert_eq!(dag.layers().len(), 0);
+        assert_eq!(dag.average_parallelism(), 0.0);
+    }
+}

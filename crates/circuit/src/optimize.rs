@@ -1,0 +1,218 @@
+//! Peephole optimizations on native circuits.
+//!
+//! These run after nativization and before backend-specific passes:
+//! cancellation of adjacent self-inverse entanglers (`CZ·CZ = I`,
+//! `CCZ·CCZ = I`) and removal of identity `U3` rotations. Single-qubit
+//! fusion already happens during nativization; this pass catches the
+//! cancellations fusion exposes.
+
+use crate::euler::is_identity_u3;
+use crate::{Circuit, Gate, Operation};
+
+/// Statistics reported by [`peephole`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Entangler pairs removed (each removes two instructions).
+    pub cancelled_pairs: usize,
+    /// Identity single-qubit rotations dropped.
+    pub dropped_identities: usize,
+}
+
+/// Applies peephole rules until fixpoint, returning the optimized circuit
+/// and statistics.
+///
+/// # Examples
+///
+/// ```
+/// use weaver_circuit::{optimize, Circuit};
+/// let mut c = Circuit::new(2);
+/// c.cz(0, 1).cz(1, 0); // CZ is symmetric: this pair cancels
+/// let (opt, stats) = optimize::peephole(&c);
+/// assert_eq!(opt.gate_count(), 0);
+/// assert_eq!(stats.cancelled_pairs, 1);
+/// ```
+pub fn peephole(circuit: &Circuit) -> (Circuit, OptStats) {
+    let mut stats = OptStats::default();
+    let mut ops: Vec<Operation> = circuit.operations().to_vec();
+
+    loop {
+        let mut changed = false;
+
+        // Drop identity U3 / zero-angle rotations.
+        ops.retain(|op| {
+            if let Operation::Gate(i) = op {
+                let drop = match i.gate {
+                    Gate::U3(t, p, l) => is_identity_u3(t, p, l, 1e-12),
+                    Gate::Rx(a) | Gate::Ry(a) | Gate::Rz(a) | Gate::P(a) | Gate::Crz(a) => {
+                        crate::euler::normalize_angle(a).abs() <= 1e-12
+                    }
+                    _ => false,
+                };
+                if drop {
+                    stats.dropped_identities += 1;
+                    changed = true;
+                    return false;
+                }
+            }
+            true
+        });
+
+        // Cancel adjacent self-inverse entanglers on the same qubit set with
+        // no intervening operation touching those qubits.
+        let mut to_remove: Vec<usize> = Vec::new();
+        'outer: for idx in 0..ops.len() {
+            if to_remove.contains(&idx) {
+                continue;
+            }
+            let Operation::Gate(a) = &ops[idx] else {
+                continue;
+            };
+            if !matches!(a.gate, Gate::Cz | Gate::Ccz | Gate::Cx | Gate::Swap) {
+                continue;
+            }
+            for jdx in idx + 1..ops.len() {
+                if to_remove.contains(&jdx) {
+                    continue;
+                }
+                let blocks = match &ops[jdx] {
+                    Operation::Gate(b) => {
+                        let same_set = b.gate == a.gate
+                            && if a.gate.is_symmetric() {
+                                let mut x = a.qubits.clone();
+                                let mut y = b.qubits.clone();
+                                x.sort_unstable();
+                                y.sort_unstable();
+                                x == y
+                            } else {
+                                a.qubits == b.qubits
+                            };
+                        if same_set {
+                            to_remove.push(idx);
+                            to_remove.push(jdx);
+                            stats.cancelled_pairs += 1;
+                            changed = true;
+                            continue 'outer;
+                        }
+                        b.qubits.iter().any(|q| a.qubits.contains(q))
+                    }
+                    Operation::Measure(q) => a.qubits.contains(q),
+                    Operation::Barrier(scope) => {
+                        scope.is_empty() || scope.iter().any(|q| a.qubits.contains(q))
+                    }
+                };
+                if blocks {
+                    continue 'outer;
+                }
+            }
+        }
+        if !to_remove.is_empty() {
+            to_remove.sort_unstable();
+            for idx in to_remove.into_iter().rev() {
+                ops.remove(idx);
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    let mut out = Circuit::new(circuit.num_qubits());
+    for op in ops {
+        out.push_op(op);
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weaver_simulator::{equiv, Matrix};
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn cancels_adjacent_cz() {
+        let mut c = Circuit::new(2);
+        c.cz(0, 1).cz(0, 1);
+        let (o, s) = peephole(&c);
+        assert_eq!(o.gate_count(), 0);
+        assert_eq!(s.cancelled_pairs, 1);
+    }
+
+    #[test]
+    fn symmetric_gate_cancel_with_swapped_operands() {
+        let mut c = Circuit::new(3);
+        c.ccz(0, 1, 2).ccz(2, 0, 1);
+        let (o, _) = peephole(&c);
+        assert_eq!(o.gate_count(), 0);
+    }
+
+    #[test]
+    fn cx_requires_same_orientation() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(1, 0);
+        let (o, s) = peephole(&c);
+        assert_eq!(o.gate_count(), 2, "reversed CX must not cancel");
+        assert_eq!(s.cancelled_pairs, 0);
+    }
+
+    #[test]
+    fn intervening_gate_blocks_cancellation() {
+        let mut c = Circuit::new(2);
+        c.cz(0, 1).h(0).cz(0, 1);
+        let (o, s) = peephole(&c);
+        assert_eq!(o.gate_count(), 3);
+        assert_eq!(s.cancelled_pairs, 0);
+    }
+
+    #[test]
+    fn unrelated_gate_does_not_block() {
+        let mut c = Circuit::new(3);
+        c.cz(0, 1).h(2).cz(1, 0);
+        let (o, s) = peephole(&c);
+        assert_eq!(o.gate_count(), 1);
+        assert_eq!(s.cancelled_pairs, 1);
+        let e = equiv::compare(&c.unitary(), &o.unitary(), TOL);
+        assert!(e.is_equivalent());
+    }
+
+    #[test]
+    fn drops_zero_rotations() {
+        let mut c = Circuit::new(1);
+        c.rz(0.0, 0).rx(std::f64::consts::TAU, 0).h(0);
+        let (o, s) = peephole(&c);
+        // rz(0) drops; rx(2π) = -I is identity up to phase, angle normalizes to 0.
+        assert_eq!(o.gate_count(), 1);
+        assert_eq!(s.dropped_identities, 2);
+    }
+
+    #[test]
+    fn cascading_cancellation_via_fixpoint() {
+        let mut c = Circuit::new(2);
+        // cz cz cz cz -> all cancel across iterations
+        c.cz(0, 1).cz(0, 1).cz(0, 1).cz(0, 1);
+        let (o, s) = peephole(&c);
+        assert_eq!(o.gate_count(), 0);
+        assert_eq!(s.cancelled_pairs, 2);
+    }
+
+    #[test]
+    fn preserves_semantics_on_mixed_circuit() {
+        let mut c = Circuit::new(3);
+        c.h(0).cz(0, 1).cz(0, 1).ccz(0, 1, 2).rz(0.0, 1).cx(1, 2);
+        let (o, _) = peephole(&c);
+        let e = equiv::compare(&c.unitary(), &o.unitary(), TOL);
+        assert!(e.is_equivalent());
+        assert!(o.gate_count() < c.gate_count());
+    }
+
+    #[test]
+    fn identity_on_empty_circuit() {
+        let c = Circuit::new(2);
+        let (o, s) = peephole(&c);
+        assert_eq!(o.gate_count(), 0);
+        assert_eq!(s, OptStats::default());
+        assert!(equiv::compare(&o.unitary(), &Matrix::identity(4), TOL).is_equivalent());
+    }
+}

@@ -1,0 +1,319 @@
+//! 3-qubit gate compression (paper §5.4, Fig. 7).
+//!
+//! The cost evolution of one Max-3SAT clause needs phases on seven `Z`
+//! monomials. The textbook CNOT-ladder compilation (Fig. 6) spends ~10
+//! two-qubit gates per clause. Compression instead uses the FPQA-native
+//! `CCZ`:
+//!
+//! the gadget `CCX(u,v,t)·RZ_t(θ)·CCX(u,v,t)` equals
+//! `exp(-i(θ/4)(z_t + z_u z_t + z_v z_t − z_u z_v z_t))`,
+//!
+//! which — for an all-negative clause — covers the cubic term *and* both
+//! control–target quadratics at once. The remaining control–control
+//! quadratic takes one CNOT ladder (2 CZ) and the linear terms take `RZ`
+//! pulses. Mixed-sign clauses are handled by X-conjugating the positive
+//! literals (paper: "control bits … are set to zero with single-qubit
+//! rotation gates"). Net cost: **2 CCZ + 2 CZ** entangling pulses per
+//! clause instead of ~10 CZ.
+
+use weaver_circuit::Circuit;
+use weaver_fpqa::FpqaParams;
+use weaver_sat::{qaoa, Clause, PhasePolynomial};
+
+/// Entangling-pulse budget of one compressed 3-literal clause.
+pub const COMPRESSED_CCZ_PER_CLAUSE: usize = 2;
+/// CZ pulses of one compressed 3-literal clause (control–control ladder).
+pub const COMPRESSED_CZ_PER_CLAUSE: usize = 2;
+/// CZ-pulse cost of the uncompressed CNOT-ladder compilation of a
+/// 3-literal clause: three quadratic terms (2 each) + one cubic term (4).
+pub const UNCOMPRESSED_CZ_PER_CLAUSE: usize = 10;
+
+/// Decides whether compression pays off on the given hardware: success of
+/// `2 CCZ + 2 CZ` must beat `10 CZ` (paper Fig. 10c sweeps exactly this
+/// trade-off via the CCZ fidelity).
+pub fn compression_profitable(params: &FpqaParams) -> bool {
+    let compressed = params.fidelity_ccz.powi(COMPRESSED_CCZ_PER_CLAUSE as i32)
+        * params.fidelity_cz.powi(COMPRESSED_CZ_PER_CLAUSE as i32);
+    let uncompressed = params.fidelity_cz.powi(UNCOMPRESSED_CZ_PER_CLAUSE as i32);
+    compressed > uncompressed
+}
+
+/// The CCZ-fidelity threshold above which compression is profitable, at the
+/// given CZ fidelity: `f_ccz > f_cz⁴`.
+pub fn compression_threshold(fidelity_cz: f64) -> f64 {
+    fidelity_cz.powi(
+        ((UNCOMPRESSED_CZ_PER_CLAUSE - COMPRESSED_CZ_PER_CLAUSE) / COMPRESSED_CCZ_PER_CLAUSE)
+            as i32,
+    )
+}
+
+/// Atom-moves per clause in compressed execution (controls to the triangle,
+/// triangle → pair, pair → home).
+const COMPRESSED_MOVES_PER_CLAUSE: i32 = 6;
+/// Atom-moves per clause in ladder execution (six guest visits, each with a
+/// way in and a way out).
+const LADDER_MOVES_PER_CLAUSE: i32 = 12;
+
+/// Full profitability gate including motion: compression eliminates most of
+/// the per-clause shuttling, so it can pay off even when the pure
+/// pulse-fidelity comparison (`compression_profitable`) is marginal. Each
+/// avoided move costs two transfers and one shuttle of `typical_move_um`.
+pub fn compression_beneficial(params: &FpqaParams, typical_move_um: f64) -> bool {
+    let move_fidelity = params.fidelity_transfer.powi(2) * params.shuttle_fidelity(typical_move_um);
+    let compressed = params.fidelity_ccz.powi(COMPRESSED_CCZ_PER_CLAUSE as i32)
+        * params.fidelity_cz.powi(COMPRESSED_CZ_PER_CLAUSE as i32)
+        * move_fidelity.powi(COMPRESSED_MOVES_PER_CLAUSE);
+    let ladder = params.fidelity_cz.powi(UNCOMPRESSED_CZ_PER_CLAUSE as i32)
+        * move_fidelity.powi(LADDER_MOVES_PER_CLAUSE);
+    compressed > ladder
+}
+
+/// Role assignment inside a clause: which variable is the Toffoli target.
+/// Weaver picks the geometric middle (median variable index), matching the
+/// triangular site layout.
+pub fn assign_roles(clause: &Clause) -> (usize, usize, usize) {
+    let mut vars: Vec<usize> = clause.vars().collect();
+    vars.sort_unstable();
+    match vars.len() {
+        3 => (vars[0], vars[2], vars[1]), // (u, v, t) with t the middle
+        2 => (vars[0], vars[1], vars[1]),
+        1 => (vars[0], vars[0], vars[0]),
+        _ => unreachable!("clauses have 1–3 literals"),
+    }
+}
+
+/// Builds the compressed cost-evolution fragment `e^{-iγ·sat(clause)}` over
+/// a `num_vars`-qubit register. For 3-literal clauses this is the
+/// 2-CCZ + 2-CZ fragment of Fig. 7; shorter clauses need no compression.
+///
+/// # Panics
+///
+/// Panics if the clause references variables `≥ num_vars`.
+pub fn compressed_clause_circuit(clause: &Clause, gamma: f64, num_vars: usize) -> Circuit {
+    let mut c = Circuit::new(num_vars);
+    append_compressed_clause(&mut c, clause, gamma);
+    c
+}
+
+/// Appends the compressed fragment of one clause to an existing circuit.
+pub fn append_compressed_clause(circuit: &mut Circuit, clause: &Clause, gamma: f64) {
+    match clause.lits().len() {
+        1 => {
+            let lit = clause.lits()[0];
+            // sat = 1/2 + s·z/2 with s = +1 for a negative literal.
+            let s = if lit.negated { 1.0 } else { -1.0 };
+            // exp(-iγ(s/2)z) = RZ(γ·s)
+            circuit.rz(gamma * s, lit.var);
+        }
+        2 => {
+            // Flip positives so the clause is all-negative, where
+            // sat = 1 − (1−z_a)(1−z_b)/4 has terms (+¼ z_a, +¼ z_b, −¼ z_ab).
+            let flips: Vec<usize> = clause
+                .lits()
+                .iter()
+                .filter(|l| !l.negated)
+                .map(|l| l.var)
+                .collect();
+            let (a, b) = {
+                let mut vs: Vec<usize> = clause.vars().collect();
+                vs.sort_unstable();
+                (vs[0], vs[1])
+            };
+            for &f in &flips {
+                circuit.x(f);
+            }
+            circuit.rz(gamma / 2.0, a);
+            circuit.rz(gamma / 2.0, b);
+            append_zz(circuit, a, b, -gamma / 4.0);
+            for &f in &flips {
+                circuit.x(f);
+            }
+        }
+        3 => {
+            let (u, v, t) = assign_roles(clause);
+            let flips: Vec<usize> = clause
+                .lits()
+                .iter()
+                .filter(|l| !l.negated)
+                .map(|l| l.var)
+                .collect();
+            for &f in &flips {
+                circuit.x(f);
+            }
+            // All-negative clause: sat terms (+⅛ z_i, −⅛ z_ij, +⅛ z_uvt).
+            // Gadget with θ = −γ/2 covers (z_t, z_ut, z_vt, z_uvt) at
+            // (−γ/8, −γ/8, −γ/8, +γ/8)·(−i exponent) — matching the
+            // quadratics and the cubic exactly.
+            let theta = -gamma / 2.0;
+            append_ccx(circuit, u, v, t);
+            circuit.rz(theta, t);
+            append_ccx(circuit, u, v, t);
+            // Residual z_t: needed +γ/8, gadget gave −γ/8 ⇒ add +γ/4.
+            circuit.rz(gamma / 2.0, t);
+            // Linear u, v: +γ/8 each ⇒ RZ(γ/4).
+            circuit.rz(gamma / 4.0, u);
+            circuit.rz(gamma / 4.0, v);
+            // Control–control quadratic: −γ/8.
+            append_zz(circuit, u, v, -gamma / 8.0);
+            for &f in &flips {
+                circuit.x(f);
+            }
+        }
+        _ => unreachable!("clauses have 1–3 literals"),
+    }
+}
+
+/// `exp(-i·w·z_a z_b)` via the CX ladder: `CX(a,b)·RZ(2w)(b)·CX(a,b)`, with
+/// CX expressed through the FPQA-native CZ.
+fn append_zz(circuit: &mut Circuit, a: usize, b: usize, w: f64) {
+    append_cx(circuit, a, b);
+    circuit.rz(2.0 * w, b);
+    append_cx(circuit, a, b);
+}
+
+/// CX via H-conjugated CZ (Rydberg-native form).
+fn append_cx(circuit: &mut Circuit, control: usize, target: usize) {
+    circuit.h(target);
+    circuit.cz(control, target);
+    circuit.h(target);
+}
+
+/// CCX via H-conjugated CCZ (Rydberg-native form).
+fn append_ccx(circuit: &mut Circuit, u: usize, v: usize, t: usize) {
+    circuit.h(t);
+    circuit.ccz(u, v, t);
+    circuit.h(t);
+}
+
+/// The uncompressed reference compilation of one clause (Fig. 6 CNOT
+/// ladders), used by the ablation and the equivalence tests.
+pub fn reference_clause_circuit(clause: &Clause, gamma: f64, num_vars: usize) -> Circuit {
+    let poly = PhasePolynomial::from_clause(clause);
+    let mut c = Circuit::new(num_vars);
+    qaoa::append_cost_evolution(&mut c, &poly, gamma);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weaver_circuit::Gate;
+    use weaver_sat::Lit;
+    use weaver_simulator::equiv;
+
+    const TOL: f64 = 1e-9;
+
+    fn assert_clause_equiv(clause: &Clause, gamma: f64) {
+        let n = clause.vars().max().unwrap() + 1;
+        let compressed = compressed_clause_circuit(clause, gamma, n);
+        let reference = reference_clause_circuit(clause, gamma, n);
+        let e = equiv::compare(&compressed.unitary(), &reference.unitary(), TOL);
+        assert!(
+            e.is_equivalent(),
+            "clause {clause} at γ={gamma}: {e:?}"
+        );
+    }
+
+    #[test]
+    fn all_negative_clause_matches_reference() {
+        let c = Clause::new(vec![Lit::neg(0), Lit::neg(1), Lit::neg(2)]);
+        for gamma in [0.3, 0.7, 1.9, -0.4] {
+            assert_clause_equiv(&c, gamma);
+        }
+    }
+
+    #[test]
+    fn all_eight_sign_patterns_match() {
+        for mask in 0..8u32 {
+            let lit = |v: usize| {
+                if mask >> v & 1 == 1 {
+                    Lit::pos(v)
+                } else {
+                    Lit::neg(v)
+                }
+            };
+            let c = Clause::new(vec![lit(0), lit(1), lit(2)]);
+            assert_clause_equiv(&c, 0.61);
+        }
+    }
+
+    #[test]
+    fn non_contiguous_variables() {
+        let c = Clause::new(vec![Lit::neg(4), Lit::pos(0), Lit::neg(2)]);
+        assert_clause_equiv(&c, 0.83);
+    }
+
+    #[test]
+    fn two_and_one_literal_clauses() {
+        assert_clause_equiv(&Clause::new(vec![Lit::pos(0), Lit::neg(1)]), 0.5);
+        assert_clause_equiv(&Clause::new(vec![Lit::neg(0), Lit::neg(1)]), 1.1);
+        assert_clause_equiv(&Clause::new(vec![Lit::pos(0)]), 0.9);
+        assert_clause_equiv(&Clause::new(vec![Lit::neg(0)]), 0.9);
+    }
+
+    #[test]
+    fn compressed_uses_two_ccz_two_cz() {
+        let c = Clause::new(vec![Lit::neg(0), Lit::neg(1), Lit::neg(2)]);
+        let circuit = compressed_clause_circuit(&c, 0.7, 3);
+        let ccz = circuit
+            .instructions()
+            .filter(|i| i.gate == Gate::Ccz)
+            .count();
+        let cz = circuit
+            .instructions()
+            .filter(|i| i.gate == Gate::Cz)
+            .count();
+        assert_eq!(ccz, COMPRESSED_CCZ_PER_CLAUSE);
+        assert_eq!(cz, COMPRESSED_CZ_PER_CLAUSE);
+    }
+
+    #[test]
+    fn reference_spends_ten_two_qubit_gates() {
+        let c = Clause::new(vec![Lit::neg(0), Lit::neg(1), Lit::neg(2)]);
+        let circuit = reference_clause_circuit(&c, 0.7, 3);
+        assert_eq!(circuit.two_qubit_count(), UNCOMPRESSED_CZ_PER_CLAUSE);
+    }
+
+    #[test]
+    fn profitability_threshold_matches_formula() {
+        let base = FpqaParams::default(); // f_cz = 0.995
+        let threshold = compression_threshold(base.fidelity_cz);
+        assert!((threshold - 0.995f64.powi(4)).abs() < 1e-12);
+        assert!(!compression_profitable(
+            &base.clone().with_ccz_fidelity(threshold - 0.001)
+        ));
+        assert!(compression_profitable(
+            &base.with_ccz_fidelity(threshold + 0.001)
+        ));
+    }
+
+    #[test]
+    fn roles_pick_median_target() {
+        let c = Clause::new(vec![Lit::neg(7), Lit::pos(1), Lit::neg(4)]);
+        let (u, v, t) = assign_roles(&c);
+        assert_eq!((u, v, t), (1, 7, 4));
+    }
+
+    #[test]
+    fn whole_formula_compressed_equals_reference() {
+        // A small formula whose clauses overlap: composing fragments must
+        // still match the ladder compilation (fragments commute — all
+        // diagonal).
+        let f = weaver_sat::Formula::new(
+            4,
+            vec![
+                Clause::new(vec![Lit::neg(0), Lit::neg(1), Lit::neg(2)]),
+                Clause::new(vec![Lit::pos(1), Lit::neg(2), Lit::pos(3)]),
+                Clause::new(vec![Lit::pos(0), Lit::pos(3)]),
+            ],
+        );
+        let gamma = 0.45;
+        let mut compressed = Circuit::new(4);
+        for clause in f.clauses() {
+            append_compressed_clause(&mut compressed, clause, gamma);
+        }
+        let reference = qaoa::build_cost_circuit(&f, gamma);
+        let e = equiv::compare(&compressed.unitary(), &reference.unitary(), TOL);
+        assert!(e.is_equivalent(), "{e:?}");
+    }
+}

@@ -1,0 +1,43 @@
+//! **weaver-core** — the Weaver retargetable compiler (the paper's primary
+//! contribution): the wOptimizer pass pipeline, wQasm code generation, and
+//! the wChecker equivalence checker.
+//!
+//! * [`coloring`] — clause coloring via DSatur (§5.2, Algorithm 1),
+//! * [`plan`] — site geometry and parallel shuttle batching (§5.3,
+//!   Algorithm 2),
+//! * [`compress`] — 3-qubit gate compression (§5.4, Fig. 7),
+//! * [`codegen`] — annotated wQasm + pulse-schedule emission,
+//! * [`checker`] — the wChecker (§6, Fig. 9),
+//! * [`pipeline`] — the retargetable entry point ([`Weaver`]).
+//!
+//! # Example
+//!
+//! Compile a benchmark down both paths and verify the FPQA output:
+//!
+//! ```
+//! use weaver_core::Weaver;
+//! use weaver_sat::generator;
+//! use weaver_superconducting::CouplingMap;
+//!
+//! let formula = generator::instance(20, 1);
+//! let weaver = Weaver::new();
+//!
+//! let fpqa = weaver.compile_fpqa(&formula);
+//! assert!(weaver.verify(&fpqa, &formula).passed());
+//!
+//! let sc = weaver.compile_superconducting(&formula, &CouplingMap::ibm_washington());
+//! assert!(fpqa.metrics.eps > sc.metrics.eps);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod codegen;
+pub mod coloring;
+pub mod compress;
+pub mod pipeline;
+pub mod plan;
+
+pub use checker::{check, CheckReport};
+pub use codegen::{CodegenOptions, CompiledFpqa};
+pub use pipeline::{FpqaResult, Metrics, SuperconductingResult, Weaver};

@@ -1,0 +1,269 @@
+//! The retargetable compilation pipeline (paper Fig. 3).
+//!
+//! One entry point, two backends: a Max-3SAT workload is lowered to a
+//! hardware-agnostic native circuit; the superconducting path routes it
+//! through the SABRE transpiler onto a coupling map, the FPQA path runs the
+//! wOptimizer (coloring → shuttling → compression) and emits annotated
+//! wQasm plus a pulse schedule; the wChecker verifies the FPQA output.
+
+use crate::checker::{self, CheckReport};
+use crate::codegen::{self, CodegenOptions, CompiledFpqa};
+use std::time::Instant;
+use weaver_circuit::{native, Circuit, NativeBasis};
+use weaver_fpqa::FpqaParams;
+use weaver_sat::{qaoa, Formula};
+use weaver_superconducting::{CouplingMap, SuperconductingParams};
+
+/// The paper's evaluation metrics for one compilation (§8.1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metrics {
+    /// Wall-clock compilation time in seconds.
+    pub compilation_seconds: f64,
+    /// Estimated execution time of one shot in µs.
+    pub execution_micros: f64,
+    /// Estimated probability of success.
+    pub eps: f64,
+    /// Number of laser pulses (FPQA) or gates (superconducting).
+    pub pulses: usize,
+    /// Number of atom-motion operations (FPQA only; 0 for superconducting).
+    pub motion_ops: usize,
+    /// Internal work-step counter (complexity instrumentation, Fig. 10a).
+    pub steps: u64,
+}
+
+/// Result of the FPQA path.
+#[derive(Clone, Debug)]
+pub struct FpqaResult {
+    /// The compiled program, schedule, and logical circuit.
+    pub compiled: CompiledFpqa,
+    /// Evaluation metrics.
+    pub metrics: Metrics,
+}
+
+/// Result of the superconducting path.
+#[derive(Clone, Debug)]
+pub struct SuperconductingResult {
+    /// The routed physical circuit.
+    pub circuit: Circuit,
+    /// SWAPs inserted by routing.
+    pub swap_count: usize,
+    /// Evaluation metrics.
+    pub metrics: Metrics,
+}
+
+/// The Weaver retargetable compiler.
+///
+/// # Examples
+///
+/// ```
+/// use weaver_core::pipeline::Weaver;
+/// use weaver_sat::generator;
+///
+/// let formula = generator::instance(20, 1);
+/// let weaver = Weaver::new();
+/// let fpqa = weaver.compile_fpqa(&formula);
+/// assert!(fpqa.metrics.eps > 0.0);
+/// let report = weaver.verify(&fpqa, &formula);
+/// assert!(report.passed(), "{:?}", report.errors);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Weaver {
+    /// FPQA hardware parameters.
+    pub fpqa_params: FpqaParams,
+    /// wOptimizer options.
+    pub options: CodegenOptions,
+    /// Superconducting backend parameters.
+    pub superconducting_params: SuperconductingParams,
+}
+
+impl Weaver {
+    /// A compiler with default (Rubidium / IBM-Eagle) parameters.
+    pub fn new() -> Self {
+        Weaver {
+            fpqa_params: FpqaParams::default(),
+            options: CodegenOptions::default(),
+            superconducting_params: SuperconductingParams::default(),
+        }
+    }
+
+    /// Replaces the FPQA parameters (e.g. for the Fig. 10c CCZ sweep).
+    pub fn with_fpqa_params(mut self, params: FpqaParams) -> Self {
+        self.fpqa_params = params;
+        self
+    }
+
+    /// Replaces the wOptimizer options (ablation switches).
+    pub fn with_options(mut self, options: CodegenOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Compiles a Max-3SAT formula down the FPQA path (wOptimizer).
+    pub fn compile_fpqa(&self, formula: &Formula) -> FpqaResult {
+        let start = Instant::now();
+        let mut options = self.options.clone();
+        // The site geometry follows the device parameters (interaction
+        // distance within the Rydberg radius, homes well separated).
+        options.layout = crate::plan::SiteLayout::for_params(&self.fpqa_params);
+        // Profitability gate of §5.4: fall back to CNOT ladders when the
+        // hardware's CCZ is too noisy to pay off (accounting for the motion
+        // each ladder visit costs).
+        let typical_move = options.layout.home_spacing;
+        if options.compression
+            && !crate::compress::compression_beneficial(&self.fpqa_params, typical_move)
+        {
+            options.compression = false;
+        }
+        let compiled = codegen::compile_formula(formula, &self.fpqa_params, &options);
+        let compilation_seconds = start.elapsed().as_secs_f64();
+        let metrics = Metrics {
+            compilation_seconds,
+            execution_micros: compiled.schedule.duration(&self.fpqa_params),
+            eps: weaver_fpqa::eps(&compiled.schedule, &self.fpqa_params, formula.num_vars()),
+            pulses: compiled.schedule.pulse_count(),
+            motion_ops: compiled.schedule.motion_count(),
+            steps: compiled.steps,
+        };
+        FpqaResult { compiled, metrics }
+    }
+
+    /// Compiles a Max-3SAT formula down the superconducting path (QAOA
+    /// lowering + SABRE transpilation onto `coupling`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula needs more qubits than the device offers.
+    pub fn compile_superconducting(
+        &self,
+        formula: &Formula,
+        coupling: &CouplingMap,
+    ) -> SuperconductingResult {
+        let start = Instant::now();
+        let circuit = qaoa::build_circuit(formula, &self.options.qaoa, self.options.measure);
+        let result =
+            weaver_superconducting::transpile(&circuit, coupling, &self.superconducting_params);
+        let compilation_seconds = start.elapsed().as_secs_f64();
+        let metrics = Metrics {
+            compilation_seconds,
+            execution_micros: result.execution_time,
+            eps: result.eps,
+            pulses: result.circuit.gate_count(),
+            motion_ops: 0,
+            steps: result.steps,
+        };
+        SuperconductingResult {
+            circuit: result.circuit,
+            swap_count: result.swap_count,
+            metrics,
+        }
+    }
+
+    /// Lowers an arbitrary circuit to the hardware-agnostic native basis
+    /// (`{U3, CZ}` + `CCZ` for the FPQA path) — paper Fig. 3, stage (a).
+    pub fn nativize(&self, circuit: &Circuit, fpqa: bool) -> Circuit {
+        let basis = if fpqa {
+            NativeBasis::U3CzCcz
+        } else {
+            NativeBasis::U3Cz
+        };
+        native::nativize(circuit, basis)
+    }
+
+    /// Runs the wChecker on an FPQA compilation result, comparing against
+    /// the QAOA reference circuit when the register is small enough.
+    pub fn verify(&self, result: &FpqaResult, formula: &Formula) -> CheckReport {
+        let reference = if formula.num_vars() <= 12 {
+            Some(qaoa::build_circuit(formula, &self.options.qaoa, false))
+        } else {
+            None
+        };
+        checker::check(
+            &result.compiled.program,
+            &self.fpqa_params,
+            reference.as_ref(),
+        )
+    }
+}
+
+impl Default for Weaver {
+    fn default() -> Self {
+        Weaver::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weaver_sat::generator;
+
+    #[test]
+    fn fpqa_path_end_to_end() {
+        let f = generator::instance(20, 1);
+        let weaver = Weaver::new();
+        let out = weaver.compile_fpqa(&f);
+        assert!(out.metrics.eps > 0.0 && out.metrics.eps <= 1.0);
+        assert!(out.metrics.execution_micros > 0.0);
+        assert!(out.metrics.pulses > 0);
+        assert!(out.metrics.motion_ops > 0);
+        let report = weaver.verify(&out, &f);
+        assert!(report.passed(), "{:?}", report.errors);
+    }
+
+    #[test]
+    fn superconducting_path_end_to_end() {
+        let f = generator::instance(20, 2);
+        let weaver = Weaver::new();
+        let coupling = CouplingMap::ibm_washington();
+        let out = weaver.compile_superconducting(&f, &coupling);
+        assert!(out.swap_count > 0, "QAOA on heavy-hex must route");
+        assert!(out.metrics.eps >= 0.0 && out.metrics.eps <= 1.0);
+        assert!(
+            weaver_superconducting::sabre::respects_coupling(&out.circuit, &coupling)
+        );
+    }
+
+    #[test]
+    fn low_ccz_fidelity_disables_compression() {
+        let f = generator::instance(20, 3);
+        let weaver =
+            Weaver::new().with_fpqa_params(FpqaParams::default().with_ccz_fidelity(0.90));
+        let out = weaver.compile_fpqa(&f);
+        // Ladder mode: no CCZ pulses at all, and far more Rydberg slots
+        // (≈10 per color instead of 4) plus more atom motion.
+        let baseline = Weaver::new().compile_fpqa(&f);
+        let rydbergs = |r: &FpqaResult| {
+            r.compiled
+                .schedule
+                .ops()
+                .iter()
+                .filter(|o| matches!(o, weaver_fpqa::PulseOp::Rydberg { .. }))
+                .count()
+        };
+        let has_ccz = |r: &FpqaResult| {
+            r.compiled.schedule.ops().iter().any(|o| {
+                matches!(o, weaver_fpqa::PulseOp::Rydberg { groups }
+                    if groups.iter().any(|g| g.len() == 3))
+            })
+        };
+        assert!(rydbergs(&out) > rydbergs(&baseline));
+        assert!(!has_ccz(&out), "ladder mode must not use CCZ");
+        assert!(has_ccz(&baseline), "compressed mode must use CCZ");
+        assert!(out.metrics.motion_ops > baseline.metrics.motion_ops);
+    }
+
+    #[test]
+    fn fpqa_beats_superconducting_eps_at_scale() {
+        // The paper's headline (Fig. 12b): Weaver's EPS exceeds the
+        // superconducting baseline already at 20 variables.
+        let f = generator::instance(20, 1);
+        let weaver = Weaver::new();
+        let fpqa = weaver.compile_fpqa(&f);
+        let sc = weaver.compile_superconducting(&f, &CouplingMap::ibm_washington());
+        assert!(
+            fpqa.metrics.eps > sc.metrics.eps,
+            "FPQA {} ≤ SC {}",
+            fpqa.metrics.eps,
+            sc.metrics.eps
+        );
+    }
+}

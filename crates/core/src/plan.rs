@@ -1,0 +1,305 @@
+//! Geometric execution plan and shuttle scheduling (paper §5.3,
+//! Algorithm 2).
+//!
+//! Layout model (a concrete realization of the paper's zone scheme,
+//! documented in DESIGN.md): every logical qubit owns a *home* SLM trap on
+//! a widely spaced baseline row. A 3-literal clause executes at a
+//! *triangle site* around its target's home trap (two control traps at
+//! Rydberg distance, equilateral — the `CCZ` geometry of §5.4); the
+//! control–control `CZ` then runs at a *pair site* lifted away from the
+//! target ("the control qubits are shuttled apart from the target"). Two-
+//! literal clauses use a *pair-2 site* next to the host variable's home.
+//! All sites of concurrently executing clauses are far apart, so one global
+//! Rydberg pulse drives every clause of a color at once.
+//!
+//! Atom motion between sites is planned as [`AtomMove`]s and batched by
+//! [`batch_moves`] — the paper's Algorithm 2: moves that preserve relative
+//! order ride one AOD row in parallel.
+
+use weaver_fpqa::Point;
+
+/// Site geometry constants (all µm).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SiteLayout {
+    /// Home-trap spacing along the baseline (far above the Rydberg radius).
+    pub home_spacing: f64,
+    /// Side of the equilateral interaction triangle (within the Rydberg
+    /// radius, above the trap minimum distance).
+    pub interaction_distance: f64,
+    /// Vertical lift separating the pair site from the triangle site.
+    pub pair_lift: f64,
+}
+
+impl SiteLayout {
+    /// A layout consistent with the default Rubidium parameters
+    /// (min distance 5 µm < 5.5 µm ≤ Rydberg radius 6 µm; homes 30 µm).
+    pub fn for_default_params() -> Self {
+        SiteLayout {
+            home_spacing: 30.0,
+            interaction_distance: 5.5,
+            pair_lift: 20.0,
+        }
+    }
+
+    /// Derives a legal layout from arbitrary device parameters: the
+    /// interaction distance sits between the trap minimum and the Rydberg
+    /// radius, homes five radii apart, the pair lift at ~3.3 radii.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rydberg_radius ≤ min_trap_distance` — no interaction
+    /// distance can then satisfy both constraints.
+    pub fn for_params(params: &weaver_fpqa::FpqaParams) -> Self {
+        assert!(
+            params.rydberg_radius > params.min_trap_distance,
+            "Rydberg radius {} must exceed the trap minimum {}",
+            params.rydberg_radius,
+            params.min_trap_distance
+        );
+        let interaction = (params.rydberg_radius * 0.92).max(params.min_trap_distance * 1.02);
+        SiteLayout {
+            home_spacing: params.rydberg_radius * 5.0,
+            interaction_distance: interaction.min(params.rydberg_radius),
+            pair_lift: params.rydberg_radius * 10.0 / 3.0,
+        }
+    }
+
+    /// Height of the equilateral interaction triangle.
+    pub fn triangle_height(&self) -> f64 {
+        self.interaction_distance * 3f64.sqrt() / 2.0
+    }
+
+    /// Home trap of a variable.
+    pub fn home(&self, var: usize) -> Point {
+        Point::new(self.home_spacing * var as f64, 0.0)
+    }
+
+    /// Left control trap of the triangle around target `t`.
+    pub fn triangle_left(&self, t: usize) -> Point {
+        Point::new(
+            self.home_spacing * t as f64 - self.interaction_distance / 2.0,
+            self.triangle_height(),
+        )
+    }
+
+    /// Right control trap of the triangle around target `t`.
+    pub fn triangle_right(&self, t: usize) -> Point {
+        Point::new(
+            self.home_spacing * t as f64 + self.interaction_distance / 2.0,
+            self.triangle_height(),
+        )
+    }
+
+    /// Left trap of the lifted pair site above target `t`.
+    pub fn pair_left(&self, t: usize) -> Point {
+        Point::new(
+            self.home_spacing * t as f64 - self.interaction_distance / 2.0,
+            self.triangle_height() + self.pair_lift,
+        )
+    }
+
+    /// Right trap of the lifted pair site above target `t`.
+    pub fn pair_right(&self, t: usize) -> Point {
+        Point::new(
+            self.home_spacing * t as f64 + self.interaction_distance / 2.0,
+            self.triangle_height() + self.pair_lift,
+        )
+    }
+
+    /// Guest trap next to host variable `h`'s home (2-literal clauses and
+    /// the uncompressed CNOT-ladder visits).
+    pub fn guest(&self, host: usize) -> Point {
+        Point::new(
+            self.home_spacing * host as f64 - self.interaction_distance,
+            0.0,
+        )
+    }
+}
+
+/// One planned atom move between SLM traps (via a transient AOD pickup).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AtomMove {
+    /// The logical qubit being moved.
+    pub qubit: usize,
+    /// Source trap position.
+    pub from: Point,
+    /// Destination trap position.
+    pub to: Point,
+}
+
+impl AtomMove {
+    /// Total rectilinear travel distance (column move + row move).
+    pub fn distance(&self) -> f64 {
+        (self.to.x - self.from.x).abs() + (self.to.y - self.from.y).abs()
+    }
+}
+
+/// Batches moves for parallel execution on a shared AOD row — the paper's
+/// Algorithm 2. Two moves share a batch iff they start on the same row,
+/// end on the same row, their horizontal order is preserved, and both
+/// source and destination spacings respect `min_gap`. With
+/// `parallel = false` (ablation) every move is its own batch.
+pub fn batch_moves(moves: &[AtomMove], min_gap: f64, parallel: bool) -> Vec<Vec<AtomMove>> {
+    if !parallel {
+        return moves.iter().map(|m| vec![*m]).collect();
+    }
+    // Group by (from.y, to.y) rows; keys ordered for determinism.
+    let mut groups: Vec<((i64, i64), Vec<AtomMove>)> = Vec::new();
+    for m in moves {
+        let key = (to_key(m.from.y), to_key(m.to.y));
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, g)) => g.push(*m),
+            None => groups.push((key, vec![*m])),
+        }
+    }
+    let mut batches = Vec::new();
+    for (_, mut group) in groups {
+        group.sort_by(|a, b| a.from.x.total_cmp(&b.from.x));
+        // Greedy order-preserving batching: scan in source order, keep a
+        // batch while destinations stay increasing with enough spacing.
+        let mut current: Vec<AtomMove> = Vec::new();
+        for m in group {
+            let ok = match current.last() {
+                None => true,
+                Some(prev) => {
+                    m.to.x > prev.to.x
+                        && m.to.x - prev.to.x >= min_gap
+                        && m.from.x - prev.from.x >= min_gap
+                }
+            };
+            if ok {
+                current.push(m);
+            } else {
+                batches.push(std::mem::take(&mut current));
+                current.push(m);
+            }
+        }
+        if !current.is_empty() {
+            batches.push(current);
+        }
+    }
+    batches
+}
+
+/// Orders the column shuttles of one batch so no intermediate state crosses
+/// or crowds a neighbour: right-movers are emitted rightmost-first, then
+/// left-movers leftmost-first. Returns indices into the batch.
+pub fn safe_shuttle_order(batch: &[AtomMove]) -> Vec<usize> {
+    let mut right: Vec<usize> = (0..batch.len())
+        .filter(|&i| batch[i].to.x >= batch[i].from.x)
+        .collect();
+    right.sort_by(|&a, &b| batch[b].from.x.total_cmp(&batch[a].from.x));
+    let mut left: Vec<usize> = (0..batch.len())
+        .filter(|&i| batch[i].to.x < batch[i].from.x)
+        .collect();
+    left.sort_by(|&a, &b| batch[a].from.x.total_cmp(&batch[b].from.x));
+    right.into_iter().chain(left).collect()
+}
+
+fn to_key(v: f64) -> i64 {
+    (v * 1000.0).round() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mv(q: usize, fx: f64, fy: f64, tx: f64, ty: f64) -> AtomMove {
+        AtomMove {
+            qubit: q,
+            from: Point::new(fx, fy),
+            to: Point::new(tx, ty),
+        }
+    }
+
+    #[test]
+    fn layout_respects_physical_limits() {
+        let l = SiteLayout::for_default_params();
+        let t = 3;
+        // Triangle is equilateral at the interaction distance.
+        let a = l.triangle_left(t);
+        let b = l.triangle_right(t);
+        let c = l.home(t);
+        assert!((a.distance(b) - l.interaction_distance).abs() < 1e-9);
+        assert!((a.distance(c) - l.interaction_distance).abs() < 1e-9);
+        assert!((b.distance(c) - l.interaction_distance).abs() < 1e-9);
+        // Pair site is far from the target's home.
+        assert!(l.pair_left(t).distance(c) > 10.0);
+        // Guest site is close to the host, far from the host's neighbours.
+        assert!((l.guest(t).distance(l.home(t)) - l.interaction_distance).abs() < 1e-9);
+        assert!(l.guest(t).distance(l.home(t - 1)) > 10.0);
+    }
+
+    #[test]
+    fn order_preserving_moves_batch_together() {
+        // Two clause's controls all moving home-row → triangle-row, order
+        // preserved.
+        let l = SiteLayout::for_default_params();
+        let h = l.triangle_height();
+        let moves = vec![
+            mv(0, 0.0, 0.0, 57.25, h),
+            mv(2, 60.0, 0.0, 62.75, h),
+            mv(3, 90.0, 0.0, 147.25, h),
+            mv(5, 150.0, 0.0, 152.75, h),
+        ];
+        let batches = batch_moves(&moves, 5.0, true);
+        assert_eq!(batches.len(), 1, "{batches:?}");
+        assert_eq!(batches[0].len(), 4);
+    }
+
+    #[test]
+    fn order_violation_splits_batches() {
+        let moves = vec![
+            mv(0, 0.0, 0.0, 100.0, 5.0),
+            mv(1, 30.0, 0.0, 50.0, 5.0), // destination order flips
+        ];
+        let batches = batch_moves(&moves, 5.0, true);
+        assert_eq!(batches.len(), 2);
+    }
+
+    #[test]
+    fn different_rows_never_share_a_batch() {
+        let moves = vec![mv(0, 0.0, 0.0, 10.0, 5.0), mv(1, 30.0, 2.0, 40.0, 5.0)];
+        let batches = batch_moves(&moves, 5.0, true);
+        assert_eq!(batches.len(), 2);
+    }
+
+    #[test]
+    fn sequential_mode_isolates_every_move() {
+        let moves = vec![
+            mv(0, 0.0, 0.0, 10.0, 5.0),
+            mv(1, 30.0, 0.0, 40.0, 5.0),
+            mv(2, 60.0, 0.0, 70.0, 5.0),
+        ];
+        assert_eq!(batch_moves(&moves, 5.0, false).len(), 3);
+        assert_eq!(batch_moves(&moves, 5.0, true).len(), 1);
+    }
+
+    #[test]
+    fn tight_destinations_split() {
+        let moves = vec![
+            mv(0, 0.0, 0.0, 10.0, 5.0),
+            mv(1, 30.0, 0.0, 12.0, 5.0), // only 2 µm right of the previous
+        ];
+        let batches = batch_moves(&moves, 5.0, true);
+        assert_eq!(batches.len(), 2);
+    }
+
+    #[test]
+    fn shuttle_order_right_movers_first_descending() {
+        let batch = vec![
+            mv(0, 0.0, 0.0, 20.0, 0.0),  // right
+            mv(1, 30.0, 0.0, 50.0, 0.0), // right
+            mv(2, 60.0, 0.0, 55.0, 0.0), // left
+            mv(3, 90.0, 0.0, 70.0, 0.0), // left
+        ];
+        let order = safe_shuttle_order(&batch);
+        assert_eq!(order, vec![1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn move_distance_is_rectilinear() {
+        let m = mv(0, 0.0, 0.0, 3.0, 4.0);
+        assert!((m.distance() - 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,676 @@
+//! Stateful FPQA device model: trap layers, atom binding, motion and the
+//! interaction semantics of Rydberg pulses (paper §2.3, §4.3).
+
+use crate::geometry::{is_equidistant, proximity_clusters, Point};
+use crate::FpqaParams;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Logical qubit identifier (matches circuit qubit indices).
+pub type QubitId = usize;
+
+/// Where an atom currently sits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Location {
+    /// SLM (fixed-layer) trap by linear index.
+    Slm(usize),
+    /// AOD (reconfigurable-layer) trap by (column, row) grid index.
+    Aod(usize, usize),
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Slm(i) => write!(f, "slm[{i}]"),
+            Location::Aod(c, r) => write!(f, "aod[{c}, {r}]"),
+        }
+    }
+}
+
+/// Violations of the FPQA pre-conditions of paper Table 1.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FpqaError {
+    /// A layer was (re)initialized while atoms are bound.
+    ReinitWithAtoms,
+    /// Trap coordinates violate the minimum spacing.
+    TrapsTooClose {
+        /// The offending distance.
+        distance: f64,
+        /// The required minimum.
+        minimum: f64,
+    },
+    /// AOD coordinates not strictly increasing.
+    AodNotIncreasing,
+    /// Referenced trap index out of range.
+    TrapOutOfRange(Location),
+    /// Target trap is already occupied.
+    TrapOccupied(Location),
+    /// Source trap is empty (or both/neither side occupied for transfer).
+    TransferAmbiguous {
+        /// SLM side occupancy.
+        slm_occupied: bool,
+        /// AOD side occupancy.
+        aod_occupied: bool,
+    },
+    /// Transfer distance exceeds the maximum.
+    TransferTooFar {
+        /// Actual distance.
+        distance: f64,
+        /// Allowed maximum.
+        maximum: f64,
+    },
+    /// A shuttle would cross or crowd a neighbouring row/column.
+    ShuttleCrossing {
+        /// Description of the conflict.
+        detail: String,
+    },
+    /// Qubit is already bound to a trap.
+    QubitAlreadyBound(QubitId),
+    /// Qubit is not bound to any trap.
+    QubitUnbound(QubitId),
+    /// A Rydberg interaction group is not equidistant (digital-computation
+    /// assumption: a clean CⁿZ needs pairwise-equal spacing for n ≥ 2).
+    GroupNotEquidistant {
+        /// The atoms in the offending group.
+        qubits: Vec<QubitId>,
+    },
+    /// Uninitialized layer referenced.
+    LayerUninitialized(&'static str),
+}
+
+impl fmt::Display for FpqaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FpqaError::ReinitWithAtoms => write!(f, "cannot reinitialize a layer holding atoms"),
+            FpqaError::TrapsTooClose { distance, minimum } => write!(
+                f,
+                "traps {distance:.2} µm apart, below the {minimum:.2} µm minimum"
+            ),
+            FpqaError::AodNotIncreasing => {
+                write!(f, "AOD coordinates must be strictly increasing")
+            }
+            FpqaError::TrapOutOfRange(loc) => write!(f, "trap {loc} out of range"),
+            FpqaError::TrapOccupied(loc) => write!(f, "trap {loc} is occupied"),
+            FpqaError::TransferAmbiguous {
+                slm_occupied,
+                aod_occupied,
+            } => write!(
+                f,
+                "transfer needs exactly one occupied side (slm: {slm_occupied}, aod: {aod_occupied})"
+            ),
+            FpqaError::TransferTooFar { distance, maximum } => write!(
+                f,
+                "transfer over {distance:.2} µm exceeds the {maximum:.2} µm maximum"
+            ),
+            FpqaError::ShuttleCrossing { detail } => write!(f, "illegal shuttle: {detail}"),
+            FpqaError::QubitAlreadyBound(q) => write!(f, "qubit {q} already bound"),
+            FpqaError::QubitUnbound(q) => write!(f, "qubit {q} is not bound to a trap"),
+            FpqaError::GroupNotEquidistant { qubits } => {
+                write!(f, "interaction group {qubits:?} is not equidistant")
+            }
+            FpqaError::LayerUninitialized(layer) => {
+                write!(f, "{layer} layer not initialized")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FpqaError {}
+
+/// The mutable FPQA device state.
+///
+/// # Examples
+///
+/// ```
+/// use weaver_fpqa::{FpqaDevice, FpqaParams, Location};
+/// let mut d = FpqaDevice::new(FpqaParams::default());
+/// d.init_slm(&[(0.0, 0.0).into(), (10.0, 0.0).into()]).unwrap();
+/// d.init_aod(&[5.0], &[8.0]).unwrap();
+/// d.bind(0, Location::Slm(0)).unwrap();
+/// d.bind(1, Location::Aod(0, 0)).unwrap();
+/// assert_eq!(d.num_atoms(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FpqaDevice {
+    params: FpqaParams,
+    slm_positions: Vec<Point>,
+    slm_occupants: Vec<Option<QubitId>>,
+    aod_xs: Vec<f64>,
+    aod_ys: Vec<f64>,
+    aod_occupants: HashMap<(usize, usize), QubitId>,
+    locations: HashMap<QubitId, Location>,
+}
+
+impl FpqaDevice {
+    /// Creates an empty device with the given physical parameters.
+    pub fn new(params: FpqaParams) -> Self {
+        FpqaDevice {
+            params,
+            slm_positions: Vec::new(),
+            slm_occupants: Vec::new(),
+            aod_xs: Vec::new(),
+            aod_ys: Vec::new(),
+            aod_occupants: HashMap::new(),
+            locations: HashMap::new(),
+        }
+    }
+
+    /// The device parameters.
+    pub fn params(&self) -> &FpqaParams {
+        &self.params
+    }
+
+    /// Number of bound atoms.
+    pub fn num_atoms(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Number of SLM traps.
+    pub fn num_slm_traps(&self) -> usize {
+        self.slm_positions.len()
+    }
+
+    /// AOD grid dimensions (columns, rows).
+    pub fn aod_dims(&self) -> (usize, usize) {
+        (self.aod_xs.len(), self.aod_ys.len())
+    }
+
+    /// Initializes the SLM layer (`@slm`).
+    ///
+    /// # Errors
+    ///
+    /// [`FpqaError::TrapsTooClose`] if spacing is violated;
+    /// [`FpqaError::ReinitWithAtoms`] if atoms are bound.
+    pub fn init_slm(&mut self, positions: &[Point]) -> Result<(), FpqaError> {
+        if self.slm_occupants.iter().any(Option::is_some) {
+            return Err(FpqaError::ReinitWithAtoms);
+        }
+        for (i, a) in positions.iter().enumerate() {
+            for b in &positions[..i] {
+                let d = a.distance(*b);
+                if d < self.params.min_trap_distance {
+                    return Err(FpqaError::TrapsTooClose {
+                        distance: d,
+                        minimum: self.params.min_trap_distance,
+                    });
+                }
+            }
+        }
+        self.slm_positions = positions.to_vec();
+        self.slm_occupants = vec![None; positions.len()];
+        Ok(())
+    }
+
+    /// Initializes the AOD layer (`@aod`) with column x-coordinates and row
+    /// y-coordinates.
+    ///
+    /// # Errors
+    ///
+    /// [`FpqaError::AodNotIncreasing`] / [`FpqaError::TrapsTooClose`] on
+    /// ordering/spacing violations; [`FpqaError::ReinitWithAtoms`] if atoms
+    /// are bound.
+    /// Re-initialization is allowed while the AOD holds no atoms: turning
+    /// the deflector beams off and on recreates empty traps anywhere, which
+    /// is how compiled programs reposition the AOD between pickups.
+    pub fn init_aod(&mut self, xs: &[f64], ys: &[f64]) -> Result<(), FpqaError> {
+        if !self.aod_occupants.is_empty() {
+            return Err(FpqaError::ReinitWithAtoms);
+        }
+        for coords in [xs, ys] {
+            for w in coords.windows(2) {
+                if w[1] <= w[0] {
+                    return Err(FpqaError::AodNotIncreasing);
+                }
+                if w[1] - w[0] < self.params.min_trap_distance {
+                    return Err(FpqaError::TrapsTooClose {
+                        distance: w[1] - w[0],
+                        minimum: self.params.min_trap_distance,
+                    });
+                }
+            }
+        }
+        self.aod_xs = xs.to_vec();
+        self.aod_ys = ys.to_vec();
+        self.aod_occupants.clear();
+        Ok(())
+    }
+
+    fn check_location(&self, loc: Location) -> Result<(), FpqaError> {
+        match loc {
+            Location::Slm(i) => {
+                if self.slm_positions.is_empty() {
+                    Err(FpqaError::LayerUninitialized("SLM"))
+                } else if i >= self.slm_positions.len() {
+                    Err(FpqaError::TrapOutOfRange(loc))
+                } else {
+                    Ok(())
+                }
+            }
+            Location::Aod(c, r) => {
+                if self.aod_xs.is_empty() || self.aod_ys.is_empty() {
+                    Err(FpqaError::LayerUninitialized("AOD"))
+                } else if c >= self.aod_xs.len() || r >= self.aod_ys.len() {
+                    Err(FpqaError::TrapOutOfRange(loc))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    fn occupant(&self, loc: Location) -> Option<QubitId> {
+        match loc {
+            Location::Slm(i) => self.slm_occupants[i],
+            Location::Aod(c, r) => self.aod_occupants.get(&(c, r)).copied(),
+        }
+    }
+
+    fn set_occupant(&mut self, loc: Location, q: Option<QubitId>) {
+        match loc {
+            Location::Slm(i) => self.slm_occupants[i] = q,
+            Location::Aod(c, r) => {
+                match q {
+                    Some(q) => {
+                        self.aod_occupants.insert((c, r), q);
+                    }
+                    None => {
+                        self.aod_occupants.remove(&(c, r));
+                    }
+                };
+            }
+        }
+    }
+
+    /// Physical position of a trap.
+    ///
+    /// # Errors
+    ///
+    /// [`FpqaError::TrapOutOfRange`] / [`FpqaError::LayerUninitialized`].
+    pub fn trap_position(&self, loc: Location) -> Result<Point, FpqaError> {
+        self.check_location(loc)?;
+        Ok(match loc {
+            Location::Slm(i) => self.slm_positions[i],
+            Location::Aod(c, r) => Point::new(self.aod_xs[c], self.aod_ys[r]),
+        })
+    }
+
+    /// Binds a qubit ID to a trap (`@bind`).
+    ///
+    /// # Errors
+    ///
+    /// Errors if the trap is out of range or occupied, or the qubit is
+    /// already bound.
+    pub fn bind(&mut self, qubit: QubitId, loc: Location) -> Result<(), FpqaError> {
+        self.check_location(loc)?;
+        if self.locations.contains_key(&qubit) {
+            return Err(FpqaError::QubitAlreadyBound(qubit));
+        }
+        if self.occupant(loc).is_some() {
+            return Err(FpqaError::TrapOccupied(loc));
+        }
+        self.set_occupant(loc, Some(qubit));
+        self.locations.insert(qubit, loc);
+        Ok(())
+    }
+
+    /// Current location of a qubit.
+    ///
+    /// # Errors
+    ///
+    /// [`FpqaError::QubitUnbound`] if the qubit is not bound.
+    pub fn location(&self, qubit: QubitId) -> Result<Location, FpqaError> {
+        self.locations
+            .get(&qubit)
+            .copied()
+            .ok_or(FpqaError::QubitUnbound(qubit))
+    }
+
+    /// Current physical position of a qubit.
+    ///
+    /// # Errors
+    ///
+    /// [`FpqaError::QubitUnbound`] if the qubit is not bound.
+    pub fn position(&self, qubit: QubitId) -> Result<Point, FpqaError> {
+        self.trap_position(self.location(qubit)?)
+    }
+
+    /// All bound atoms with positions, sorted by qubit ID.
+    pub fn atoms(&self) -> Vec<(QubitId, Point)> {
+        let mut out: Vec<(QubitId, Point)> = self
+            .locations
+            .iter()
+            .map(|(&q, &loc)| {
+                (
+                    q,
+                    self.trap_position(loc)
+                        .expect("bound location always valid"),
+                )
+            })
+            .collect();
+        out.sort_by_key(|&(q, _)| q);
+        out
+    }
+
+    /// Transfers an atom between an SLM trap and an AOD trap (`@transfer`).
+    /// Direction is inferred from occupancy: exactly one side must hold an
+    /// atom and the other must be free.
+    ///
+    /// # Errors
+    ///
+    /// Errors on range, ambiguous occupancy, or excessive distance.
+    pub fn transfer(&mut self, slm_index: usize, aod: (usize, usize)) -> Result<(), FpqaError> {
+        let slm_loc = Location::Slm(slm_index);
+        let aod_loc = Location::Aod(aod.0, aod.1);
+        self.check_location(slm_loc)?;
+        self.check_location(aod_loc)?;
+        let d = self
+            .trap_position(slm_loc)?
+            .distance(self.trap_position(aod_loc)?);
+        if d > self.params.max_transfer_distance {
+            return Err(FpqaError::TransferTooFar {
+                distance: d,
+                maximum: self.params.max_transfer_distance,
+            });
+        }
+        let (from, to) = match (self.occupant(slm_loc), self.occupant(aod_loc)) {
+            (Some(_), None) => (slm_loc, aod_loc),
+            (None, Some(_)) => (aod_loc, slm_loc),
+            (slm, aod) => {
+                return Err(FpqaError::TransferAmbiguous {
+                    slm_occupied: slm.is_some(),
+                    aod_occupied: aod.is_some(),
+                })
+            }
+        };
+        let q = self.occupant(from).expect("checked occupied");
+        self.set_occupant(from, None);
+        self.set_occupant(to, Some(q));
+        self.locations.insert(q, to);
+        Ok(())
+    }
+
+    /// Moves an AOD row (`axis = Row`, y offset) or column (`Column`, x
+    /// offset) by `offset` µm (`@shuttle`).
+    ///
+    /// # Errors
+    ///
+    /// [`FpqaError::ShuttleCrossing`] if the move would cross or crowd a
+    /// neighbouring row/column (pre-condition of §4.3);
+    /// [`FpqaError::TrapOutOfRange`] for bad indices.
+    pub fn shuttle_row(&mut self, index: usize, offset: f64) -> Result<(), FpqaError> {
+        if index >= self.aod_ys.len() {
+            return Err(FpqaError::TrapOutOfRange(Location::Aod(0, index)));
+        }
+        let new_y = self.aod_ys[index] + offset;
+        if index > 0 && new_y - self.aod_ys[index - 1] < self.params.min_trap_distance {
+            return Err(FpqaError::ShuttleCrossing {
+                detail: format!(
+                    "row {index} would come within {:.2} µm of row {}",
+                    new_y - self.aod_ys[index - 1],
+                    index - 1
+                ),
+            });
+        }
+        if index + 1 < self.aod_ys.len()
+            && self.aod_ys[index + 1] - new_y < self.params.min_trap_distance
+        {
+            return Err(FpqaError::ShuttleCrossing {
+                detail: format!(
+                    "row {index} would come within {:.2} µm of row {}",
+                    self.aod_ys[index + 1] - new_y,
+                    index + 1
+                ),
+            });
+        }
+        self.aod_ys[index] = new_y;
+        Ok(())
+    }
+
+    /// Column variant of [`FpqaDevice::shuttle_row`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as `shuttle_row`.
+    pub fn shuttle_column(&mut self, index: usize, offset: f64) -> Result<(), FpqaError> {
+        if index >= self.aod_xs.len() {
+            return Err(FpqaError::TrapOutOfRange(Location::Aod(index, 0)));
+        }
+        let new_x = self.aod_xs[index] + offset;
+        if index > 0 && new_x - self.aod_xs[index - 1] < self.params.min_trap_distance {
+            return Err(FpqaError::ShuttleCrossing {
+                detail: format!(
+                    "column {index} would come within {:.2} µm of column {}",
+                    new_x - self.aod_xs[index - 1],
+                    index - 1
+                ),
+            });
+        }
+        if index + 1 < self.aod_xs.len()
+            && self.aod_xs[index + 1] - new_x < self.params.min_trap_distance
+        {
+            return Err(FpqaError::ShuttleCrossing {
+                detail: format!(
+                    "column {index} would come within {:.2} µm of column {}",
+                    self.aod_xs[index + 1] - new_x,
+                    index + 1
+                ),
+            });
+        }
+        self.aod_xs[index] = new_x;
+        Ok(())
+    }
+
+    /// The interaction groups a global Rydberg pulse would entangle right
+    /// now: connected clusters of atoms within the Rydberg radius, with
+    /// singleton clusters dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`FpqaError::GroupNotEquidistant`] if a 3+-atom group violates the
+    /// digital-computation assumption (pairwise-equal spacing, §7).
+    pub fn rydberg_groups(&self) -> Result<Vec<Vec<QubitId>>, FpqaError> {
+        let atoms = self.atoms();
+        let points: Vec<Point> = atoms.iter().map(|&(_, p)| p).collect();
+        let clusters = proximity_clusters(&points, self.params.rydberg_radius);
+        let mut groups = Vec::new();
+        for cluster in clusters {
+            if cluster.len() < 2 {
+                continue;
+            }
+            let pts: Vec<Point> = cluster.iter().map(|&i| points[i]).collect();
+            let qubits: Vec<QubitId> = cluster.iter().map(|&i| atoms[i].0).collect();
+            if !is_equidistant(&pts, 0.1) {
+                return Err(FpqaError::GroupNotEquidistant { qubits });
+            }
+            groups.push(qubits);
+        }
+        Ok(groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> FpqaDevice {
+        FpqaDevice::new(FpqaParams::default())
+    }
+
+    #[test]
+    fn slm_spacing_enforced() {
+        let mut d = device();
+        let err = d
+            .init_slm(&[Point::new(0.0, 0.0), Point::new(2.0, 0.0)])
+            .unwrap_err();
+        assert!(matches!(err, FpqaError::TrapsTooClose { .. }));
+        d.init_slm(&[Point::new(0.0, 0.0), Point::new(6.0, 0.0)])
+            .unwrap();
+        assert_eq!(d.num_slm_traps(), 2);
+    }
+
+    #[test]
+    fn aod_ordering_enforced() {
+        let mut d = device();
+        assert!(matches!(
+            d.init_aod(&[10.0, 5.0], &[0.0]),
+            Err(FpqaError::AodNotIncreasing)
+        ));
+        assert!(matches!(
+            d.init_aod(&[0.0, 3.0], &[0.0]),
+            Err(FpqaError::TrapsTooClose { .. })
+        ));
+        d.init_aod(&[0.0, 10.0], &[0.0, 10.0]).unwrap();
+        assert_eq!(d.aod_dims(), (2, 2));
+    }
+
+    #[test]
+    fn binding_and_positions() {
+        let mut d = device();
+        d.init_slm(&[Point::new(0.0, 0.0)]).unwrap();
+        d.init_aod(&[10.0], &[10.0]).unwrap();
+        d.bind(0, Location::Slm(0)).unwrap();
+        d.bind(1, Location::Aod(0, 0)).unwrap();
+        assert_eq!(d.position(0).unwrap(), Point::new(0.0, 0.0));
+        assert_eq!(d.position(1).unwrap(), Point::new(10.0, 10.0));
+        assert!(matches!(
+            d.bind(0, Location::Slm(0)),
+            Err(FpqaError::QubitAlreadyBound(0))
+        ));
+        assert!(matches!(
+            d.bind(2, Location::Aod(0, 0)),
+            Err(FpqaError::TrapOccupied(_))
+        ));
+        assert!(matches!(d.position(9), Err(FpqaError::QubitUnbound(9))));
+    }
+
+    #[test]
+    fn transfer_moves_atom_between_layers() {
+        let mut d = device();
+        d.init_slm(&[Point::new(0.0, 0.0)]).unwrap();
+        d.init_aod(&[3.0], &[0.0]).unwrap(); // 3 µm from the SLM trap
+        d.bind(0, Location::Slm(0)).unwrap();
+        d.transfer(0, (0, 0)).unwrap();
+        assert_eq!(d.location(0).unwrap(), Location::Aod(0, 0));
+        // And back.
+        d.transfer(0, (0, 0)).unwrap();
+        assert_eq!(d.location(0).unwrap(), Location::Slm(0));
+    }
+
+    #[test]
+    fn transfer_distance_enforced() {
+        let mut d = device();
+        d.init_slm(&[Point::new(0.0, 0.0)]).unwrap();
+        d.init_aod(&[50.0], &[0.0]).unwrap();
+        d.bind(0, Location::Slm(0)).unwrap();
+        assert!(matches!(
+            d.transfer(0, (0, 0)),
+            Err(FpqaError::TransferTooFar { .. })
+        ));
+    }
+
+    #[test]
+    fn transfer_requires_exactly_one_occupied_side() {
+        let mut d = device();
+        d.init_slm(&[Point::new(0.0, 0.0)]).unwrap();
+        d.init_aod(&[3.0], &[0.0]).unwrap();
+        // Both empty.
+        assert!(matches!(
+            d.transfer(0, (0, 0)),
+            Err(FpqaError::TransferAmbiguous { .. })
+        ));
+    }
+
+    #[test]
+    fn shuttle_moves_and_respects_neighbors() {
+        let mut d = device();
+        d.init_aod(&[0.0, 10.0, 20.0], &[0.0]).unwrap();
+        // Move middle column right by 4: gap to column 2 becomes 6 ≥ 5. OK.
+        d.shuttle_column(1, 4.0).unwrap();
+        // Moving it further right by 2 would leave gap 4 < 5.
+        assert!(matches!(
+            d.shuttle_column(1, 2.0),
+            Err(FpqaError::ShuttleCrossing { .. })
+        ));
+        // Rows likewise.
+        let mut d = device();
+        d.init_aod(&[0.0], &[0.0, 8.0]).unwrap();
+        assert!(matches!(
+            d.shuttle_row(0, 5.0),
+            Err(FpqaError::ShuttleCrossing { .. })
+        ));
+        d.shuttle_row(1, 100.0).unwrap();
+    }
+
+    #[test]
+    fn shuttle_moves_atoms_with_the_row() {
+        let mut d = device();
+        d.init_aod(&[0.0], &[0.0]).unwrap();
+        d.init_slm(&[Point::new(100.0, 100.0)]).unwrap();
+        d.bind(0, Location::Aod(0, 0)).unwrap();
+        d.shuttle_column(0, 7.5).unwrap();
+        d.shuttle_row(0, -2.5).unwrap();
+        assert_eq!(d.position(0).unwrap(), Point::new(7.5, -2.5));
+    }
+
+    #[test]
+    fn rydberg_groups_pairs_and_triangles() {
+        let mut d = device();
+        // Equilateral triangle of side 5.5 (within radius 6) + far pair.
+        let h = 5.5 * 3f64.sqrt() / 2.0;
+        d.init_slm(&[
+            Point::new(0.0, 0.0),
+            Point::new(5.5, 0.0),
+            Point::new(2.75, h),
+            Point::new(100.0, 0.0),
+            Point::new(105.5, 0.0),
+            Point::new(200.0, 200.0),
+        ])
+        .unwrap();
+        for q in 0..6 {
+            d.bind(q, Location::Slm(q)).unwrap();
+        }
+        let groups = d.rydberg_groups().unwrap();
+        assert_eq!(groups.len(), 2);
+        assert!(groups.contains(&vec![0, 1, 2]));
+        assert!(groups.contains(&vec![3, 4]));
+    }
+
+    #[test]
+    fn non_equidistant_triple_rejected() {
+        let mut d = device();
+        // Three collinear atoms, 5.5 µm gaps: 0–2 distance is 11 > radius…
+        // use a bent chain where all are within radius but unequal.
+        d.init_slm(&[
+            Point::new(0.0, 0.0),
+            Point::new(5.2, 0.0),
+            Point::new(2.6, 5.0),
+        ])
+        .unwrap();
+        for q in 0..3 {
+            d.bind(q, Location::Slm(q)).unwrap();
+        }
+        // Distances: 5.2, ~5.63, ~5.63 — connected under radius 6, unequal.
+        assert!(matches!(
+            d.rydberg_groups(),
+            Err(FpqaError::GroupNotEquidistant { .. })
+        ));
+    }
+
+    #[test]
+    fn reinit_with_atoms_rejected() {
+        let mut d = device();
+        d.init_slm(&[Point::new(0.0, 0.0)]).unwrap();
+        d.bind(0, Location::Slm(0)).unwrap();
+        assert!(matches!(
+            d.init_slm(&[Point::new(0.0, 0.0)]),
+            Err(FpqaError::ReinitWithAtoms)
+        ));
+        // The AOD holds no atoms, so repositioning its (empty) traps is fine.
+        d.init_aod(&[0.0], &[0.0]).unwrap();
+        d.init_aod(&[40.0], &[40.0]).unwrap();
+        // But not while it carries an atom.
+        d.init_slm(&[Point::new(0.0, 0.0), Point::new(40.0, 35.0)])
+            .unwrap_err(); // still occupied — unchanged
+        d.transfer(0, (0, 0)).unwrap_err(); // too far, state unchanged
+    }
+}

@@ -1,0 +1,159 @@
+//! Planar geometry primitives for atom positions.
+
+use std::fmt;
+
+/// A point in the 2D trap plane, in micrometres.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate (µm).
+    pub x: f64,
+    /// Vertical coordinate (µm).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Whether two points coincide within `tol`.
+    pub fn approx_eq(self, other: Point, tol: f64) -> bool {
+        self.distance(other) <= tol
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point { x, y }
+    }
+}
+
+/// Groups indices whose positions form connected clusters under the
+/// `radius` adjacency relation (distance ≤ radius links two points).
+/// Returned clusters preserve index order; singleton clusters are included.
+pub fn proximity_clusters(points: &[Point], radius: f64) -> Vec<Vec<usize>> {
+    let n = points.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            if points[i].distance(points[j]) <= radius {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    let mut root_to_cluster: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        let idx = *root_to_cluster.entry(r).or_insert_with(|| {
+            clusters.push(Vec::new());
+            clusters.len() - 1
+        });
+        clusters[idx].push(i);
+    }
+    clusters
+}
+
+/// Whether all pairwise distances within the cluster are equal within `tol`
+/// (required by the paper's "digital computation" assumption: a Rydberg
+/// pulse on three atoms is a clean CCZ only if they are equidistant).
+pub fn is_equidistant(points: &[Point], tol: f64) -> bool {
+    if points.len() < 3 {
+        return true;
+    }
+    let mut dists = Vec::new();
+    for i in 0..points.len() {
+        for j in i + 1..points.len() {
+            dists.push(points[i].distance(points[j]));
+        }
+    }
+    let first = dists[0];
+    dists.iter().all(|d| (d - first).abs() <= tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert!(a.approx_eq(Point::new(0.0, 1e-12), 1e-9));
+    }
+
+    #[test]
+    fn clusters_partition_points() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.5, 0.0),
+            Point::new(50.0, 50.0),
+        ];
+        let clusters = proximity_clusters(&pts, 2.0);
+        assert_eq!(clusters.len(), 3);
+        let sizes: Vec<usize> = clusters.iter().map(|c| c.len()).collect();
+        assert!(sizes.contains(&2));
+        assert!(sizes.contains(&1));
+        let total: usize = sizes.iter().sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn transitive_chaining_merges_clusters() {
+        // a—b and b—c within radius, a—c not: still one cluster.
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.5, 0.0),
+            Point::new(3.0, 0.0),
+        ];
+        let clusters = proximity_clusters(&pts, 1.6);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn equidistance_check() {
+        // Equilateral triangle.
+        let tri = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 3f64.sqrt()),
+        ];
+        assert!(is_equidistant(&tri, 1e-9));
+        // Right line of 3 is not equidistant.
+        let line = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+        ];
+        assert!(!is_equidistant(&line, 1e-9));
+        // Pairs are trivially equidistant.
+        assert!(is_equidistant(&line[..2], 1e-9));
+    }
+}

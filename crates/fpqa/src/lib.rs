@@ -1,0 +1,41 @@
+//! FPQA (Field-Programmable Qubit Array / neutral-atom) device model for
+//! the Weaver compiler framework (paper §2.3, §4.3).
+//!
+//! Models the hardware the paper targets: a fixed SLM trap layer, a
+//! reconfigurable AOD grid that shuttles rows/columns, atom transfer
+//! between layers, Raman (single-qubit) and Rydberg (multi-qubit) pulses —
+//! together with the timing and noise model behind the execution-time and
+//! EPS metrics of the evaluation (§8.3, §8.4).
+//!
+//! * [`FpqaParams`] — physical constants (Rubidium defaults from [26, 83]),
+//! * [`FpqaDevice`] — stateful trap/atom model enforcing every Table-1
+//!   pre-condition,
+//! * [`PulseSchedule`] / [`PulseOp`] — the low-level instruction stream,
+//! * [`eps`] — Estimated Probability of Success.
+//!
+//! # Example
+//!
+//! ```
+//! use weaver_fpqa::{FpqaDevice, FpqaParams, Location};
+//!
+//! let mut device = FpqaDevice::new(FpqaParams::default());
+//! device.init_slm(&[(0.0, 0.0).into(), (5.5, 0.0).into()]).unwrap();
+//! device.bind(0, Location::Slm(0)).unwrap();
+//! device.bind(1, Location::Slm(1)).unwrap();
+//! // Both atoms are within the Rydberg radius: one CZ group.
+//! assert_eq!(device.rydberg_groups().unwrap(), vec![vec![0, 1]]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod device;
+pub mod geometry;
+mod noise;
+mod params;
+mod schedule;
+
+pub use device::{FpqaDevice, FpqaError, Location, QubitId};
+pub use geometry::Point;
+pub use noise::{eps, op_success_probability};
+pub use params::FpqaParams;
+pub use schedule::{PulseOp, PulseSchedule};

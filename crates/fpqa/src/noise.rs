@@ -1,0 +1,138 @@
+//! Noise model and Estimated Probability of Success (EPS).
+//!
+//! The paper's fidelity metric (§2.2, §8.4) accumulates per-pulse error
+//! probabilities: `EPS = Π_ops p_success(op) · decoherence(t_exec)`. The
+//! same model applies to superconducting baselines with their own error
+//! table, so results are comparable across technologies.
+
+use crate::{FpqaParams, PulseOp, PulseSchedule};
+
+/// Per-operation success probability under the device noise model.
+pub fn op_success_probability(op: &PulseOp, params: &FpqaParams, num_atoms: usize) -> f64 {
+    match op {
+        // A global Raman pulse rotates every atom; each acquires 1q error.
+        PulseOp::RamanGlobal { .. } => params.fidelity_1q.powi(num_atoms as i32),
+        PulseOp::RamanLocal { .. } => params.fidelity_1q,
+        // A Rydberg pulse succeeds iff every interaction group does.
+        PulseOp::Rydberg { groups } => groups
+            .iter()
+            .map(|g| params.rydberg_group_fidelity(g.len()))
+            .product(),
+        PulseOp::Shuttle { distance } => params.shuttle_fidelity(*distance),
+        PulseOp::Transfer => params.fidelity_transfer,
+        // Parallel pickup: every atom still risks loss individually.
+        PulseOp::TransferBatch { atoms } => params.fidelity_transfer.powi(*atoms as i32),
+    }
+}
+
+/// Estimated probability of success of a full schedule on `num_atoms`
+/// atoms: product of per-op success probabilities times the idle
+/// decoherence factor for the schedule's duration.
+///
+/// # Examples
+///
+/// ```
+/// use weaver_fpqa::{eps, FpqaParams, PulseOp, PulseSchedule};
+/// let mut s = PulseSchedule::new();
+/// s.push(PulseOp::Rydberg { groups: vec![vec![0, 1]] });
+/// let p = FpqaParams::default();
+/// let e = eps(&s, &p, 2);
+/// assert!(e > 0.99 && e <= 1.0);
+/// ```
+pub fn eps(schedule: &PulseSchedule, params: &FpqaParams, num_atoms: usize) -> f64 {
+    let gate_success: f64 = schedule
+        .ops()
+        .iter()
+        .map(|op| op_success_probability(op, params, num_atoms))
+        .product();
+    let decoherence = params.decoherence_factor(num_atoms, schedule.duration(params));
+    gate_success * decoherence
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> FpqaParams {
+        FpqaParams::default()
+    }
+
+    #[test]
+    fn empty_schedule_is_certain() {
+        let s = PulseSchedule::new();
+        assert_eq!(eps(&s, &params(), 10), 1.0);
+    }
+
+    #[test]
+    fn eps_decreases_with_more_pulses() {
+        let p = params();
+        let mut s1 = PulseSchedule::new();
+        s1.push(PulseOp::Rydberg {
+            groups: vec![vec![0, 1]],
+        });
+        let mut s2 = s1.clone();
+        s2.push(PulseOp::Rydberg {
+            groups: vec![vec![0, 1]],
+        });
+        assert!(eps(&s2, &p, 2) < eps(&s1, &p, 2));
+    }
+
+    #[test]
+    fn ccz_worse_than_cz() {
+        let p = params();
+        let cz = PulseOp::Rydberg {
+            groups: vec![vec![0, 1]],
+        };
+        let ccz = PulseOp::Rydberg {
+            groups: vec![vec![0, 1, 2]],
+        };
+        assert!(
+            op_success_probability(&ccz, &p, 3) < op_success_probability(&cz, &p, 3)
+        );
+    }
+
+    #[test]
+    fn global_raman_scales_with_atom_count() {
+        let p = params();
+        let g = PulseOp::RamanGlobal {
+            angles: (0.1, 0.2, 0.3),
+        };
+        assert!(op_success_probability(&g, &p, 100) < op_success_probability(&g, &p, 10));
+    }
+
+    #[test]
+    fn parallel_groups_multiply() {
+        let p = params();
+        let two_groups = PulseOp::Rydberg {
+            groups: vec![vec![0, 1], vec![2, 3]],
+        };
+        let expected = p.fidelity_cz * p.fidelity_cz;
+        assert!((op_success_probability(&two_groups, &p, 4) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_ccz_fidelity_raises_eps() {
+        let mut s = PulseSchedule::new();
+        for _ in 0..10 {
+            s.push(PulseOp::Rydberg {
+                groups: vec![vec![0, 1, 2]],
+            });
+        }
+        let low = eps(&s, &params().with_ccz_fidelity(0.98), 3);
+        let high = eps(&s, &params().with_ccz_fidelity(0.999), 3);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn long_schedules_decohere() {
+        let p = params();
+        let mut s = PulseSchedule::new();
+        for _ in 0..100 {
+            s.push(PulseOp::Shuttle { distance: 100.0 });
+        }
+        // Motion-heavy schedule: duration ~19 ms on 50 atoms ⇒ visible decay.
+        let e = eps(&s, &p, 50);
+        assert!(e < 0.9);
+        assert!(e > 0.0);
+    }
+}

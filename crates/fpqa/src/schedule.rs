@@ -1,0 +1,210 @@
+//! FPQA pulse schedules: the low-level instruction stream a compiled
+//! program executes, with the timing model used for the paper's
+//! execution-time metric (§8.3).
+
+use crate::{FpqaParams, QubitId};
+use std::fmt;
+
+/// One low-level FPQA operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PulseOp {
+    /// Global Raman pulse: rotation `(x, y, z)` on every atom.
+    RamanGlobal {
+        /// Euler angles (radians).
+        angles: (f64, f64, f64),
+    },
+    /// Local Raman pulse on one atom.
+    RamanLocal {
+        /// Addressed qubit.
+        qubit: QubitId,
+        /// Euler angles (radians).
+        angles: (f64, f64, f64),
+    },
+    /// Global Rydberg pulse; `groups` records the interaction sets it
+    /// entangles (filled in by the compiler for bookkeeping/EPS).
+    Rydberg {
+        /// Interaction groups (each becomes a CZ/CCZ).
+        groups: Vec<Vec<QubitId>>,
+    },
+    /// AOD row/column move over the given distance (µm, absolute value).
+    Shuttle {
+        /// Distance moved in µm.
+        distance: f64,
+    },
+    /// Atom transfer between layers.
+    Transfer,
+    /// Simultaneous transfer of a whole AOD batch (one beam event moving
+    /// `atoms` atoms in parallel — the payoff of Algorithm 2 batching).
+    TransferBatch {
+        /// Number of atoms moved at once.
+        atoms: usize,
+    },
+}
+
+impl PulseOp {
+    /// Duration of this operation under the given parameters (µs).
+    pub fn duration(&self, params: &FpqaParams) -> f64 {
+        match self {
+            PulseOp::RamanGlobal { .. } => params.raman_global_duration,
+            PulseOp::RamanLocal { .. } => params.raman_local_duration,
+            PulseOp::Rydberg { .. } => params.rydberg_duration,
+            PulseOp::Shuttle { distance } => params.shuttle_time(*distance),
+            PulseOp::Transfer | PulseOp::TransferBatch { .. } => params.transfer_duration,
+        }
+    }
+
+    /// Whether this op is a laser pulse (vs. atom motion).
+    pub fn is_pulse(&self) -> bool {
+        matches!(
+            self,
+            PulseOp::RamanGlobal { .. } | PulseOp::RamanLocal { .. } | PulseOp::Rydberg { .. }
+        )
+    }
+}
+
+impl fmt::Display for PulseOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PulseOp::RamanGlobal { angles } => {
+                write!(f, "raman global ({:.3}, {:.3}, {:.3})", angles.0, angles.1, angles.2)
+            }
+            PulseOp::RamanLocal { qubit, angles } => write!(
+                f,
+                "raman local q{qubit} ({:.3}, {:.3}, {:.3})",
+                angles.0, angles.1, angles.2
+            ),
+            PulseOp::Rydberg { groups } => write!(f, "rydberg {groups:?}"),
+            PulseOp::Shuttle { distance } => write!(f, "shuttle {distance:.2} µm"),
+            PulseOp::Transfer => write!(f, "transfer"),
+            PulseOp::TransferBatch { atoms } => write!(f, "transfer x{atoms}"),
+        }
+    }
+}
+
+/// An ordered FPQA pulse schedule with aggregate metrics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PulseSchedule {
+    ops: Vec<PulseOp>,
+}
+
+impl PulseSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        PulseSchedule::default()
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, op: PulseOp) {
+        self.ops.push(op);
+    }
+
+    /// All operations in order.
+    pub fn ops(&self) -> &[PulseOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of laser pulses (the paper's Fig. 10b metric).
+    pub fn pulse_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_pulse()).count()
+    }
+
+    /// Number of motion operations (shuttles + transfers).
+    pub fn motion_count(&self) -> usize {
+        self.ops.iter().filter(|o| !o.is_pulse()).count()
+    }
+
+    /// Total execution time in µs — operations execute sequentially, as each
+    /// step depends on the previous device state (§4.2); parallelism lives
+    /// *within* a global pulse or a merged shuttle.
+    pub fn duration(&self, params: &FpqaParams) -> f64 {
+        self.ops.iter().map(|o| o.duration(params)).sum()
+    }
+
+    /// Appends all operations of another schedule.
+    pub fn append_schedule(&mut self, other: &PulseSchedule) {
+        self.ops.extend(other.ops.iter().cloned());
+    }
+}
+
+impl FromIterator<PulseOp> for PulseSchedule {
+    fn from_iter<I: IntoIterator<Item = PulseOp>>(iter: I) -> Self {
+        PulseSchedule {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<PulseOp> for PulseSchedule {
+    fn extend<I: IntoIterator<Item = PulseOp>>(&mut self, iter: I) {
+        self.ops.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PulseSchedule {
+        let mut s = PulseSchedule::new();
+        s.push(PulseOp::RamanGlobal {
+            angles: (0.1, 0.0, 0.0),
+        });
+        s.push(PulseOp::Shuttle { distance: 55.0 });
+        s.push(PulseOp::Rydberg {
+            groups: vec![vec![0, 1], vec![2, 3, 4]],
+        });
+        s.push(PulseOp::Transfer);
+        s.push(PulseOp::RamanLocal {
+            qubit: 2,
+            angles: (0.0, 0.5, 0.0),
+        });
+        s
+    }
+
+    #[test]
+    fn counts_split_pulses_and_motion() {
+        let s = sample();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.pulse_count(), 3);
+        assert_eq!(s.motion_count(), 2);
+    }
+
+    #[test]
+    fn duration_accumulates() {
+        let p = FpqaParams::default();
+        let s = sample();
+        let expected = p.raman_global_duration
+            + p.shuttle_time(55.0)
+            + p.rydberg_duration
+            + p.transfer_duration
+            + p.raman_local_duration;
+        assert!((s.duration(&p) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn motion_dominates_time() {
+        // Paper §8.3: shuttling is slow compared to pulses.
+        let p = FpqaParams::default();
+        let shuttle = PulseOp::Shuttle { distance: 30.0 };
+        let rydberg = PulseOp::Rydberg { groups: vec![] };
+        assert!(shuttle.duration(&p) > 10.0 * rydberg.duration(&p));
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let s: PulseSchedule = vec![PulseOp::Transfer, PulseOp::Transfer]
+            .into_iter()
+            .collect();
+        assert_eq!(s.motion_count(), 2);
+    }
+}

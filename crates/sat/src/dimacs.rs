@@ -1,0 +1,206 @@
+//! DIMACS CNF parsing and serialization — the on-disk format of the SATLIB
+//! benchmark suite the paper evaluates on (§8.1).
+
+use crate::{Clause, Formula, Lit};
+use std::fmt;
+
+/// Error parsing a DIMACS file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DimacsError {
+    /// 1-based line where the problem was found.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DIMACS error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses DIMACS CNF text into a [`Formula`].
+///
+/// Comment lines (`c …`) and the `%`/`0` trailer used by SATLIB files are
+/// tolerated. Clauses longer than 3 literals are rejected (Max-3SAT only).
+///
+/// # Errors
+///
+/// Returns [`DimacsError`] on missing/malformed headers, out-of-range
+/// variables, or clauses not terminated by `0`.
+///
+/// # Examples
+///
+/// ```
+/// use weaver_sat::dimacs;
+/// let f = dimacs::parse("p cnf 3 2\n1 -2 3 0\n-1 2 0\n").unwrap();
+/// assert_eq!(f.num_vars(), 3);
+/// assert_eq!(f.num_clauses(), 2);
+/// ```
+pub fn parse(text: &str) -> Result<Formula, DimacsError> {
+    let mut num_vars: Option<usize> = None;
+    let mut expected_clauses: Option<usize> = None;
+    let mut clauses = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if line == "0" {
+            continue; // SATLIB end-of-file marker
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 || parts[0] != "cnf" {
+                return Err(DimacsError {
+                    line: lineno,
+                    message: format!("malformed problem line `{line}`"),
+                });
+            }
+            num_vars = Some(parts[1].parse().map_err(|_| DimacsError {
+                line: lineno,
+                message: format!("bad variable count `{}`", parts[1]),
+            })?);
+            expected_clauses = Some(parts[2].parse().map_err(|_| DimacsError {
+                line: lineno,
+                message: format!("bad clause count `{}`", parts[2]),
+            })?);
+            continue;
+        }
+        let nv = num_vars.ok_or(DimacsError {
+            line: lineno,
+            message: "clause before `p cnf` header".to_string(),
+        })?;
+        for tok in line.split_whitespace() {
+            let code: i64 = tok.parse().map_err(|_| DimacsError {
+                line: lineno,
+                message: format!("bad literal `{tok}`"),
+            })?;
+            if code == 0 {
+                if current.is_empty() {
+                    return Err(DimacsError {
+                        line: lineno,
+                        message: "empty clause".to_string(),
+                    });
+                }
+                if current.len() > 3 {
+                    return Err(DimacsError {
+                        line: lineno,
+                        message: format!("clause with {} literals (Max-3SAT only)", current.len()),
+                    });
+                }
+                clauses.push(Clause::new(std::mem::take(&mut current)));
+            } else {
+                let lit = Lit::from_dimacs(code);
+                if lit.var >= nv {
+                    return Err(DimacsError {
+                        line: lineno,
+                        message: format!("variable {} exceeds declared count {}", lit.var + 1, nv),
+                    });
+                }
+                // SATLIB occasionally repeats a literal; dedupe identical
+                // literals, reject contradictory ones via Clause::new.
+                if !current.contains(&lit) {
+                    current.push(lit);
+                }
+            }
+        }
+    }
+    let num_vars = num_vars.ok_or(DimacsError {
+        line: 0,
+        message: "missing `p cnf` header".to_string(),
+    })?;
+    if !current.is_empty() {
+        return Err(DimacsError {
+            line: 0,
+            message: "unterminated final clause (missing 0)".to_string(),
+        });
+    }
+    if let Some(exp) = expected_clauses {
+        if clauses.len() != exp {
+            return Err(DimacsError {
+                line: 0,
+                message: format!("header declares {exp} clauses, found {}", clauses.len()),
+            });
+        }
+    }
+    Ok(Formula::new(num_vars, clauses))
+}
+
+/// Serializes a formula to DIMACS CNF text.
+pub fn to_string(formula: &Formula) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "p cnf {} {}\n",
+        formula.num_vars(),
+        formula.num_clauses()
+    ));
+    for clause in formula.clauses() {
+        for lit in clause.lits() {
+            out.push_str(&format!("{} ", lit.to_dimacs()));
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_satlib_style_file() {
+        let src = "c uf20-01-like header\nc\np cnf 3 2\n1 -2 3 0\n-1 2 0\n%\n0\n";
+        let f = parse(src).unwrap();
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.num_clauses(), 2);
+        assert_eq!(f.clauses()[0].lits()[1], Lit::neg(1));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let src = "p cnf 4 3\n1 2 3 0\n-1 -4 0\n2 0\n";
+        let f = parse(src).unwrap();
+        let text = to_string(&f);
+        let f2 = parse(&text).unwrap();
+        assert_eq!(f, f2);
+    }
+
+    #[test]
+    fn clause_split_across_lines() {
+        let f = parse("p cnf 3 1\n1\n-2\n3 0\n").unwrap();
+        assert_eq!(f.num_clauses(), 1);
+        assert_eq!(f.clauses()[0].lits().len(), 3);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(parse("1 2 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_clause() {
+        assert!(parse("p cnf 5 1\n1 2 3 4 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_var() {
+        assert!(parse("p cnf 2 1\n1 5 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_clause_count() {
+        assert!(parse("p cnf 2 5\n1 2 0\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_literal_deduped() {
+        let f = parse("p cnf 2 1\n1 1 2 0\n").unwrap();
+        assert_eq!(f.clauses()[0].lits().len(), 2);
+    }
+}

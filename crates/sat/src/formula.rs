@@ -1,0 +1,282 @@
+//! Max-3SAT formula representation.
+
+use std::fmt;
+
+/// A literal: a variable index with optional negation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit {
+    /// Zero-based variable index.
+    pub var: usize,
+    /// Whether the literal is negated (`¬x`).
+    pub negated: bool,
+}
+
+impl Lit {
+    /// Positive literal `x_var`.
+    pub fn pos(var: usize) -> Self {
+        Lit {
+            var,
+            negated: false,
+        }
+    }
+
+    /// Negative literal `¬x_var`.
+    pub fn neg(var: usize) -> Self {
+        Lit { var, negated: true }
+    }
+
+    /// Converts from DIMACS encoding (1-based, sign = negation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code == 0`.
+    pub fn from_dimacs(code: i64) -> Self {
+        assert!(code != 0, "DIMACS literal cannot be 0");
+        Lit {
+            var: (code.unsigned_abs() as usize) - 1,
+            negated: code < 0,
+        }
+    }
+
+    /// Converts to DIMACS encoding.
+    pub fn to_dimacs(self) -> i64 {
+        let v = (self.var + 1) as i64;
+        if self.negated {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Evaluates the literal under an assignment (indexed by variable).
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        assignment[self.var] ^ self.negated
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            write!(f, "¬x{}", self.var)
+        } else {
+            write!(f, "x{}", self.var)
+        }
+    }
+}
+
+/// A clause: a disjunction of up to three literals over distinct variables.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Clause {
+    lits: Vec<Lit>,
+}
+
+impl Clause {
+    /// Creates a clause from literals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty, longer than 3, or if a variable repeats.
+    pub fn new(lits: Vec<Lit>) -> Self {
+        assert!(!lits.is_empty(), "clause cannot be empty");
+        assert!(lits.len() <= 3, "Max-3SAT clauses have at most 3 literals");
+        for (i, l) in lits.iter().enumerate() {
+            assert!(
+                !lits[..i].iter().any(|m| m.var == l.var),
+                "variable x{} repeats within a clause",
+                l.var
+            );
+        }
+        Clause { lits }
+    }
+
+    /// The literals of the clause.
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// The distinct variables of the clause.
+    pub fn vars(&self) -> impl Iterator<Item = usize> + '_ {
+        self.lits.iter().map(|l| l.var)
+    }
+
+    /// Whether this clause shares a variable with another.
+    pub fn intersects(&self, other: &Clause) -> bool {
+        self.lits
+            .iter()
+            .any(|a| other.lits.iter().any(|b| a.var == b.var))
+    }
+
+    /// Evaluates the clause under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.lits.iter().any(|l| l.eval(assignment))
+    }
+
+    /// Number of negated literals.
+    pub fn num_negated(&self) -> usize {
+        self.lits.iter().filter(|l| l.negated).count()
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.lits.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A Max-3SAT formula: maximize the number of satisfied clauses.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Formula {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+}
+
+impl Formula {
+    /// Creates a formula over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any clause references a variable `≥ num_vars`.
+    pub fn new(num_vars: usize, clauses: Vec<Clause>) -> Self {
+        for c in &clauses {
+            for v in c.vars() {
+                assert!(v < num_vars, "clause references x{v} ≥ num_vars {num_vars}");
+            }
+        }
+        Formula { num_vars, clauses }
+    }
+
+    /// Number of variables (= qubits when compiled to QAOA).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Number of clauses satisfied by an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != num_vars`.
+    pub fn count_satisfied(&self, assignment: &[bool]) -> usize {
+        assert_eq!(assignment.len(), self.num_vars, "assignment length mismatch");
+        self.clauses.iter().filter(|c| c.eval(assignment)).count()
+    }
+
+    /// Decodes a measurement bitstring (qubit 0 = most significant bit, the
+    /// workspace convention) into an assignment and counts satisfied clauses.
+    pub fn count_satisfied_by_index(&self, basis_index: usize) -> usize {
+        let assignment: Vec<bool> = (0..self.num_vars)
+            .map(|q| (basis_index >> (self.num_vars - 1 - q)) & 1 == 1)
+            .collect();
+        self.count_satisfied(&assignment)
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example of paper Fig. 5:
+    /// (¬x0 ∨ ¬x1 ∨ ¬x2) ∧ (x3 ∨ ¬x4 ∨ x5) ∧ (x2 ∨ x4 ∨ ¬x5)
+    pub(crate) fn paper_example() -> Formula {
+        Formula::new(
+            6,
+            vec![
+                Clause::new(vec![Lit::neg(0), Lit::neg(1), Lit::neg(2)]),
+                Clause::new(vec![Lit::pos(3), Lit::neg(4), Lit::pos(5)]),
+                Clause::new(vec![Lit::pos(2), Lit::pos(4), Lit::neg(5)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn literal_dimacs_roundtrip() {
+        for code in [-5i64, -1, 1, 7] {
+            assert_eq!(Lit::from_dimacs(code).to_dimacs(), code);
+        }
+    }
+
+    #[test]
+    fn literal_eval() {
+        let a = [true, false];
+        assert!(Lit::pos(0).eval(&a));
+        assert!(!Lit::neg(0).eval(&a));
+        assert!(!Lit::pos(1).eval(&a));
+        assert!(Lit::neg(1).eval(&a));
+    }
+
+    #[test]
+    fn clause_eval_and_intersection() {
+        let f = paper_example();
+        let c = f.clauses();
+        assert!(c[0].intersects(&c[2])); // share x2
+        assert!(!c[0].intersects(&c[1]));
+        assert!(c[1].intersects(&c[2])); // share x4, x5
+
+        // all-false satisfies every clause: ¬x0 in c0, ¬x4 in c1, ¬x5 in c2.
+        let all_false = vec![false; 6];
+        assert_eq!(f.count_satisfied(&all_false), 3);
+    }
+
+    #[test]
+    fn satisfying_assignment_found() {
+        let f = paper_example();
+        // x = [F, F, F, T, F, F]: c0 sat (¬x0), c1 sat (x3), c2 sat (¬x5)
+        let a = [false, false, false, true, false, false];
+        assert_eq!(f.count_satisfied(&a), 3);
+    }
+
+    #[test]
+    fn bitstring_decoding_msb_first() {
+        let f = paper_example();
+        // index 0b000100 = x3 true only → 3 satisfied (see above)
+        assert_eq!(f.count_satisfied_by_index(0b000100), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats")]
+    fn duplicate_variable_in_clause_panics() {
+        Clause::new(vec![Lit::pos(1), Lit::neg(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_vars")]
+    fn out_of_range_variable_panics() {
+        Formula::new(2, vec![Clause::new(vec![Lit::pos(5)])]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let f = paper_example();
+        let s = f.to_string();
+        assert!(s.contains("¬x0"));
+        assert!(s.contains("∧"));
+    }
+}

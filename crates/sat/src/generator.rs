@@ -1,0 +1,166 @@
+//! Seeded SATLIB-style benchmark generator.
+//!
+//! The paper evaluates on SATLIB's uniform-random-3-SAT `uf*` suites
+//! (§8.1): 10 variants per size, sizes {20, 50, 75, 100, 150, 250}. The
+//! SATLIB files themselves are uniform random 3-SAT at the phase-transition
+//! clause ratio; this module regenerates statistically identical instances
+//! deterministically, so `instance(20, 1)` plays the role of `uf20-01`.
+
+use crate::{Clause, Formula, Lit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Clause counts of the SATLIB uniform-random-3-SAT suites (`ufN-M`).
+/// Sizes not in the table use the phase-transition ratio 4.3.
+pub fn satlib_clause_count(num_vars: usize) -> usize {
+    match num_vars {
+        20 => 91,
+        50 => 218,
+        75 => 325,
+        100 => 430,
+        125 => 538,
+        150 => 645,
+        175 => 753,
+        200 => 860,
+        225 => 960,
+        250 => 1065,
+        n => ((n as f64) * 4.3).round() as usize,
+    }
+}
+
+/// The benchmark sizes used throughout the paper's evaluation (Fig. 8b etc.).
+pub const PAPER_SIZES: [usize; 6] = [20, 50, 75, 100, 150, 250];
+
+/// Number of variants per size in the paper's methodology.
+pub const PAPER_VARIANTS: usize = 10;
+
+/// Generates the `variant`-th uniform-random Max-3SAT instance of the given
+/// size (1-based variant, mirroring `ufN-01 … ufN-10`). Deterministic: the
+/// same `(num_vars, variant)` always yields the same formula.
+///
+/// # Panics
+///
+/// Panics if `num_vars < 3` or `variant == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use weaver_sat::generator;
+/// let uf20_01 = generator::instance(20, 1);
+/// assert_eq!(uf20_01.num_vars(), 20);
+/// assert_eq!(uf20_01.num_clauses(), 91);
+/// assert_eq!(uf20_01, generator::instance(20, 1));
+/// ```
+pub fn instance(num_vars: usize, variant: usize) -> Formula {
+    assert!(num_vars >= 3, "need at least 3 variables for 3-SAT");
+    assert!(variant >= 1, "variants are 1-based (like uf20-01)");
+    let num_clauses = satlib_clause_count(num_vars);
+    random_formula(num_vars, num_clauses, seed_for(num_vars, variant))
+}
+
+/// Canonical display name for a generated instance, e.g. `uf20-03`.
+pub fn instance_name(num_vars: usize, variant: usize) -> String {
+    format!("uf{num_vars}-{variant:02}")
+}
+
+/// Generates a uniform-random 3-SAT formula with an explicit seed.
+/// Each clause draws 3 distinct variables uniformly and negates each with
+/// probability 1/2; duplicate clauses are allowed (as in SATLIB).
+pub fn random_formula(num_vars: usize, num_clauses: usize, seed: u64) -> Formula {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut clauses = Vec::with_capacity(num_clauses);
+    for _ in 0..num_clauses {
+        let mut vars = Vec::with_capacity(3);
+        while vars.len() < 3 {
+            let v = rng.gen_range(0..num_vars);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        let lits = vars
+            .into_iter()
+            .map(|v| {
+                if rng.gen_bool(0.5) {
+                    Lit::neg(v)
+                } else {
+                    Lit::pos(v)
+                }
+            })
+            .collect();
+        clauses.push(Clause::new(lits));
+    }
+    Formula::new(num_vars, clauses)
+}
+
+fn seed_for(num_vars: usize, variant: usize) -> u64 {
+    // Stable mixing of (size, variant) into a seed; constants are from
+    // splitmix64 so nearby inputs decorrelate.
+    let mut z = (num_vars as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(variant as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic_per_variant() {
+        assert_eq!(instance(20, 1), instance(20, 1));
+        assert_ne!(instance(20, 1), instance(20, 2));
+        assert_ne!(instance(20, 1), instance(50, 1));
+    }
+
+    #[test]
+    fn satlib_sizes_match() {
+        assert_eq!(satlib_clause_count(20), 91);
+        assert_eq!(satlib_clause_count(250), 1065);
+        assert_eq!(satlib_clause_count(30), 129); // ratio fallback
+    }
+
+    #[test]
+    fn clause_shape_is_3sat() {
+        let f = instance(50, 3);
+        for c in f.clauses() {
+            assert_eq!(c.lits().len(), 3);
+            let vars: HashSet<usize> = c.vars().collect();
+            assert_eq!(vars.len(), 3, "variables must be distinct");
+        }
+    }
+
+    #[test]
+    fn all_paper_sizes_generate() {
+        for &n in &PAPER_SIZES {
+            let f = instance(n, 1);
+            assert_eq!(f.num_vars(), n);
+            assert_eq!(f.num_clauses(), satlib_clause_count(n));
+        }
+    }
+
+    #[test]
+    fn variable_coverage_is_broad() {
+        // With m ≈ 4.3·n random clauses, essentially every variable appears.
+        let f = instance(100, 7);
+        let used: HashSet<usize> = f.clauses().iter().flat_map(|c| c.vars()).collect();
+        assert!(used.len() > 95, "only {} of 100 variables used", used.len());
+    }
+
+    #[test]
+    fn negation_rate_is_balanced() {
+        let f = instance(250, 5);
+        let total: usize = f.clauses().iter().map(|c| c.lits().len()).sum();
+        let neg: usize = f.clauses().iter().map(|c| c.num_negated()).sum();
+        let rate = neg as f64 / total as f64;
+        assert!((0.45..0.55).contains(&rate), "negation rate {rate}");
+    }
+
+    #[test]
+    fn instance_names() {
+        assert_eq!(instance_name(20, 1), "uf20-01");
+        assert_eq!(instance_name(250, 10), "uf250-10");
+    }
+}

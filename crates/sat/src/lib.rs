@@ -1,0 +1,38 @@
+//! Max-3SAT workloads and QAOA circuit construction for the Weaver
+//! evaluation (paper §2.1, §5, §8.1).
+//!
+//! Provides the classical substrate the paper obtains from PySAT and
+//! SATLIB:
+//!
+//! * [`Formula`] / [`Clause`] / [`Lit`] — Max-3SAT representation,
+//! * [`dimacs`] — DIMACS CNF parsing/printing (SATLIB file format),
+//! * [`generator`] — deterministic uniform-random-3-SAT instances standing
+//!   in for `uf20-01 … uf250-10`,
+//! * [`solver`] — exact and WalkSAT reference solvers,
+//! * [`PhasePolynomial`] — the spin-variable cost polynomial,
+//! * [`qaoa`] — QAOA circuit construction (Fig. 6 CNOT-ladder fragments).
+//!
+//! # Example
+//!
+//! ```
+//! use weaver_sat::{generator, qaoa, solver};
+//!
+//! let formula = generator::instance(20, 1); // plays the role of uf20-01
+//! let best = solver::solve_exact(&formula);
+//! assert!(best.satisfied >= 88); // near-satisfiable at the phase transition
+//!
+//! let circuit = qaoa::build_circuit(&formula, &qaoa::QaoaParams::default(), true);
+//! assert_eq!(circuit.num_qubits(), 20);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dimacs;
+mod formula;
+pub mod generator;
+mod phase;
+pub mod qaoa;
+pub mod solver;
+
+pub use formula::{Clause, Formula, Lit};
+pub use phase::PhasePolynomial;

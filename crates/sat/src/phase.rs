@@ -1,0 +1,228 @@
+//! Boolean-polynomial (phase polynomial) view of a Max-3SAT cost
+//! Hamiltonian (paper §5, Fig. 5/6).
+//!
+//! A clause `(l₁ ∨ l₂ ∨ l₃)` is *unsatisfied* iff all its literals are
+//! false; in spin variables `z = ±1` (with `x = (1 − z)/2`):
+//!
+//! `unsat = ∏ᵢ (1 + sᵢ zᵢ)/2`, where `sᵢ = +1` for a positive literal and
+//! `−1` for a negative one. Expanding gives constant, linear, quadratic and
+//! cubic `Z` terms — the terms compiled to `RZ` rotations via CNOT ladders
+//! (Fig. 6) or compressed to `CCZ` fragments by the wOptimizer.
+
+use crate::{Clause, Formula};
+use std::collections::BTreeMap;
+
+/// A multilinear polynomial over spin variables `zᵢ ∈ {±1}`: a constant plus
+/// coefficients per non-empty variable subset.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct PhasePolynomial {
+    /// Constant offset (does not affect the compiled circuit).
+    pub constant: f64,
+    terms: BTreeMap<Vec<usize>, f64>,
+}
+
+impl PhasePolynomial {
+    /// Creates an empty (zero) polynomial.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `coefficient · ∏_{v ∈ vars} z_v`. Variables are deduplicated and
+    /// sorted; an empty subset adds to the constant.
+    pub fn add_term(&mut self, vars: &[usize], coefficient: f64) {
+        if coefficient == 0.0 {
+            return;
+        }
+        let mut key: Vec<usize> = vars.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if key.is_empty() {
+            self.constant += coefficient;
+            return;
+        }
+        let entry = self.terms.entry(key).or_insert(0.0);
+        *entry += coefficient;
+        if entry.abs() < 1e-15 {
+            let key: Vec<usize> = {
+                let mut k: Vec<usize> = vars.to_vec();
+                k.sort_unstable();
+                k.dedup();
+                k
+            };
+            self.terms.remove(&key);
+        }
+    }
+
+    /// Iterator over `(variable subset, coefficient)` pairs in canonical
+    /// (sorted) order.
+    pub fn terms(&self) -> impl Iterator<Item = (&[usize], f64)> {
+        self.terms.iter().map(|(k, &v)| (k.as_slice(), v))
+    }
+
+    /// Number of non-constant terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Highest monomial degree present (0 for a constant polynomial).
+    pub fn degree(&self) -> usize {
+        self.terms.keys().map(|k| k.len()).max().unwrap_or(0)
+    }
+
+    /// Adds another polynomial into this one.
+    pub fn add(&mut self, other: &PhasePolynomial) {
+        self.constant += other.constant;
+        for (vars, c) in other.terms() {
+            self.add_term(vars, c);
+        }
+    }
+
+    /// Evaluates the polynomial at a ±1 assignment given as booleans
+    /// (`true` ⇒ `x = 1` ⇒ `z = −1`).
+    pub fn eval_bool(&self, assignment: &[bool]) -> f64 {
+        let mut total = self.constant;
+        for (vars, c) in self.terms() {
+            let sign: f64 = vars
+                .iter()
+                .map(|&v| if assignment[v] { -1.0 } else { 1.0 })
+                .product();
+            total += c * sign;
+        }
+        total
+    }
+
+    /// The polynomial of a single clause's *satisfaction* indicator
+    /// (1 if satisfied, 0 if not), expanded over spins.
+    pub fn from_clause(clause: &Clause) -> Self {
+        let mut poly = PhasePolynomial::new();
+        poly.constant = 1.0;
+        // unsat = (1/2^k) ∏ (1 + sᵢ zᵢ); sat = 1 − unsat.
+        let lits = clause.lits();
+        let k = lits.len();
+        let scale = 1.0 / (1u32 << k) as f64;
+        // Iterate over all subsets of the literal set.
+        for mask in 0..(1u32 << k) {
+            let mut vars = Vec::new();
+            let mut sign = 1.0;
+            for (i, lit) in lits.iter().enumerate() {
+                if mask >> i & 1 == 1 {
+                    vars.push(lit.var);
+                    sign *= if lit.negated { -1.0 } else { 1.0 };
+                }
+            }
+            poly.add_term(&vars, -scale * sign);
+        }
+        poly
+    }
+
+    /// The cost polynomial of a whole formula: number of satisfied clauses
+    /// as a function of the assignment.
+    pub fn from_formula(formula: &Formula) -> Self {
+        let mut poly = PhasePolynomial::new();
+        for clause in formula.clauses() {
+            poly.add(&PhasePolynomial::from_clause(clause));
+        }
+        poly
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generator, Formula, Lit};
+
+    fn paper_clause() -> Clause {
+        // (¬x0 ∨ ¬x1 ∨ ¬x2): f = −x0·x1·x2 in Boolean variables (paper §5).
+        Clause::new(vec![Lit::neg(0), Lit::neg(1), Lit::neg(2)])
+    }
+
+    #[test]
+    fn clause_polynomial_matches_truth_table() {
+        let c = paper_clause();
+        let poly = PhasePolynomial::from_clause(&c);
+        for bits in 0..8u32 {
+            let a = [bits & 4 != 0, bits & 2 != 0, bits & 1 != 0];
+            let expected = if c.eval(&a) { 1.0 } else { 0.0 };
+            assert!(
+                (poly.eval_bool(&a) - expected).abs() < 1e-12,
+                "mismatch at {a:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_negative_clause_terms() {
+        // For (¬x0 ∨ ¬x1 ∨ ¬x2): sat = 1 − x0x1x2; in spins the cubic
+        // coefficient is −(1/8)·(−1)³ = +1/8.
+        let poly = PhasePolynomial::from_clause(&paper_clause());
+        let cubic = poly
+            .terms()
+            .find(|(vars, _)| vars.len() == 3)
+            .expect("cubic term");
+        assert!((cubic.1 - 0.125).abs() < 1e-12);
+        assert_eq!(poly.degree(), 3);
+        assert_eq!(poly.num_terms(), 7); // all non-empty subsets of 3 vars
+    }
+
+    #[test]
+    fn formula_polynomial_counts_satisfied() {
+        let f = generator::instance(20, 1);
+        let poly = PhasePolynomial::from_formula(&f);
+        // Compare against direct clause counting on a few assignments.
+        for seed in 0..10u64 {
+            let a: Vec<bool> = (0..20).map(|i| (seed >> (i % 8)) & 1 == 1).collect();
+            let expected = f.count_satisfied(&a) as f64;
+            assert!((poly.eval_bool(&a) - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mixed_clause_truth_table() {
+        let c = Clause::new(vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)]);
+        let poly = PhasePolynomial::from_clause(&c);
+        for bits in 0..8u32 {
+            let a = [bits & 4 != 0, bits & 2 != 0, bits & 1 != 0];
+            let expected = if c.eval(&a) { 1.0 } else { 0.0 };
+            assert!((poly.eval_bool(&a) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_literal_clause_degree() {
+        let c = Clause::new(vec![Lit::pos(0), Lit::pos(1)]);
+        let poly = PhasePolynomial::from_clause(&c);
+        assert_eq!(poly.degree(), 2);
+        for bits in 0..4u32 {
+            let a = [bits & 2 != 0, bits & 1 != 0];
+            let expected = if c.eval(&a) { 1.0 } else { 0.0 };
+            assert!((poly.eval_bool(&a) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cancellation_removes_terms() {
+        let mut p = PhasePolynomial::new();
+        p.add_term(&[0, 1], 0.5);
+        p.add_term(&[1, 0], -0.5);
+        assert_eq!(p.num_terms(), 0);
+    }
+
+    #[test]
+    fn shared_variables_accumulate() {
+        // Two clauses over the same variables combine coefficients.
+        let f = Formula::new(
+            3,
+            vec![
+                Clause::new(vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)]),
+                Clause::new(vec![Lit::neg(0), Lit::neg(1), Lit::neg(2)]),
+            ],
+        );
+        let poly = PhasePolynomial::from_formula(&f);
+        // Odd-degree terms cancel between the two clauses (opposite signs);
+        // quadratic terms double up.
+        assert!(poly.terms().all(|(vars, _)| vars.len() == 2));
+        for a in [[false, false, false], [true, false, true]] {
+            assert!((poly.eval_bool(&a) - f.count_satisfied(&a) as f64).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! QAOA circuit construction for Max-3SAT (paper §2.1, §5, Fig. 6).
+//!
+//! The circuit has three parts: Hadamard initialization (mixer ground
+//! state), the cost-Hamiltonian evolution `e^{-iγ H_C}` compiled term by
+//! term from the [`PhasePolynomial`] via CNOT ladders, and the mixer
+//! evolution `RX(2β)`. Weaver's optimization passes (crate `weaver-core`)
+//! target the cost-evolution part.
+
+use crate::{Formula, PhasePolynomial};
+use weaver_circuit::Circuit;
+
+/// QAOA hyper-parameters: one `(γ, β)` pair per layer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QaoaParams {
+    /// Per-layer (γ, β) angles.
+    pub layers: Vec<(f64, f64)>,
+}
+
+impl QaoaParams {
+    /// Single-layer parameters (the paper's evaluation uses p = 1 circuits;
+    /// the angle choice does not affect compilation metrics).
+    pub fn single(gamma: f64, beta: f64) -> Self {
+        QaoaParams {
+            layers: vec![(gamma, beta)],
+        }
+    }
+
+    /// Number of layers `p`.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+impl Default for QaoaParams {
+    /// A conventional p = 1 starting point (γ, β) = (0.7, 0.3).
+    fn default() -> Self {
+        QaoaParams::single(0.7, 0.3)
+    }
+}
+
+/// Appends the cost-evolution `e^{-iγ Σ w Z_S}` of a phase polynomial:
+/// each term maps to an `RZ(2γw)` conjugated by a CNOT parity ladder
+/// (Fig. 6a for quadratic, Fig. 6b for cubic terms).
+pub fn append_cost_evolution(circuit: &mut Circuit, poly: &PhasePolynomial, gamma: f64) {
+    for (vars, w) in poly.terms() {
+        let angle = 2.0 * gamma * w;
+        match vars {
+            [q] => {
+                circuit.rz(angle, *q);
+            }
+            [a, b] => {
+                circuit.cx(*a, *b);
+                circuit.rz(angle, *b);
+                circuit.cx(*a, *b);
+            }
+            [a, b, c] => {
+                circuit.cx(*a, *c);
+                circuit.cx(*b, *c);
+                circuit.rz(angle, *c);
+                circuit.cx(*b, *c);
+                circuit.cx(*a, *c);
+            }
+            longer => {
+                // General parity ladder for degree > 3 (not produced by
+                // Max-3SAT but supported for extensibility).
+                let target = *longer.last().expect("non-empty term");
+                for &q in &longer[..longer.len() - 1] {
+                    circuit.cx(q, target);
+                }
+                circuit.rz(angle, target);
+                for &q in longer[..longer.len() - 1].iter().rev() {
+                    circuit.cx(q, target);
+                }
+            }
+        }
+    }
+}
+
+/// Builds the complete QAOA circuit for a Max-3SAT formula: `H`-layer, then
+/// per layer the cost evolution and the `RX(2β)` mixer. Measurements are
+/// appended when `measure` is set.
+///
+/// # Examples
+///
+/// ```
+/// use weaver_sat::{generator, qaoa};
+/// let f = generator::instance(20, 1);
+/// let c = qaoa::build_circuit(&f, &qaoa::QaoaParams::default(), false);
+/// assert_eq!(c.num_qubits(), 20);
+/// assert!(c.gate_count() > f.num_clauses());
+/// ```
+pub fn build_circuit(formula: &Formula, params: &QaoaParams, measure: bool) -> Circuit {
+    let poly = PhasePolynomial::from_formula(formula);
+    let mut circuit = Circuit::new(formula.num_vars());
+    for q in 0..formula.num_vars() {
+        circuit.h(q);
+    }
+    for &(gamma, beta) in &params.layers {
+        append_cost_evolution(&mut circuit, &poly, gamma);
+        for q in 0..formula.num_vars() {
+            circuit.rx(2.0 * beta, q);
+        }
+    }
+    if measure {
+        circuit.measure_all();
+    }
+    circuit
+}
+
+/// Builds only the cost-evolution circuit of a formula (no init/mixer):
+/// the part Weaver's wOptimizer restructures.
+pub fn build_cost_circuit(formula: &Formula, gamma: f64) -> Circuit {
+    let poly = PhasePolynomial::from_formula(formula);
+    let mut circuit = Circuit::new(formula.num_vars());
+    append_cost_evolution(&mut circuit, &poly, gamma);
+    circuit
+}
+
+/// Expected number of satisfied clauses under the circuit's output
+/// distribution (exact, via state-vector simulation; ≤ 20 qubits).
+pub fn expected_satisfied(formula: &Formula, circuit: &Circuit) -> f64 {
+    let state = circuit.statevector();
+    state
+        .probabilities()
+        .iter()
+        .enumerate()
+        .map(|(index, p)| p * formula.count_satisfied_by_index(index) as f64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generator, Clause, Lit};
+    use weaver_simulator::Complex;
+
+    fn small_formula() -> Formula {
+        Formula::new(
+            3,
+            vec![
+                Clause::new(vec![Lit::neg(0), Lit::neg(1), Lit::neg(2)]),
+                Clause::new(vec![Lit::pos(0), Lit::pos(2)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn cost_circuit_is_diagonal_with_correct_phases() {
+        let f = small_formula();
+        let gamma = 0.37;
+        let poly = PhasePolynomial::from_formula(&f);
+        let c = build_cost_circuit(&f, gamma);
+        let u = c.unitary();
+        let dim = u.rows();
+        for r in 0..dim {
+            for col in 0..dim {
+                if r != col {
+                    assert!(u[(r, col)].is_zero(1e-10), "off-diagonal at ({r},{col})");
+                }
+            }
+        }
+        // Diagonal phase at basis |x⟩ must be e^{-iγ·(poly(x) − constant)}.
+        for x in 0..dim {
+            let a: Vec<bool> = (0..3).map(|q| (x >> (2 - q)) & 1 == 1).collect();
+            let value = poly.eval_bool(&a) - poly.constant;
+            let expected = Complex::from_polar(-gamma * value);
+            assert!(
+                u[(x, x)].approx_eq(expected, 1e-9),
+                "phase mismatch at x={x}: {} vs {expected}",
+                u[(x, x)]
+            );
+        }
+    }
+
+    #[test]
+    fn qaoa_improves_over_uniform_guessing() {
+        let f = small_formula();
+        let uniform_expectation: f64 = (0..8)
+            .map(|i| f.count_satisfied_by_index(i) as f64)
+            .sum::<f64>()
+            / 8.0;
+        // Scan a small parameter grid; QAOA at its best must beat uniform.
+        let mut best = 0.0f64;
+        for gi in 1..8 {
+            for bi in 1..8 {
+                let params = QaoaParams::single(gi as f64 * 0.2, bi as f64 * 0.2);
+                let c = build_circuit(&f, &params, false);
+                best = best.max(expected_satisfied(&f, &c));
+            }
+        }
+        assert!(
+            best > uniform_expectation + 0.05,
+            "QAOA best {best} did not beat uniform {uniform_expectation}"
+        );
+    }
+
+    #[test]
+    fn gate_count_scales_with_clauses() {
+        let f20 = generator::instance(20, 1);
+        let c = build_circuit(&f20, &QaoaParams::default(), true);
+        assert_eq!(c.num_qubits(), 20);
+        // Each 3-variable clause contributes ≥ 7 terms; ladders add CXs.
+        assert!(c.gate_count() > 7 * f20.num_clauses());
+        assert!(c.two_qubit_count() > 0);
+    }
+
+    #[test]
+    fn multi_layer_depth_grows() {
+        let f = small_formula();
+        let c1 = build_circuit(&f, &QaoaParams::single(0.5, 0.5), false);
+        let c2 = build_circuit(
+            &f,
+            &QaoaParams {
+                layers: vec![(0.5, 0.5), (0.3, 0.2)],
+            },
+            false,
+        );
+        assert!(c2.depth() > c1.depth());
+        assert!(c2.gate_count() > c1.gate_count());
+    }
+
+    #[test]
+    fn measurement_flag_controls_measures() {
+        let f = small_formula();
+        let with = build_circuit(&f, &QaoaParams::default(), true);
+        let without = build_circuit(&f, &QaoaParams::default(), false);
+        assert_eq!(with.operations().len(), without.operations().len() + 3);
+    }
+}

@@ -1,0 +1,192 @@
+//! Reference Max-3SAT solvers.
+//!
+//! These stand in for the classical-side tooling the paper gets from PySAT:
+//! an exact branch-and-bound/exhaustive solver for small instances (used to
+//! score QAOA output distributions in the examples) and a WalkSAT-style
+//! local search that scales to the 250-variable benchmarks.
+
+use crate::Formula;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a Max-3SAT solve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MaxSatSolution {
+    /// Best assignment found (indexed by variable).
+    pub assignment: Vec<bool>,
+    /// Number of clauses it satisfies.
+    pub satisfied: usize,
+    /// Whether the value is provably optimal.
+    pub optimal: bool,
+}
+
+/// Exhaustively finds the optimum for formulas with at most 24 variables.
+///
+/// # Panics
+///
+/// Panics if the formula has more than 24 variables.
+pub fn solve_exact(formula: &Formula) -> MaxSatSolution {
+    let n = formula.num_vars();
+    assert!(n <= 24, "exact solver limited to 24 variables, got {n}");
+    let mut best_index = 0usize;
+    let mut best = 0usize;
+    for index in 0..(1usize << n) {
+        // basis_index convention: variable 0 = MSB.
+        let sat = formula.count_satisfied_by_index(index);
+        if sat > best {
+            best = sat;
+            best_index = index;
+            if best == formula.num_clauses() {
+                break;
+            }
+        }
+    }
+    let assignment: Vec<bool> = (0..n)
+        .map(|q| (best_index >> (n - 1 - q)) & 1 == 1)
+        .collect();
+    MaxSatSolution {
+        assignment,
+        satisfied: best,
+        optimal: true,
+    }
+}
+
+/// WalkSAT-style stochastic local search: random restarts, greedy flips with
+/// probabilistic noise. Not guaranteed optimal (`optimal = false` unless all
+/// clauses end up satisfied).
+pub fn solve_walksat(formula: &Formula, max_flips: usize, seed: u64) -> MaxSatSolution {
+    let n = formula.num_vars();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut assignment: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+    let mut best_assignment = assignment.clone();
+    let mut best = formula.count_satisfied(&assignment);
+
+    for _ in 0..max_flips {
+        if best == formula.num_clauses() {
+            break;
+        }
+        // Pick a random unsatisfied clause.
+        let unsat: Vec<usize> = formula
+            .clauses()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.eval(&assignment))
+            .map(|(i, _)| i)
+            .collect();
+        if unsat.is_empty() {
+            best = formula.num_clauses();
+            best_assignment = assignment.clone();
+            break;
+        }
+        let clause = &formula.clauses()[unsat[rng.gen_range(0..unsat.len())]];
+        // With probability p walk randomly; otherwise flip the literal that
+        // maximizes the satisfied count.
+        let flip_var = if rng.gen_bool(0.3) {
+            let lits = clause.lits();
+            lits[rng.gen_range(0..lits.len())].var
+        } else {
+            let mut best_var = clause.lits()[0].var;
+            let mut best_gain = usize::MIN;
+            for lit in clause.lits() {
+                assignment[lit.var] = !assignment[lit.var];
+                let score = formula.count_satisfied(&assignment);
+                assignment[lit.var] = !assignment[lit.var];
+                if score > best_gain {
+                    best_gain = score;
+                    best_var = lit.var;
+                }
+            }
+            best_var
+        };
+        assignment[flip_var] = !assignment[flip_var];
+        let score = formula.count_satisfied(&assignment);
+        if score > best {
+            best = score;
+            best_assignment = assignment.clone();
+        }
+    }
+    let optimal = best == formula.num_clauses();
+    MaxSatSolution {
+        assignment: best_assignment,
+        satisfied: best,
+        optimal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generator, Clause, Formula, Lit};
+
+    fn tiny_unsat() -> Formula {
+        // (x0) ∧ (¬x0): max 1 of 2 clauses.
+        Formula::new(
+            1,
+            vec![
+                Clause::new(vec![Lit::pos(0)]),
+                Clause::new(vec![Lit::neg(0)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn exact_on_trivial_instances() {
+        let sol = solve_exact(&tiny_unsat());
+        assert_eq!(sol.satisfied, 1);
+        assert!(sol.optimal);
+    }
+
+    #[test]
+    fn exact_finds_satisfying_assignment() {
+        let f = Formula::new(
+            3,
+            vec![
+                Clause::new(vec![Lit::pos(0), Lit::pos(1)]),
+                Clause::new(vec![Lit::neg(0), Lit::pos(2)]),
+                Clause::new(vec![Lit::neg(1), Lit::neg(2)]),
+            ],
+        );
+        let sol = solve_exact(&f);
+        assert_eq!(sol.satisfied, 3);
+        assert_eq!(f.count_satisfied(&sol.assignment), 3);
+    }
+
+    #[test]
+    fn exact_on_uf20() {
+        let f = generator::instance(20, 1);
+        let sol = solve_exact(&f);
+        // Random 3-SAT at ratio 4.55 near the phase transition: the optimum
+        // satisfies all or nearly all clauses.
+        assert!(sol.satisfied >= f.num_clauses() - 3);
+        assert_eq!(f.count_satisfied(&sol.assignment), sol.satisfied);
+    }
+
+    #[test]
+    fn walksat_matches_exact_on_small() {
+        let f = generator::instance(20, 2);
+        let exact = solve_exact(&f);
+        let walk = solve_walksat(&f, 20_000, 42);
+        assert!(walk.satisfied <= exact.satisfied);
+        assert!(
+            walk.satisfied + 2 >= exact.satisfied,
+            "walksat {} far below optimum {}",
+            walk.satisfied,
+            exact.satisfied
+        );
+    }
+
+    #[test]
+    fn walksat_scales_to_large() {
+        let f = generator::instance(150, 1);
+        let sol = solve_walksat(&f, 5_000, 7);
+        assert!(sol.satisfied as f64 >= 0.9 * f.num_clauses() as f64);
+        assert_eq!(f.count_satisfied(&sol.assignment), sol.satisfied);
+    }
+
+    #[test]
+    fn walksat_unsat_never_claims_optimal() {
+        let sol = solve_walksat(&tiny_unsat(), 100, 1);
+        assert_eq!(sol.satisfied, 1);
+        assert!(!sol.optimal);
+    }
+}

@@ -1,0 +1,42 @@
+//! Dense quantum simulation substrate for the Weaver compiler framework.
+//!
+//! This crate provides the numerical foundations that the rest of the
+//! workspace builds on:
+//!
+//! * [`Complex`] — a dependency-free `f64` complex scalar,
+//! * [`Matrix`] — dense complex matrices with Kronecker products,
+//! * [`gates`] — the standard gate matrices (Paulis, rotations, `U3`, `CZ`,
+//!   `CCZ`, `CⁿZ`, …),
+//! * [`State`] — a state-vector simulator for functional testing,
+//! * [`UnitaryBuilder`] — materializes whole-register unitaries,
+//! * [`equiv`] — global-phase-insensitive unitary comparison used by the
+//!   wChecker (paper §6).
+//!
+//! # Example
+//!
+//! Verify that `H·CZ·H` on the target implements a CNOT:
+//!
+//! ```
+//! use weaver_simulator::{equiv, gates, UnitaryBuilder};
+//!
+//! let mut b = UnitaryBuilder::new(2);
+//! b.apply(&gates::h(), &[1]);
+//! b.apply(&gates::cz(), &[0, 1]);
+//! b.apply(&gates::h(), &[1]);
+//! assert!(equiv::compare(&b.finish(), &gates::cx(), 1e-10).is_equivalent());
+//! ```
+
+#![warn(missing_docs)]
+
+mod complex;
+pub mod equiv;
+pub mod gates;
+mod matrix;
+mod state;
+mod unitary;
+
+pub use complex::Complex;
+pub use equiv::Equivalence;
+pub use matrix::Matrix;
+pub use state::State;
+pub use unitary::UnitaryBuilder;

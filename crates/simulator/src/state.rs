@@ -1,0 +1,287 @@
+//! Dense state-vector simulation.
+//!
+//! Bit-ordering convention (used consistently across the workspace): for an
+//! `n`-qubit register, qubit `0` is the **most significant** bit of the basis
+//! index, matching how circuit diagrams and the paper's bitstrings (e.g.
+//! `110010` with `q0` first) are read. The bit of qubit `q` in basis index
+//! `b` is `(b >> (n - 1 - q)) & 1`.
+
+use crate::{Complex, Matrix};
+
+/// A pure quantum state over `n` qubits as a dense vector of 2ⁿ amplitudes.
+///
+/// # Examples
+///
+/// ```
+/// use weaver_simulator::{gates, State};
+/// let mut psi = State::zero(2);
+/// psi.apply(&gates::h(), &[0]);
+/// psi.apply(&gates::cx(), &[0, 1]);
+/// let p = psi.probabilities();
+/// assert!((p[0] - 0.5).abs() < 1e-12 && (p[3] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct State {
+    num_qubits: usize,
+    amplitudes: Vec<Complex>,
+}
+
+impl State {
+    /// The all-zeros computational basis state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` exceeds 24 (guarding accidental exponential
+    /// blow-up; the checker only needs small registers).
+    pub fn zero(num_qubits: usize) -> Self {
+        State::basis(num_qubits, 0)
+    }
+
+    /// The computational basis state with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^num_qubits` or `num_qubits > 24`.
+    pub fn basis(num_qubits: usize, index: usize) -> Self {
+        assert!(num_qubits <= 24, "state vector too large: {num_qubits} qubits");
+        let dim = 1usize << num_qubits;
+        assert!(index < dim, "basis index {index} out of range for {num_qubits} qubits");
+        let mut amplitudes = vec![Complex::ZERO; dim];
+        amplitudes[index] = Complex::ONE;
+        State {
+            num_qubits,
+            amplitudes,
+        }
+    }
+
+    /// Builds a state from raw amplitudes (must have power-of-two length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two.
+    pub fn from_amplitudes(amplitudes: Vec<Complex>) -> Self {
+        let dim = amplitudes.len();
+        assert!(dim.is_power_of_two(), "amplitude count must be a power of two");
+        State {
+            num_qubits: dim.trailing_zeros() as usize,
+            amplitudes,
+        }
+    }
+
+    /// Number of qubits in the register.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Dimension of the Hilbert space (2ⁿ).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.amplitudes.len()
+    }
+
+    /// Amplitude slice, indexed by basis state.
+    #[inline]
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amplitudes
+    }
+
+    /// Applies a `k`-qubit gate (given as a `2^k × 2^k` matrix) to the listed
+    /// target qubits. `targets[0]` is the most significant qubit of the gate's
+    /// own index space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape does not match the target count, if a
+    /// target repeats, or if a target is out of range.
+    pub fn apply(&mut self, gate: &Matrix, targets: &[usize]) {
+        let k = targets.len();
+        let gdim = 1usize << k;
+        assert_eq!(gate.rows(), gdim, "gate matrix must be 2^k x 2^k");
+        assert_eq!(gate.cols(), gdim, "gate matrix must be 2^k x 2^k");
+        for (i, &t) in targets.iter().enumerate() {
+            assert!(t < self.num_qubits, "target qubit {t} out of range");
+            assert!(
+                !targets[..i].contains(&t),
+                "duplicate target qubit {t} in gate application"
+            );
+        }
+
+        // Bit position (from LSB) of each target in the basis index.
+        let bits: Vec<usize> = targets
+            .iter()
+            .map(|&t| self.num_qubits - 1 - t)
+            .collect();
+        let mask: usize = bits.iter().map(|&b| 1usize << b).sum();
+
+        let mut scratch = vec![Complex::ZERO; gdim];
+        let dim = self.dim();
+        // Iterate over every assignment of the non-target bits.
+        for base in 0..dim {
+            if base & mask != 0 {
+                continue; // only visit each group once, at target bits = 0
+            }
+            // Gather the 2^k amplitudes of this group.
+            for g in 0..gdim {
+                let mut idx = base;
+                for (pos, &b) in bits.iter().enumerate() {
+                    if (g >> (k - 1 - pos)) & 1 == 1 {
+                        idx |= 1 << b;
+                    }
+                }
+                scratch[g] = self.amplitudes[idx];
+            }
+            // Multiply by the gate and scatter back.
+            for (r, row) in (0..gdim).map(|r| (r, r)) {
+                let mut acc = Complex::ZERO;
+                for (c, &amp) in scratch.iter().enumerate() {
+                    acc += gate[(row, c)] * amp;
+                }
+                let mut idx = base;
+                for (pos, &b) in bits.iter().enumerate() {
+                    if (r >> (k - 1 - pos)) & 1 == 1 {
+                        idx |= 1 << b;
+                    }
+                }
+                self.amplitudes[idx] = acc;
+            }
+        }
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn inner(&self, other: &State) -> Complex {
+        assert_eq!(self.dim(), other.dim(), "state dimensions differ");
+        self.amplitudes
+            .iter()
+            .zip(&other.amplitudes)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// Squared norm of the state (should be 1 for physical states).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Measurement probability of each basis state.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Probability of measuring the exact basis state `index`.
+    pub fn probability_of(&self, index: usize) -> f64 {
+        self.amplitudes[index].norm_sqr()
+    }
+
+    /// Samples a basis state given a uniform random value in `[0, 1)`.
+    ///
+    /// Taking the random value as input keeps this crate free of RNG
+    /// dependencies; callers supply e.g. `rng.gen::<f64>()`.
+    pub fn sample_with(&self, uniform: f64) -> usize {
+        let mut acc = 0.0;
+        for (i, a) in self.amplitudes.iter().enumerate() {
+            acc += a.norm_sqr();
+            if uniform < acc {
+                return i;
+            }
+        }
+        self.amplitudes.len() - 1
+    }
+
+    /// Fidelity `|⟨self|other⟩|²` with another pure state.
+    pub fn fidelity(&self, other: &State) -> f64 {
+        self.inner(other).norm_sqr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn zero_state_is_normalized() {
+        let s = State::zero(3);
+        assert_eq!(s.dim(), 8);
+        assert!((s.norm_sqr() - 1.0).abs() < TOL);
+        assert!((s.probability_of(0) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn x_flips_target_bit_msb_convention() {
+        // Flip qubit 0 of a 2-qubit register: |00> -> |10> which is index 2.
+        let mut s = State::zero(2);
+        s.apply(&gates::x(), &[0]);
+        assert!((s.probability_of(0b10) - 1.0).abs() < TOL);
+        // Flip qubit 1: |10> -> |11>.
+        s.apply(&gates::x(), &[1]);
+        assert!((s.probability_of(0b11) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn bell_state_probabilities() {
+        let mut s = State::zero(2);
+        s.apply(&gates::h(), &[0]);
+        s.apply(&gates::cx(), &[0, 1]);
+        let p = s.probabilities();
+        assert!((p[0b00] - 0.5).abs() < TOL);
+        assert!((p[0b11] - 0.5).abs() < TOL);
+        assert!(p[0b01].abs() < TOL && p[0b10].abs() < TOL);
+    }
+
+    #[test]
+    fn cx_with_reversed_targets() {
+        // control = qubit 1, target = qubit 0.
+        let mut s = State::basis(2, 0b01); // q1 = 1
+        s.apply(&gates::cx(), &[1, 0]);
+        assert!((s.probability_of(0b11) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn three_qubit_gate_on_scattered_targets() {
+        // CCX on (q0, q2) controls, q1 target in a 3-qubit register.
+        let mut s = State::basis(3, 0b101); // q0=1, q2=1
+        s.apply(&gates::ccx(), &[0, 2, 1]);
+        assert!((s.probability_of(0b111) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn inner_product_orthogonality() {
+        let a = State::basis(2, 1);
+        let b = State::basis(2, 2);
+        assert!(a.inner(&b).is_zero(TOL));
+        assert!(a.inner(&a).approx_eq(Complex::ONE, TOL));
+    }
+
+    #[test]
+    fn sampling_respects_distribution_edges() {
+        let mut s = State::zero(1);
+        s.apply(&gates::h(), &[0]);
+        assert_eq!(s.sample_with(0.0), 0);
+        assert_eq!(s.sample_with(0.75), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate target")]
+    fn duplicate_targets_panic() {
+        let mut s = State::zero(2);
+        s.apply(&gates::cx(), &[0, 0]);
+    }
+
+    #[test]
+    fn unitarity_preserves_norm() {
+        let mut s = State::zero(4);
+        for q in 0..4 {
+            s.apply(&gates::h(), &[q]);
+        }
+        s.apply(&gates::ccz(), &[0, 2, 3]);
+        s.apply(&gates::cz(), &[1, 3]);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,125 @@
+//! Construction of full-register unitaries from sequences of gate
+//! applications, used by the wChecker's unitary-equivalence pass.
+
+use crate::{Matrix, State};
+
+/// Incrementally builds the `2ⁿ × 2ⁿ` unitary of a gate sequence by tracking
+/// the image of every basis column.
+///
+/// # Examples
+///
+/// ```
+/// use weaver_simulator::{gates, UnitaryBuilder};
+/// let mut b = UnitaryBuilder::new(2);
+/// b.apply(&gates::h(), &[1]);
+/// b.apply(&gates::cz(), &[0, 1]);
+/// b.apply(&gates::h(), &[1]);
+/// let u = b.finish();
+/// assert!(u.approx_eq(&gates::cx(), 1e-10)); // H·CZ·H = CX
+/// ```
+#[derive(Clone, Debug)]
+pub struct UnitaryBuilder {
+    num_qubits: usize,
+    columns: Vec<State>,
+}
+
+impl UnitaryBuilder {
+    /// Starts from the identity on `num_qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > 12` — the full unitary would not fit in
+    /// memory, and the checker falls back to structural comparison beyond
+    /// this size.
+    pub fn new(num_qubits: usize) -> Self {
+        assert!(
+            num_qubits <= 12,
+            "unitary construction limited to 12 qubits, got {num_qubits}"
+        );
+        let dim = 1usize << num_qubits;
+        let columns = (0..dim).map(|j| State::basis(num_qubits, j)).collect();
+        UnitaryBuilder {
+            num_qubits,
+            columns,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Applies a gate (see [`State::apply`]) to every column.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`State::apply`].
+    pub fn apply(&mut self, gate: &Matrix, targets: &[usize]) {
+        for col in &mut self.columns {
+            col.apply(gate, targets);
+        }
+    }
+
+    /// Materializes the accumulated unitary matrix.
+    pub fn finish(&self) -> Matrix {
+        let dim = self.columns.len();
+        let mut m = Matrix::zeros(dim, dim);
+        for (j, col) in self.columns.iter().enumerate() {
+            for (i, &amp) in col.amplitudes().iter().enumerate() {
+                m[(i, j)] = amp;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn identity_when_no_gates() {
+        let b = UnitaryBuilder::new(3);
+        assert!(b.finish().approx_eq(&Matrix::identity(8), TOL));
+    }
+
+    #[test]
+    fn single_gate_embedding_matches_kron() {
+        let mut b = UnitaryBuilder::new(2);
+        b.apply(&gates::x(), &[0]);
+        // X on qubit 0 (MSB) = X ⊗ I
+        let expected = gates::x().kron(&Matrix::identity(2));
+        assert!(b.finish().approx_eq(&expected, TOL));
+    }
+
+    #[test]
+    fn gate_order_is_circuit_order() {
+        // Apply H then Z to one qubit: unitary = Z * H (matrix order).
+        let mut b = UnitaryBuilder::new(1);
+        b.apply(&gates::h(), &[0]);
+        b.apply(&gates::z(), &[0]);
+        let expected = &gates::z() * &gates::h();
+        assert!(b.finish().approx_eq(&expected, TOL));
+    }
+
+    #[test]
+    fn swap_from_three_cx() {
+        let mut b = UnitaryBuilder::new(2);
+        b.apply(&gates::cx(), &[0, 1]);
+        b.apply(&gates::cx(), &[1, 0]);
+        b.apply(&gates::cx(), &[0, 1]);
+        assert!(b.finish().approx_eq(&gates::swap(), TOL));
+    }
+
+    #[test]
+    fn result_is_unitary() {
+        let mut b = UnitaryBuilder::new(3);
+        b.apply(&gates::h(), &[0]);
+        b.apply(&gates::ccz(), &[0, 1, 2]);
+        b.apply(&gates::rx(0.7), &[2]);
+        assert!(b.finish().is_unitary(TOL));
+    }
+}

@@ -1,0 +1,29 @@
+//! Superconducting transpiler substrate — the Qiskit-baseline stand-in of
+//! the Weaver evaluation (paper Fig. 3 top path, §8.1).
+//!
+//! * [`CouplingMap`] — device topologies (line, grid, heavy-hex, and the
+//!   127-qubit [`CouplingMap::ibm_washington`] model),
+//! * [`sabre`] — SABRE-style layout and routing (the `O(N³)` baseline of
+//!   Table 2),
+//! * [`transpile`] — the full pipeline with execution-time and EPS metrics.
+//!
+//! # Example
+//!
+//! ```
+//! use weaver_circuit::Circuit;
+//! use weaver_superconducting::{transpile, CouplingMap, SuperconductingParams};
+//!
+//! let mut c = Circuit::new(3);
+//! c.h(0).cz(0, 2).measure_all();
+//! let result = transpile(&c, &CouplingMap::line(4), &SuperconductingParams::default());
+//! assert!(result.eps > 0.0 && result.eps <= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod coupling;
+pub mod sabre;
+mod transpile;
+
+pub use coupling::CouplingMap;
+pub use transpile::{eps, execution_time, transpile, SuperconductingParams, TranspileResult};

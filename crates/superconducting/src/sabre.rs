@@ -1,0 +1,434 @@
+//! SABRE-style qubit mapping and routing (Li et al., ASPLOS'19) — the
+//! algorithm behind Qiskit's default transpiler and the source of the
+//! `O(N³)` compilation complexity the paper lists for the superconducting
+//! baseline (Table 2).
+
+use crate::CouplingMap;
+use std::collections::HashMap;
+use weaver_circuit::{Circuit, DependencyDag, Gate, Operation};
+
+/// Result of routing a circuit onto a coupling map.
+#[derive(Clone, Debug)]
+pub struct RoutedCircuit {
+    /// The physical circuit (logical gates rewritten onto physical qubits,
+    /// with SWAPs inserted).
+    pub circuit: Circuit,
+    /// Number of SWAP gates inserted.
+    pub swap_count: usize,
+    /// Initial logical→physical layout chosen by the winning trial.
+    pub initial_layout: Vec<usize>,
+    /// Final logical→physical layout.
+    pub final_layout: Vec<usize>,
+    /// Heuristic search steps performed (complexity instrumentation for the
+    /// paper's Fig. 10a).
+    pub steps: u64,
+}
+
+/// Mutable logical↔physical mapping.
+#[derive(Clone, Debug)]
+struct Layout {
+    /// logical → physical
+    l2p: Vec<usize>,
+    /// physical → logical (usize::MAX = free)
+    p2l: Vec<usize>,
+}
+
+impl Layout {
+    fn trivial(num_logical: usize, num_physical: usize) -> Self {
+        let mut p2l = vec![usize::MAX; num_physical];
+        let l2p: Vec<usize> = (0..num_logical).collect();
+        for (l, &p) in l2p.iter().enumerate() {
+            p2l[p] = l;
+        }
+        Layout { l2p, p2l }
+    }
+
+    fn swap_physical(&mut self, a: usize, b: usize) {
+        let la = self.p2l[a];
+        let lb = self.p2l[b];
+        self.p2l[a] = lb;
+        self.p2l[b] = la;
+        if la != usize::MAX {
+            self.l2p[la] = b;
+        }
+        if lb != usize::MAX {
+            self.l2p[lb] = a;
+        }
+    }
+}
+
+/// Routes a circuit onto `coupling` with the SABRE look-ahead heuristic,
+/// running several randomized initial-layout trials and keeping the lowest
+/// swap count — exactly what production SABRE pipelines do (and the reason
+/// the baseline's compile time carries a large constant).
+///
+/// # Panics
+///
+/// Panics if the circuit needs more qubits than the device has, if a gate
+/// has arity > 2, or if the coupling graph is disconnected.
+pub fn route(circuit: &Circuit, coupling: &CouplingMap) -> RoutedCircuit {
+    const TRIALS: u64 = 5;
+    let mut best: Option<RoutedCircuit> = None;
+    let mut total_steps = 0u64;
+    for trial in 0..TRIALS {
+        let mut result = route_once(circuit, coupling, trial);
+        total_steps += result.steps;
+        if best.as_ref().is_none_or(|b| result.swap_count < b.swap_count) {
+            result.steps = 0; // replaced with the total below
+            best = Some(result);
+        }
+    }
+    let mut best = best.expect("at least one trial ran");
+    best.steps = total_steps;
+    best
+}
+
+/// One SABRE routing pass with a seeded initial layout (`seed = 0` is the
+/// trivial layout; other seeds shuffle deterministically).
+fn route_once(circuit: &Circuit, coupling: &CouplingMap, seed: u64) -> RoutedCircuit {
+    assert!(
+        circuit.num_qubits() <= coupling.num_qubits(),
+        "circuit needs {} qubits, device has {}",
+        circuit.num_qubits(),
+        coupling.num_qubits()
+    );
+    assert!(coupling.is_connected(), "coupling graph must be connected");
+
+    let dag = DependencyDag::from_circuit(circuit);
+    for id in 0..dag.len() {
+        assert!(
+            dag.instruction(id).qubits.len() <= 2,
+            "route() requires ≤ 2-qubit gates; decompose first"
+        );
+    }
+
+    let mut layout = Layout::trivial(circuit.num_qubits(), coupling.num_qubits());
+    // Deterministic Fisher–Yates-style shuffle of the initial placement for
+    // trials beyond the first (splitmix64 stream).
+    if seed > 0 {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for l in 0..circuit.num_qubits() {
+            let p = (next() % coupling.num_qubits() as u64) as usize;
+            let other = layout.l2p[l];
+            layout.swap_physical(other, p);
+        }
+    }
+    let initial_layout = layout.l2p.clone();
+    let mut out = Circuit::new(coupling.num_qubits());
+    let mut steps: u64 = 0;
+    let mut swap_count = 0usize;
+
+    // Remaining-predecessor counts drive the front layer.
+    let mut pending_preds: Vec<usize> = (0..dag.len()).map(|i| dag.predecessors(i).len()).collect();
+    let mut front: Vec<usize> = (0..dag.len()).filter(|&i| pending_preds[i] == 0).collect();
+    let mut executed = vec![false; dag.len()];
+
+    // Decay factors discourage ping-ponging the same qubit (as in SABRE).
+    let mut decay = vec![1.0f64; coupling.num_qubits()];
+
+    while !front.is_empty() {
+        // Execute every front gate that is executable under current layout.
+        let mut progress = false;
+        let mut next_front = Vec::new();
+        for &node in &front {
+            let instr = dag.instruction(node);
+            let executable = match instr.qubits.len() {
+                1 => true,
+                2 => {
+                    let p0 = layout.l2p[instr.qubits[0]];
+                    let p1 = layout.l2p[instr.qubits[1]];
+                    coupling.are_coupled(p0, p1)
+                }
+                _ => unreachable!(),
+            };
+            steps += 1;
+            if executable {
+                let phys: Vec<usize> = instr.qubits.iter().map(|&q| layout.l2p[q]).collect();
+                out.push(instr.gate.clone(), &phys);
+                executed[node] = true;
+                progress = true;
+                for &succ in dag.successors(node) {
+                    pending_preds[succ] -= 1;
+                    if pending_preds[succ] == 0 {
+                        next_front.push(succ);
+                    }
+                }
+            } else {
+                next_front.push(node);
+            }
+        }
+        front = next_front;
+        front.sort_unstable();
+        front.dedup();
+
+        if progress {
+            // Reset decay after progress, as SABRE does periodically.
+            decay.iter_mut().for_each(|d| *d = 1.0);
+            continue;
+        }
+        if front.is_empty() {
+            break;
+        }
+
+        // No front gate executable: insert the best SWAP.
+        // Candidate swaps: edges adjacent to any qubit of a front 2q gate.
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        for &node in &front {
+            let instr = dag.instruction(node);
+            if instr.qubits.len() != 2 {
+                continue;
+            }
+            for &lq in &instr.qubits {
+                let p = layout.l2p[lq];
+                for &nb in coupling.neighbors(p) {
+                    let e = (p.min(nb), p.max(nb));
+                    if !candidates.contains(&e) {
+                        candidates.push(e);
+                    }
+                }
+            }
+        }
+        // Extended set: successors of front gates, for look-ahead.
+        let extended: Vec<usize> = front
+            .iter()
+            .flat_map(|&n| dag.successors(n).iter().copied())
+            .filter(|&n| !executed[n])
+            .collect();
+
+        let score = |layout: &Layout, steps: &mut u64| -> f64 {
+            let mut s = 0.0;
+            for &n in &front {
+                let i = dag.instruction(n);
+                if i.qubits.len() == 2 {
+                    *steps += 1;
+                    s += coupling.distance(layout.l2p[i.qubits[0]], layout.l2p[i.qubits[1]]) as f64;
+                }
+            }
+            let mut ext = 0.0;
+            for &n in &extended {
+                let i = dag.instruction(n);
+                if i.qubits.len() == 2 {
+                    *steps += 1;
+                    ext +=
+                        coupling.distance(layout.l2p[i.qubits[0]], layout.l2p[i.qubits[1]]) as f64;
+                }
+            }
+            s + 0.5 * ext / (extended.len().max(1) as f64)
+        };
+
+        let mut best: Option<((usize, usize), f64)> = None;
+        for &(a, b) in &candidates {
+            let mut trial = layout.clone();
+            trial.swap_physical(a, b);
+            let h = score(&trial, &mut steps) * decay[a].max(decay[b]);
+            if best.is_none() || h < best.unwrap().1 {
+                best = Some(((a, b), h));
+            }
+        }
+        let ((a, b), _) = best.expect("at least one candidate swap exists");
+        layout.swap_physical(a, b);
+        decay[a] += 0.001;
+        decay[b] += 0.001;
+        out.push(Gate::Swap, &[a, b]);
+        swap_count += 1;
+    }
+
+    // Re-attach measurements on final physical wires.
+    for op in circuit.operations() {
+        if let Operation::Measure(q) = op {
+            out.measure(layout.l2p[*q]);
+        }
+    }
+
+    RoutedCircuit {
+        circuit: out,
+        swap_count,
+        initial_layout,
+        final_layout: layout.l2p,
+        steps,
+    }
+}
+
+/// Verifies that every 2-qubit gate of a routed circuit touches only
+/// coupled pairs (used in tests and as a post-routing assertion).
+pub fn respects_coupling(circuit: &Circuit, coupling: &CouplingMap) -> bool {
+    circuit.instructions().all(|i| match i.qubits.len() {
+        0 | 1 => true,
+        2 => coupling.are_coupled(i.qubits[0], i.qubits[1]),
+        _ => false,
+    })
+}
+
+/// Reconstructs the logical circuit a routed circuit implements, by
+/// tracking SWAP-induced permutations backwards from the initial layout.
+/// Used to verify routing preserved semantics.
+pub fn unroute(routed: &RoutedCircuit, initial_logical: usize) -> Circuit {
+    // physical → logical, from the winning trial's initial layout.
+    let mut p2l: HashMap<usize, usize> = routed
+        .initial_layout
+        .iter()
+        .enumerate()
+        .map(|(l, &p)| (p, l))
+        .collect();
+    let routed = &routed.circuit;
+    let mut out = Circuit::new(initial_logical);
+    for op in routed.operations() {
+        match op {
+            Operation::Gate(i) if i.gate == Gate::Swap => {
+                let a = i.qubits[0];
+                let b = i.qubits[1];
+                let la = p2l.get(&a).copied();
+                let lb = p2l.get(&b).copied();
+                match la {
+                    Some(l) => {
+                        p2l.insert(b, l);
+                    }
+                    None => {
+                        p2l.remove(&b);
+                    }
+                }
+                match lb {
+                    Some(l) => {
+                        p2l.insert(a, l);
+                    }
+                    None => {
+                        p2l.remove(&a);
+                    }
+                }
+            }
+            Operation::Gate(i) => {
+                let qs: Vec<usize> = i
+                    .qubits
+                    .iter()
+                    .map(|p| *p2l.get(p).expect("gate on unmapped physical qubit"))
+                    .collect();
+                out.push(i.gate.clone(), &qs);
+            }
+            Operation::Measure(p) => {
+                if let Some(&l) = p2l.get(p) {
+                    out.measure(l);
+                }
+            }
+            Operation::Barrier(_) => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weaver_simulator::equiv;
+
+    #[test]
+    fn already_routable_circuit_needs_no_swaps() {
+        let mut c = Circuit::new(3);
+        c.h(0).cz(0, 1).cz(1, 2);
+        let r = route(&c, &CouplingMap::line(3));
+        assert_eq!(r.swap_count, 0);
+        assert!(respects_coupling(&r.circuit, &CouplingMap::line(3)));
+    }
+
+    #[test]
+    fn distant_gate_routes_legally() {
+        // A layout trial may solve cz(0,3) on a line without swaps; what
+        // must always hold is coupling legality and semantic preservation.
+        let mut c = Circuit::new(4);
+        c.cz(0, 3).cz(0, 1).cz(1, 2).cz(2, 3).cz(0, 2).cz(1, 3);
+        let coupling = CouplingMap::line(4);
+        let r = route(&c, &coupling);
+        assert!(r.swap_count >= 1, "a 4-clique on a line cannot be swap-free");
+        assert!(respects_coupling(&r.circuit, &coupling));
+        let recovered = unroute(&r, 4);
+        assert!(equiv::compare(&c.unitary(), &recovered.unitary(), 1e-9).is_equivalent());
+    }
+
+    #[test]
+    fn routing_preserves_semantics() {
+        let mut c = Circuit::new(4);
+        c.h(0).cz(0, 3).cx(1, 2).rz(0.4, 3).cz(0, 2);
+        let coupling = CouplingMap::line(4);
+        let r = route(&c, &coupling);
+        let recovered = unroute(&r, 4);
+        let e = equiv::compare(&c.unitary(), &recovered.unitary(), 1e-9);
+        assert!(e.is_equivalent(), "{e:?}");
+    }
+
+    #[test]
+    fn routes_onto_larger_device() {
+        let mut c = Circuit::new(5);
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                c.cz(a, b);
+            }
+        }
+        let coupling = CouplingMap::grid(3, 3);
+        let r = route(&c, &coupling);
+        assert!(respects_coupling(&r.circuit, &coupling));
+        assert_eq!(r.circuit.num_qubits(), 9);
+    }
+
+    #[test]
+    fn all_to_all_needs_no_swaps() {
+        let mut edges = Vec::new();
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                edges.push((a, b));
+            }
+        }
+        let full = CouplingMap::new(5, &edges);
+        let mut c = Circuit::new(5);
+        c.cz(0, 4).cz(1, 3).cz(2, 4);
+        let r = route(&c, &full);
+        assert_eq!(r.swap_count, 0);
+    }
+
+    #[test]
+    fn step_count_grows_with_circuit_size() {
+        let coupling = CouplingMap::grid(4, 5);
+        let mut small = Circuit::new(6);
+        let mut large = Circuit::new(12);
+        for i in 0..5 {
+            small.cz(i, i + 1);
+        }
+        for i in 0..11 {
+            large.cz(i, i + 1);
+            large.cz(0, i + 1);
+        }
+        let rs = route(&small, &coupling);
+        let rl = route(&large, &coupling);
+        assert!(rl.steps > rs.steps);
+    }
+
+    #[test]
+    fn measurements_survive_routing() {
+        let mut c = Circuit::new(3);
+        c.cz(0, 2).measure_all();
+        let r = route(&c, &CouplingMap::line(3));
+        let measures = r
+            .circuit
+            .operations()
+            .iter()
+            .filter(|o| matches!(o, Operation::Measure(_)))
+            .count();
+        assert_eq!(measures, 3);
+    }
+
+    #[test]
+    fn washington_routes_100_variable_chain() {
+        let mut c = Circuit::new(100);
+        for i in 0..99 {
+            c.cz(i, i + 1);
+        }
+        let coupling = CouplingMap::ibm_washington();
+        let r = route(&c, &coupling);
+        assert!(respects_coupling(&r.circuit, &coupling));
+    }
+}

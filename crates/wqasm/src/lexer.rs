@@ -1,0 +1,406 @@
+//! Lexer for wQasm — the OpenQASM subset used by Weaver plus FPQA
+//! annotations (paper §4, Fig. 4).
+
+use std::fmt;
+
+/// A lexical token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+}
+
+/// The kinds of wQasm tokens.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`cz`, `qreg`, `measure`, …).
+    Ident(String),
+    /// Annotation keyword including the `@`, e.g. `@rydberg`.
+    Annotation(String),
+    /// Numeric literal (integer or float, no sign).
+    Number(f64),
+    /// String literal content (without quotes).
+    Str(String),
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `->`
+    Arrow,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// The raw source spelling of the token (used to preserve pragma and
+    /// unknown-annotation content verbatim).
+    pub fn raw_text(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => s.clone(),
+            TokenKind::Annotation(s) => format!("@{s}"),
+            TokenKind::Number(n) => {
+                if *n == n.trunc() && n.abs() < 1e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            TokenKind::Str(s) => format!("\"{s}\""),
+            TokenKind::Semicolon => ";".into(),
+            TokenKind::Comma => ",".into(),
+            TokenKind::LParen => "(".into(),
+            TokenKind::RParen => ")".into(),
+            TokenKind::LBracket => "[".into(),
+            TokenKind::RBracket => "]".into(),
+            TokenKind::LBrace => "{".into(),
+            TokenKind::RBrace => "}".into(),
+            TokenKind::Plus => "+".into(),
+            TokenKind::Minus => "-".into(),
+            TokenKind::Star => "*".into(),
+            TokenKind::Slash => "/".into(),
+            TokenKind::Arrow => "->".into(),
+            TokenKind::Eof => String::new(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Annotation(s) => write!(f, "annotation `@{s}`"),
+            TokenKind::Number(n) => write!(f, "number `{n}`"),
+            TokenKind::Str(s) => write!(f, "string \"{s}\""),
+            TokenKind::Semicolon => write!(f, "`;`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexing error with position information.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a complete wQasm source string.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on malformed numbers, unterminated strings or
+/// comments, or unexpected characters.
+///
+/// # Examples
+///
+/// ```
+/// use weaver_wqasm::lexer::{tokenize, TokenKind};
+/// let toks = tokenize("@rydberg\ncz q[0], q[1];").unwrap();
+/// assert_eq!(toks[0].kind, TokenKind::Annotation("rydberg".into()));
+/// ```
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! err {
+        ($($arg:tt)*) => {
+            return Err(LexError { message: format!($($arg)*), line, col })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tline, tcol) = (line, col);
+        let advance = |i: &mut usize, line: &mut usize, col: &mut usize| {
+            if bytes[*i] == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            *i += 1;
+        };
+
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                advance(&mut i, &mut line, &mut col);
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '/' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    advance(&mut i, &mut line, &mut col);
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '*' => {
+                advance(&mut i, &mut line, &mut col);
+                advance(&mut i, &mut line, &mut col);
+                let mut closed = false;
+                while i + 1 < bytes.len() {
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        advance(&mut i, &mut line, &mut col);
+                        advance(&mut i, &mut line, &mut col);
+                        closed = true;
+                        break;
+                    }
+                    advance(&mut i, &mut line, &mut col);
+                }
+                if !closed {
+                    err!("unterminated block comment");
+                }
+            }
+            '"' => {
+                advance(&mut i, &mut line, &mut col);
+                let start = i;
+                while i < bytes.len() && bytes[i] != '"' {
+                    if bytes[i] == '\n' {
+                        err!("unterminated string literal");
+                    }
+                    advance(&mut i, &mut line, &mut col);
+                }
+                if i >= bytes.len() {
+                    err!("unterminated string literal");
+                }
+                let s: String = bytes[start..i].iter().collect();
+                advance(&mut i, &mut line, &mut col); // closing quote
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '@' => {
+                advance(&mut i, &mut line, &mut col);
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    advance(&mut i, &mut line, &mut col);
+                }
+                if start == i {
+                    err!("expected annotation keyword after `@`");
+                }
+                let s: String = bytes[start..i].iter().collect();
+                tokens.push(Token {
+                    kind: TokenKind::Annotation(s),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            c if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()) => {
+                let start = i;
+                let mut seen_dot = false;
+                let mut seen_exp = false;
+                while i < bytes.len() {
+                    let d = bytes[i];
+                    if d.is_ascii_digit() {
+                        advance(&mut i, &mut line, &mut col);
+                    } else if d == '.' && !seen_dot && !seen_exp {
+                        seen_dot = true;
+                        advance(&mut i, &mut line, &mut col);
+                    } else if (d == 'e' || d == 'E') && !seen_exp {
+                        seen_exp = true;
+                        advance(&mut i, &mut line, &mut col);
+                        if i < bytes.len() && (bytes[i] == '+' || bytes[i] == '-') {
+                            advance(&mut i, &mut line, &mut col);
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                match text.parse::<f64>() {
+                    Ok(v) => tokens.push(Token {
+                        kind: TokenKind::Number(v),
+                        line: tline,
+                        col: tcol,
+                    }),
+                    Err(_) => err!("malformed number `{text}`"),
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    advance(&mut i, &mut line, &mut col);
+                }
+                let s: String = bytes[start..i].iter().collect();
+                tokens.push(Token {
+                    kind: TokenKind::Ident(s),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == '>' => {
+                advance(&mut i, &mut line, &mut col);
+                advance(&mut i, &mut line, &mut col);
+                tokens.push(Token {
+                    kind: TokenKind::Arrow,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            _ => {
+                let kind = match c {
+                    ';' => TokenKind::Semicolon,
+                    ',' => TokenKind::Comma,
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '[' => TokenKind::LBracket,
+                    ']' => TokenKind::RBracket,
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    '+' => TokenKind::Plus,
+                    '-' => TokenKind::Minus,
+                    '*' => TokenKind::Star,
+                    '/' => TokenKind::Slash,
+                    other => err!("unexpected character `{other}`"),
+                };
+                advance(&mut i, &mut line, &mut col);
+                tokens.push(Token {
+                    kind,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_gate_call() {
+        let k = kinds("cz q[0], q[1];");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("cz".into()),
+                TokenKind::Ident("q".into()),
+                TokenKind::LBracket,
+                TokenKind::Number(0.0),
+                TokenKind::RBracket,
+                TokenKind::Comma,
+                TokenKind::Ident("q".into()),
+                TokenKind::LBracket,
+                TokenKind::Number(1.0),
+                TokenKind::RBracket,
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn annotations_and_floats() {
+        let k = kinds("@slm [(0.0, 5.5), (10.0, 5.5)]");
+        assert_eq!(k[0], TokenKind::Annotation("slm".into()));
+        assert!(k.contains(&TokenKind::Number(5.5)));
+        assert!(k.contains(&TokenKind::Number(10.0)));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("// line comment\nh q[0]; /* block\n comment */ x q[1];");
+        assert_eq!(k.iter().filter(|t| matches!(t, TokenKind::Ident(s) if s == "h")).count(), 1);
+        assert_eq!(k.iter().filter(|t| matches!(t, TokenKind::Ident(s) if s == "x")).count(), 1);
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let k = kinds("rz(1.5e-3) q[0];");
+        assert!(k.contains(&TokenKind::Number(1.5e-3)));
+    }
+
+    #[test]
+    fn arrow_and_measure() {
+        let k = kinds("measure q[0] -> c[0];");
+        assert!(k.contains(&TokenKind::Arrow));
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = tokenize("h q;\ncz a, b;").unwrap();
+        let cz = toks
+            .iter()
+            .find(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "cz"))
+            .unwrap();
+        assert_eq!(cz.line, 2);
+        assert_eq!(cz.col, 1);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("include \"qelib1.inc").is_err());
+        assert!(tokenize("/* never closed").is_err());
+    }
+
+    #[test]
+    fn bare_at_errors() {
+        assert!(tokenize("@ ;").is_err());
+    }
+
+    #[test]
+    fn string_literal_content() {
+        let k = kinds("include \"stdgates.inc\";");
+        assert!(k.contains(&TokenKind::Str("stdgates.inc".into())));
+    }
+}

@@ -1,0 +1,646 @@
+//! Recursive-descent parser for wQasm (grammar of paper Fig. 4).
+
+use crate::ast::*;
+use crate::lexer::{tokenize, LexError, Token, TokenKind};
+use std::fmt;
+
+/// A parse error with source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
+    }
+}
+
+/// Parses a complete wQasm source string into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on any lexical or syntactic problem.
+///
+/// # Examples
+///
+/// ```
+/// use weaver_wqasm::parse;
+/// let p = parse("OPENQASM 3.0;\nqreg q[2];\n@rydberg\ncz q[0], q[1];").unwrap();
+/// assert_eq!(p.num_qubits(), 2);
+/// assert_eq!(p.pulse_count(), 1);
+/// ```
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(src)?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        let t = self.peek();
+        Err(ParseError {
+            message: message.into(),
+            line: t.line,
+            col: t.col,
+        })
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, ParseError> {
+        if self.peek_kind() == &kind {
+            Ok(self.bump())
+        } else {
+            self.error(format!("expected {kind}, found {}", self.peek_kind()))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek_kind() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.error(format!("expected identifier, found {other}")),
+        }
+    }
+
+    /// A number with optional leading sign.
+    fn signed_number(&mut self) -> Result<f64, ParseError> {
+        let neg = self.eat(&TokenKind::Minus);
+        if !neg {
+            self.eat(&TokenKind::Plus);
+        }
+        match *self.peek_kind() {
+            TokenKind::Number(v) => {
+                self.bump();
+                Ok(if neg { -v } else { v })
+            }
+            ref other => self.error(format!("expected number, found {other}")),
+        }
+    }
+
+    fn expect_usize(&mut self) -> Result<usize, ParseError> {
+        match *self.peek_kind() {
+            TokenKind::Number(v) if v >= 0.0 && v.fract() == 0.0 => {
+                self.bump();
+                Ok(v as usize)
+            }
+            ref other => self.error(format!("expected non-negative integer, found {other}")),
+        }
+    }
+
+    // ---- grammar ----------------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+
+        if matches!(self.peek_kind(), TokenKind::Ident(s) if s == "OPENQASM") {
+            self.bump();
+            let version = match self.peek_kind().clone() {
+                TokenKind::Number(v) => {
+                    self.bump();
+                    format!("{v}")
+                }
+                _ => return self.error("expected version number after OPENQASM"),
+            };
+            self.expect(TokenKind::Semicolon)?;
+            prog.version = Some(version);
+        }
+
+        loop {
+            match self.peek_kind().clone() {
+                TokenKind::Eof => break,
+                TokenKind::Ident(s) if s == "include" => {
+                    self.bump();
+                    match self.peek_kind().clone() {
+                        TokenKind::Str(file) => {
+                            self.bump();
+                            self.expect(TokenKind::Semicolon)?;
+                            prog.includes.push(file);
+                        }
+                        _ => return self.error("expected string after include"),
+                    }
+                }
+                _ => {
+                    let stmts = self.statement()?;
+                    prog.statements.extend(stmts);
+                }
+            }
+        }
+        Ok(prog)
+    }
+
+    /// Parses one statement. A run of annotations followed by a gate call is
+    /// a single annotated statement; trailing annotations with no gate call
+    /// become standalone statements.
+    fn statement(&mut self) -> Result<Vec<Statement>, ParseError> {
+        // Collect leading annotations.
+        let mut annotations = Vec::new();
+        while let TokenKind::Annotation(_) = self.peek_kind() {
+            annotations.push(self.annotation()?);
+        }
+
+        match self.peek_kind().clone() {
+            TokenKind::Ident(s) => match s.as_str() {
+                "qreg" | "creg" | "measure" | "barrier" | "pragma" | "qubit" | "bit" => {
+                    // Setup annotations may legitimately stand alone before
+                    // non-gate statements.
+                    let mut out: Vec<Statement> = annotations
+                        .into_iter()
+                        .map(Statement::Standalone)
+                        .collect();
+                    out.push(self.non_gate_statement(&s)?);
+                    Ok(out)
+                }
+                _ => {
+                    let call = self.gate_call(annotations)?;
+                    Ok(vec![call])
+                }
+            },
+            TokenKind::Eof => Ok(annotations.into_iter().map(Statement::Standalone).collect()),
+            other => self.error(format!("expected statement, found {other}")),
+        }
+    }
+
+    fn non_gate_statement(&mut self, keyword: &str) -> Result<Statement, ParseError> {
+        match keyword {
+            "qreg" | "creg" => {
+                let is_q = keyword == "qreg";
+                self.bump();
+                let name = self.expect_ident()?;
+                self.expect(TokenKind::LBracket)?;
+                let size = self.expect_usize()?;
+                self.expect(TokenKind::RBracket)?;
+                self.expect(TokenKind::Semicolon)?;
+                Ok(if is_q {
+                    Statement::QregDecl { name, size }
+                } else {
+                    Statement::CregDecl { name, size }
+                })
+            }
+            "qubit" | "bit" => {
+                // OpenQASM 3 style: `qubit[n] q;`
+                let is_q = keyword == "qubit";
+                self.bump();
+                self.expect(TokenKind::LBracket)?;
+                let size = self.expect_usize()?;
+                self.expect(TokenKind::RBracket)?;
+                let name = self.expect_ident()?;
+                self.expect(TokenKind::Semicolon)?;
+                Ok(if is_q {
+                    Statement::QregDecl { name, size }
+                } else {
+                    Statement::CregDecl { name, size }
+                })
+            }
+            "measure" => {
+                self.bump();
+                let qubit = self.qubit_ref()?;
+                let target = if self.eat(&TokenKind::Arrow) {
+                    Some(self.qubit_ref()?)
+                } else {
+                    None
+                };
+                self.expect(TokenKind::Semicolon)?;
+                Ok(Statement::Measure { qubit, target })
+            }
+            "barrier" => {
+                self.bump();
+                let mut qubits = Vec::new();
+                if !self.eat(&TokenKind::Semicolon) {
+                    loop {
+                        qubits.push(self.qubit_ref()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::Semicolon)?;
+                }
+                Ok(Statement::Barrier { qubits })
+            }
+            "pragma" => {
+                self.bump();
+                let mut parts = Vec::new();
+                while !matches!(self.peek_kind(), TokenKind::Semicolon | TokenKind::Eof) {
+                    parts.push(self.bump().kind.raw_text());
+                }
+                self.eat(&TokenKind::Semicolon);
+                Ok(Statement::Pragma(parts.join(" ")))
+            }
+            other => self.error(format!("unhandled statement keyword `{other}`")),
+        }
+    }
+
+    fn gate_call(&mut self, annotations: Vec<Annotation>) -> Result<Statement, ParseError> {
+        let name = self.expect_ident()?;
+        let mut params = Vec::new();
+        if self.eat(&TokenKind::LParen) {
+            if !self.eat(&TokenKind::RParen) {
+                loop {
+                    params.push(self.expr()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::RParen)?;
+            }
+        }
+        let mut qubits = Vec::new();
+        loop {
+            qubits.push(self.qubit_ref()?);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::Semicolon)?;
+        Ok(Statement::GateCall {
+            annotations,
+            name,
+            params,
+            qubits,
+        })
+    }
+
+    fn qubit_ref(&mut self) -> Result<QubitRef, ParseError> {
+        let register = self.expect_ident()?;
+        if self.eat(&TokenKind::LBracket) {
+            let index = self.expect_usize()?;
+            self.expect(TokenKind::RBracket)?;
+            Ok(QubitRef { register, index })
+        } else {
+            Ok(QubitRef { register, index: 0 })
+        }
+    }
+
+    // ---- constant expressions (gate parameters) ---------------------------
+
+    fn expr(&mut self) -> Result<f64, ParseError> {
+        self.expr_add()
+    }
+
+    fn expr_add(&mut self) -> Result<f64, ParseError> {
+        let mut v = self.expr_mul()?;
+        loop {
+            if self.eat(&TokenKind::Plus) {
+                v += self.expr_mul()?;
+            } else if self.eat(&TokenKind::Minus) {
+                v -= self.expr_mul()?;
+            } else {
+                return Ok(v);
+            }
+        }
+    }
+
+    fn expr_mul(&mut self) -> Result<f64, ParseError> {
+        let mut v = self.expr_unary()?;
+        loop {
+            if self.eat(&TokenKind::Star) {
+                v *= self.expr_unary()?;
+            } else if self.eat(&TokenKind::Slash) {
+                let d = self.expr_unary()?;
+                v /= d;
+            } else {
+                return Ok(v);
+            }
+        }
+    }
+
+    fn expr_unary(&mut self) -> Result<f64, ParseError> {
+        if self.eat(&TokenKind::Minus) {
+            return Ok(-self.expr_unary()?);
+        }
+        if self.eat(&TokenKind::Plus) {
+            return self.expr_unary();
+        }
+        match self.peek_kind().clone() {
+            TokenKind::Number(v) => {
+                self.bump();
+                Ok(v)
+            }
+            TokenKind::Ident(s) if s == "pi" => {
+                self.bump();
+                Ok(std::f64::consts::PI)
+            }
+            TokenKind::Ident(s) if s == "tau" => {
+                self.bump();
+                Ok(std::f64::consts::TAU)
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let v = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(v)
+            }
+            other => self.error(format!("expected expression, found {other}")),
+        }
+    }
+
+    // ---- annotations -------------------------------------------------------
+
+    fn annotation(&mut self) -> Result<Annotation, ParseError> {
+        let keyword = match self.peek_kind().clone() {
+            TokenKind::Annotation(k) => {
+                self.bump();
+                k
+            }
+            other => return self.error(format!("expected annotation, found {other}")),
+        };
+        match keyword.as_str() {
+            "slm" => {
+                self.expect(TokenKind::LBracket)?;
+                let mut positions = Vec::new();
+                loop {
+                    self.expect(TokenKind::LParen)?;
+                    let x = self.signed_number()?;
+                    self.expect(TokenKind::Comma)?;
+                    let y = self.signed_number()?;
+                    self.expect(TokenKind::RParen)?;
+                    positions.push((x, y));
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::RBracket)?;
+                Ok(Annotation::Slm { positions })
+            }
+            "aod" => {
+                let xs = self.number_list()?;
+                let ys = self.number_list()?;
+                Ok(Annotation::Aod { xs, ys })
+            }
+            "bind" => {
+                let qubit = self.qubit_ref()?;
+                let layer = self.expect_ident()?;
+                match layer.as_str() {
+                    "slm" => {
+                        let idx = self.expect_usize()?;
+                        Ok(Annotation::Bind {
+                            qubit,
+                            target: BindTarget::Slm(idx),
+                        })
+                    }
+                    "aod" => {
+                        let cx = self.expect_usize()?;
+                        let cy = self.expect_usize()?;
+                        Ok(Annotation::Bind {
+                            qubit,
+                            target: BindTarget::Aod(cx, cy),
+                        })
+                    }
+                    other => self.error(format!("expected `slm` or `aod` in @bind, found `{other}`")),
+                }
+            }
+            "transfer" => {
+                let slm_index = self.expect_usize()?;
+                self.expect(TokenKind::LParen)?;
+                let cx = self.expect_usize()?;
+                self.expect(TokenKind::Comma)?;
+                let cy = self.expect_usize()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(Annotation::Transfer {
+                    slm_index,
+                    aod: (cx, cy),
+                })
+            }
+            "shuttle" => {
+                let axis_kw = self.expect_ident()?;
+                let axis = match axis_kw.as_str() {
+                    "row" => ShuttleAxis::Row,
+                    "column" => ShuttleAxis::Column,
+                    other => {
+                        return self
+                            .error(format!("expected `row` or `column` in @shuttle, found `{other}`"))
+                    }
+                };
+                let index = self.expect_usize()?;
+                let offset = self.signed_number()?;
+                Ok(Annotation::Shuttle {
+                    axis,
+                    index,
+                    offset,
+                })
+            }
+            "raman" => {
+                let mode = self.expect_ident()?;
+                match mode.as_str() {
+                    "global" => {
+                        let x = self.signed_number()?;
+                        let y = self.signed_number()?;
+                        let z = self.signed_number()?;
+                        Ok(Annotation::RamanGlobal { x, y, z })
+                    }
+                    "local" => {
+                        let qubit = self.qubit_ref()?;
+                        let x = self.signed_number()?;
+                        let y = self.signed_number()?;
+                        let z = self.signed_number()?;
+                        Ok(Annotation::RamanLocal { qubit, x, y, z })
+                    }
+                    other => {
+                        self.error(format!("expected `global` or `local` in @raman, found `{other}`"))
+                    }
+                }
+            }
+            "rydberg" => Ok(Annotation::Rydberg),
+            _ => {
+                // Extensibility: any other annotation keyword swallows the
+                // rest of its source line (paper grammar:
+                // ⟨annotationKeyword⟩ ⟨remainingLineContent⟩?).
+                let line = self.tokens[self.pos.saturating_sub(1)].line;
+                let mut parts = Vec::new();
+                while self.peek().line == line && !matches!(self.peek_kind(), TokenKind::Eof) {
+                    parts.push(self.bump().kind.raw_text());
+                }
+                Ok(Annotation::Other {
+                    keyword,
+                    content: parts.join(" "),
+                })
+            }
+        }
+    }
+
+    fn number_list(&mut self) -> Result<Vec<f64>, ParseError> {
+        self.expect(TokenKind::LBracket)?;
+        let mut out = Vec::new();
+        if !self.eat(&TokenKind::RBracket) {
+            loop {
+                out.push(self.signed_number()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RBracket)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_header_and_registers() {
+        let p = parse("OPENQASM 3.0;\ninclude \"stdgates.inc\";\nqreg q[5];\ncreg c[5];").unwrap();
+        assert_eq!(p.version.as_deref(), Some("3"));
+        assert_eq!(p.includes, vec!["stdgates.inc"]);
+        assert_eq!(p.num_qubits(), 5);
+    }
+
+    #[test]
+    fn parses_openqasm3_declarations() {
+        let p = parse("qubit[3] q;\nbit[3] c;").unwrap();
+        assert_eq!(p.num_qubits(), 3);
+        assert!(matches!(p.statements[1], Statement::CregDecl { .. }));
+    }
+
+    #[test]
+    fn parses_gate_with_params_and_expr() {
+        let p = parse("qreg q[1];\nrz(pi/2) q[0];\nu3(0.1, -0.2, 2*pi) q[0];").unwrap();
+        let Statement::GateCall { params, .. } = &p.statements[1] else {
+            panic!("expected gate call");
+        };
+        assert!((params[0] - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        let Statement::GateCall { params, .. } = &p.statements[2] else {
+            panic!("expected gate call");
+        };
+        assert!((params[2] - std::f64::consts::TAU).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parses_measure_and_barrier() {
+        let p = parse("qreg q[2];\nbarrier q[0], q[1];\nmeasure q[0] -> c[0];\nmeasure q[1];")
+            .unwrap();
+        assert!(matches!(&p.statements[1], Statement::Barrier { qubits } if qubits.len() == 2));
+        assert!(
+            matches!(&p.statements[2], Statement::Measure { target: Some(t), .. } if t.register == "c")
+        );
+        assert!(matches!(&p.statements[3], Statement::Measure { target: None, .. }));
+    }
+
+    #[test]
+    fn parses_all_fpqa_annotations() {
+        let src = r#"
+qreg q[3];
+@slm [(0.0, 0.0), (10.0, 0.0), (20.0, 0.0)]
+@aod [5.0, 15.0] [7.5]
+@bind q[0] slm 0
+@bind q[1] aod 0 0
+@transfer 2 (1, 0)
+@shuttle row 0 -12.5
+@raman global 0.5 0.0 -0.5
+@raman local q[2] 1.0 2.0 3.0
+@rydberg
+cz q[0], q[1];
+"#;
+        let p = parse(src).unwrap();
+        let Statement::GateCall { annotations, name, .. } = &p.statements[1] else {
+            panic!("expected annotated gate call, got {:?}", p.statements[1]);
+        };
+        assert_eq!(name, "cz");
+        assert_eq!(annotations.len(), 9);
+        assert!(matches!(annotations[0], Annotation::Slm { ref positions } if positions.len() == 3));
+        assert!(
+            matches!(annotations[1], Annotation::Aod { ref xs, ref ys } if xs.len() == 2 && ys.len() == 1)
+        );
+        assert!(matches!(annotations[5], Annotation::Shuttle { offset, .. } if offset == -12.5));
+        assert_eq!(annotations[8], Annotation::Rydberg);
+    }
+
+    #[test]
+    fn standalone_annotations_before_declarations() {
+        let src = "@slm [(0.0, 0.0)]\nqreg q[1];\nh q[0];";
+        let p = parse(src).unwrap();
+        assert!(matches!(p.statements[0], Statement::Standalone(_)));
+        assert!(matches!(p.statements[1], Statement::QregDecl { .. }));
+    }
+
+    #[test]
+    fn unknown_annotation_is_preserved() {
+        let src = "qreg q[1];\n@mycompiler hint 42\nh q[0];";
+        let p = parse(src).unwrap();
+        let Statement::GateCall { annotations, .. } = &p.statements[1] else {
+            panic!();
+        };
+        assert!(
+            matches!(&annotations[0], Annotation::Other { keyword, content }
+                if keyword == "mycompiler" && content.contains("42"))
+        );
+    }
+
+    #[test]
+    fn pragma_is_kept() {
+        let p = parse("pragma weaver target fpqa;\nqreg q[1];").unwrap();
+        assert!(matches!(&p.statements[0], Statement::Pragma(s) if s.contains("fpqa")));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse("qreg q[2];\ncz q[0] q[1];").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("expected"));
+    }
+
+    #[test]
+    fn rejects_malformed_annotation() {
+        assert!(parse("@bind q[0] foo 3\nh q[0];").is_err());
+        assert!(parse("@shuttle diagonal 0 1\nh q[0];").is_err());
+        assert!(parse("@raman sideways 1 2 3\nh q[0];").is_err());
+    }
+
+    #[test]
+    fn trailing_standalone_annotations_allowed() {
+        let p = parse("qreg q[1];\nh q[0];\n@rydberg").unwrap();
+        assert!(matches!(p.statements.last(), Some(Statement::Standalone(Annotation::Rydberg))));
+    }
+}

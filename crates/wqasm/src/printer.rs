@@ -1,0 +1,201 @@
+//! Serializes a [`Program`] back to wQasm source text.
+//!
+//! The printer and [`crate::parse`] round-trip: `parse(print(p)) == p` up to
+//! floating-point formatting, which the property tests in this crate verify.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Pretty-prints a program as wQasm source.
+///
+/// # Examples
+///
+/// ```
+/// use weaver_wqasm::{parse, print};
+/// let p = parse("qreg q[1];\n@rydberg\nh q[0];").unwrap();
+/// let text = print(&p);
+/// assert!(text.contains("@rydberg"));
+/// assert_eq!(parse(&text).unwrap(), p);
+/// ```
+pub fn print(program: &Program) -> String {
+    let mut out = String::new();
+    if let Some(v) = &program.version {
+        // Keep a conventional two-part version number.
+        let v = if v.contains('.') { v.clone() } else { format!("{v}.0") };
+        let _ = writeln!(out, "OPENQASM {v};");
+    }
+    for inc in &program.includes {
+        let _ = writeln!(out, "include \"{inc}\";");
+    }
+    for stmt in &program.statements {
+        print_statement(stmt, &mut out);
+    }
+    out
+}
+
+fn print_statement(stmt: &Statement, out: &mut String) {
+    match stmt {
+        Statement::QregDecl { name, size } => {
+            let _ = writeln!(out, "qreg {name}[{size}];");
+        }
+        Statement::CregDecl { name, size } => {
+            let _ = writeln!(out, "creg {name}[{size}];");
+        }
+        Statement::GateCall {
+            annotations,
+            name,
+            params,
+            qubits,
+        } => {
+            for a in annotations {
+                print_annotation(a, out);
+            }
+            let _ = write!(out, "{name}");
+            if !params.is_empty() {
+                let ps: Vec<String> = params.iter().map(|p| fmt_f64(*p)).collect();
+                let _ = write!(out, "({})", ps.join(", "));
+            }
+            let qs: Vec<String> = qubits.iter().map(|q| q.to_string()).collect();
+            let _ = writeln!(out, " {};", qs.join(", "));
+        }
+        Statement::Measure { qubit, target } => match target {
+            Some(t) => {
+                let _ = writeln!(out, "measure {qubit} -> {t};");
+            }
+            None => {
+                let _ = writeln!(out, "measure {qubit};");
+            }
+        },
+        Statement::Barrier { qubits } => {
+            if qubits.is_empty() {
+                let _ = writeln!(out, "barrier;");
+            } else {
+                let qs: Vec<String> = qubits.iter().map(|q| q.to_string()).collect();
+                let _ = writeln!(out, "barrier {};", qs.join(", "));
+            }
+        }
+        Statement::Pragma(text) => {
+            let _ = writeln!(out, "pragma {text};");
+        }
+        Statement::Standalone(a) => print_annotation(a, out),
+    }
+}
+
+fn print_annotation(a: &Annotation, out: &mut String) {
+    match a {
+        Annotation::Slm { positions } => {
+            let ps: Vec<String> = positions
+                .iter()
+                .map(|(x, y)| format!("({}, {})", fmt_f64(*x), fmt_f64(*y)))
+                .collect();
+            let _ = writeln!(out, "@slm [{}]", ps.join(", "));
+        }
+        Annotation::Aod { xs, ys } => {
+            let _ = writeln!(out, "@aod [{}] [{}]", fmt_list(xs), fmt_list(ys));
+        }
+        Annotation::Bind { qubit, target } => match target {
+            BindTarget::Slm(i) => {
+                let _ = writeln!(out, "@bind {qubit} slm {i}");
+            }
+            BindTarget::Aod(cx, cy) => {
+                let _ = writeln!(out, "@bind {qubit} aod {cx} {cy}");
+            }
+        },
+        Annotation::Transfer { slm_index, aod } => {
+            let _ = writeln!(out, "@transfer {slm_index} ({}, {})", aod.0, aod.1);
+        }
+        Annotation::Shuttle {
+            axis,
+            index,
+            offset,
+        } => {
+            let _ = writeln!(out, "@shuttle {axis} {index} {}", fmt_f64(*offset));
+        }
+        Annotation::RamanGlobal { x, y, z } => {
+            let _ = writeln!(
+                out,
+                "@raman global {} {} {}",
+                fmt_f64(*x),
+                fmt_f64(*y),
+                fmt_f64(*z)
+            );
+        }
+        Annotation::RamanLocal { qubit, x, y, z } => {
+            let _ = writeln!(
+                out,
+                "@raman local {qubit} {} {} {}",
+                fmt_f64(*x),
+                fmt_f64(*y),
+                fmt_f64(*z)
+            );
+        }
+        Annotation::Rydberg => {
+            let _ = writeln!(out, "@rydberg");
+        }
+        Annotation::Other { keyword, content } => {
+            if content.is_empty() {
+                let _ = writeln!(out, "@{keyword}");
+            } else {
+                let _ = writeln!(out, "@{keyword} {content}");
+            }
+        }
+    }
+}
+
+fn fmt_list(xs: &[f64]) -> String {
+    xs.iter()
+        .map(|x| fmt_f64(*x))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Formats a float so the lexer round-trips it exactly: uses Rust's shortest
+/// representation, which `f64::parse` recovers losslessly.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{:.1}", v)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn roundtrip(src: &str) {
+        let p1 = parse(src).unwrap();
+        let text = print(&p1);
+        let p2 = parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+        assert_eq!(p1, p2, "round-trip mismatch\n---\n{text}");
+    }
+
+    #[test]
+    fn roundtrips_simple_program() {
+        roundtrip("OPENQASM 3.0;\nqreg q[2];\nh q[0];\ncz q[0], q[1];\nmeasure q[0];");
+    }
+
+    #[test]
+    fn roundtrips_annotations() {
+        roundtrip(
+            "qreg q[3];\n@slm [(0.0, 0.0), (7.25, -3.5)]\n@aod [1.0, 2.0] [0.5]\n@bind q[0] slm 0\n@bind q[1] aod 1 0\n@transfer 1 (0, 0)\n@shuttle column 1 4.25\n@raman global 0.1 -0.2 0.3\n@raman local q[2] 0.0 1.0 0.0\n@rydberg\nccz q[0], q[1], q[2];",
+        );
+    }
+
+    #[test]
+    fn roundtrips_negative_and_scientific() {
+        roundtrip("qreg q[1];\nrz(-0.5) q[0];\nrx(1e-3) q[0];");
+    }
+
+    #[test]
+    fn roundtrips_barriers_and_pragmas() {
+        roundtrip("pragma weaver target fpqa;\nqreg q[2];\nbarrier;\nbarrier q[0], q[1];");
+    }
+
+    #[test]
+    fn integers_print_with_decimal() {
+        assert_eq!(fmt_f64(3.0), "3.0");
+        assert_eq!(fmt_f64(0.5), "0.5");
+    }
+}

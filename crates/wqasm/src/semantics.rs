@@ -1,0 +1,438 @@
+//! Static semantic validation of wQasm annotations (paper §4.3, Table 1).
+//!
+//! This pass checks every *pre-condition* that can be verified without
+//! simulating atom motion: SLM/AOD minimum spacing, AOD coordinate ordering,
+//! bind-target ranges, transfer/shuttle index validity, and the basic
+//! gate-call well-formedness (declared registers, arities, in-range
+//! indices). Full dynamic checking — positions after motion, Rydberg
+//! interaction sets — is the wChecker's job (`weaver-core`).
+
+use crate::ast::*;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Geometric limits used by the static checks, in micrometres.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SemanticConfig {
+    /// Minimum distance between any two SLM traps and between adjacent AOD
+    /// rows/columns (paper: 5–10 µm).
+    pub min_trap_distance: f64,
+    /// Maximum SLM↔AOD distance for an `@transfer` (paper: Dist_TransferMax).
+    pub max_transfer_distance: f64,
+}
+
+impl Default for SemanticConfig {
+    fn default() -> Self {
+        SemanticConfig {
+            min_trap_distance: 5.0,
+            max_transfer_distance: 5.0,
+        }
+    }
+}
+
+/// A semantic diagnostic: which statement, what rule, what happened.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SemanticError {
+    /// Index of the offending statement in `Program::statements`.
+    pub statement: usize,
+    /// Description of the violated rule.
+    pub message: String,
+}
+
+impl fmt::Display for SemanticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "statement {}: {}", self.statement, self.message)
+    }
+}
+
+impl std::error::Error for SemanticError {}
+
+/// Known gate arities/parameter counts for gate-call validation.
+fn gate_signature(name: &str) -> Option<(usize, usize)> {
+    // (num_params, num_qubits)
+    Some(match name {
+        "x" | "y" | "z" | "h" | "s" | "sdg" | "t" | "tdg" | "id" => (0, 1),
+        "rx" | "ry" | "rz" | "p" | "u1" => (1, 1),
+        "u3" | "u" => (3, 1),
+        "cx" | "cnot" | "cz" | "swap" => (0, 2),
+        "crz" | "cp" => (1, 2),
+        "ccx" | "ccz" | "toffoli" => (0, 3),
+        _ => return None,
+    })
+}
+
+/// Validates a program, returning all diagnostics (empty = valid).
+///
+/// # Examples
+///
+/// ```
+/// use weaver_wqasm::{parse, semantics};
+/// let p = parse("qreg q[2];\ncz q[0], q[1];").unwrap();
+/// assert!(semantics::validate(&p, &Default::default()).is_empty());
+/// ```
+pub fn validate(program: &Program, config: &SemanticConfig) -> Vec<SemanticError> {
+    let mut errors = Vec::new();
+    let mut qregs: HashMap<String, usize> = HashMap::new();
+    let mut cregs: HashMap<String, usize> = HashMap::new();
+    // Device geometry discovered from @slm/@aod annotations.
+    let mut slm_traps: Option<Vec<(f64, f64)>> = None;
+    let mut aod_dims: Option<(usize, usize)> = None; // (columns, rows)
+
+    let check_qubit = |qubit: &QubitRef,
+                           qregs: &HashMap<String, usize>,
+                           errors: &mut Vec<SemanticError>,
+                           idx: usize| {
+        match qregs.get(&qubit.register) {
+            None => errors.push(SemanticError {
+                statement: idx,
+                message: format!("use of undeclared quantum register `{}`", qubit.register),
+            }),
+            Some(&size) if qubit.index >= size => errors.push(SemanticError {
+                statement: idx,
+                message: format!(
+                    "qubit index {} out of range for `{}[{}]`",
+                    qubit.index, qubit.register, size
+                ),
+            }),
+            _ => {}
+        }
+    };
+
+    for (idx, stmt) in program.statements.iter().enumerate() {
+        // Validate annotations wherever they appear.
+        let annotations: &[Annotation] = match stmt {
+            Statement::GateCall { annotations, .. } => annotations,
+            Statement::Standalone(a) => std::slice::from_ref(a),
+            _ => &[],
+        };
+        for a in annotations {
+            validate_annotation(
+                a,
+                idx,
+                config,
+                &qregs,
+                &mut slm_traps,
+                &mut aod_dims,
+                &mut errors,
+            );
+        }
+
+        match stmt {
+            Statement::QregDecl { name, size } => {
+                if *size == 0 {
+                    errors.push(SemanticError {
+                        statement: idx,
+                        message: format!("register `{name}` has zero size"),
+                    });
+                }
+                if qregs.insert(name.clone(), *size).is_some() {
+                    errors.push(SemanticError {
+                        statement: idx,
+                        message: format!("redeclaration of quantum register `{name}`"),
+                    });
+                }
+            }
+            Statement::CregDecl { name, size } => {
+                if cregs.insert(name.clone(), *size).is_some() {
+                    errors.push(SemanticError {
+                        statement: idx,
+                        message: format!("redeclaration of classical register `{name}`"),
+                    });
+                }
+            }
+            Statement::GateCall {
+                name,
+                params,
+                qubits,
+                ..
+            } => {
+                match gate_signature(name) {
+                    None => errors.push(SemanticError {
+                        statement: idx,
+                        message: format!("unknown gate `{name}`"),
+                    }),
+                    Some((nparams, nqubits)) => {
+                        if params.len() != nparams {
+                            errors.push(SemanticError {
+                                statement: idx,
+                                message: format!(
+                                    "gate `{name}` expects {nparams} parameter(s), got {}",
+                                    params.len()
+                                ),
+                            });
+                        }
+                        if qubits.len() != nqubits {
+                            errors.push(SemanticError {
+                                statement: idx,
+                                message: format!(
+                                    "gate `{name}` expects {nqubits} qubit(s), got {}",
+                                    qubits.len()
+                                ),
+                            });
+                        }
+                    }
+                }
+                for q in qubits {
+                    check_qubit(q, &qregs, &mut errors, idx);
+                }
+                for (i, q) in qubits.iter().enumerate() {
+                    if qubits[..i].contains(q) {
+                        errors.push(SemanticError {
+                            statement: idx,
+                            message: format!("duplicate operand {q}"),
+                        });
+                    }
+                }
+            }
+            Statement::Measure { qubit, target } => {
+                check_qubit(qubit, &qregs, &mut errors, idx);
+                if let Some(t) = target {
+                    match cregs.get(&t.register) {
+                        None => errors.push(SemanticError {
+                            statement: idx,
+                            message: format!(
+                                "use of undeclared classical register `{}`",
+                                t.register
+                            ),
+                        }),
+                        Some(&size) if t.index >= size => errors.push(SemanticError {
+                            statement: idx,
+                            message: format!(
+                                "bit index {} out of range for `{}[{}]`",
+                                t.index, t.register, size
+                            ),
+                        }),
+                        _ => {}
+                    }
+                }
+            }
+            Statement::Barrier { qubits } => {
+                for q in qubits {
+                    check_qubit(q, &qregs, &mut errors, idx);
+                }
+            }
+            Statement::Pragma(_) | Statement::Standalone(_) => {}
+        }
+    }
+    errors
+}
+
+#[allow(clippy::too_many_arguments)]
+fn validate_annotation(
+    a: &Annotation,
+    idx: usize,
+    config: &SemanticConfig,
+    qregs: &HashMap<String, usize>,
+    slm_traps: &mut Option<Vec<(f64, f64)>>,
+    aod_dims: &mut Option<(usize, usize)>,
+    errors: &mut Vec<SemanticError>,
+) {
+    let mut err = |message: String| {
+        errors.push(SemanticError {
+            statement: idx,
+            message,
+        })
+    };
+    match a {
+        Annotation::Slm { positions } => {
+            // Pre-condition: pairwise distance above minimum.
+            for (i, &(xi, yi)) in positions.iter().enumerate() {
+                for &(xj, yj) in &positions[..i] {
+                    let d = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt();
+                    if d < config.min_trap_distance {
+                        err(format!(
+                            "@slm traps ({xi}, {yi}) and ({xj}, {yj}) are {d:.2} µm apart, \
+                             below the minimum {:.2} µm",
+                            config.min_trap_distance
+                        ));
+                    }
+                }
+            }
+            *slm_traps = Some(positions.clone());
+        }
+        Annotation::Aod { xs, ys } => {
+            // Pre-condition: strictly increasing with minimum spacing.
+            for (label, coords) in [("x", xs), ("y", ys)] {
+                for w in coords.windows(2) {
+                    if w[1] <= w[0] {
+                        err(format!(
+                            "@aod {label}-coordinates must be strictly increasing \
+                             ({} then {})",
+                            w[0], w[1]
+                        ));
+                    } else if w[1] - w[0] < config.min_trap_distance {
+                        err(format!(
+                            "@aod adjacent {label}-coordinates {} and {} closer than \
+                             minimum {:.2} µm",
+                            w[0], w[1], config.min_trap_distance
+                        ));
+                    }
+                }
+            }
+            *aod_dims = Some((xs.len(), ys.len()));
+        }
+        Annotation::Bind { qubit, target } => {
+            if !qregs.is_empty() && !qregs.contains_key(&qubit.register) {
+                err(format!(
+                    "@bind references undeclared register `{}`",
+                    qubit.register
+                ));
+            }
+            match target {
+                BindTarget::Slm(i) => {
+                    if let Some(traps) = slm_traps {
+                        if *i >= traps.len() {
+                            err(format!(
+                                "@bind slm index {i} out of range ({} traps)",
+                                traps.len()
+                            ));
+                        }
+                    } else {
+                        err("@bind slm before any @slm initialization".to_string());
+                    }
+                }
+                BindTarget::Aod(cx, cy) => {
+                    if let Some((cols, rows)) = aod_dims {
+                        if cx >= cols || cy >= rows {
+                            err(format!(
+                                "@bind aod ({cx}, {cy}) out of range for {cols}x{rows} grid"
+                            ));
+                        }
+                    } else {
+                        err("@bind aod before any @aod initialization".to_string());
+                    }
+                }
+            }
+        }
+        Annotation::Transfer { slm_index, aod } => {
+            match slm_traps {
+                Some(traps) if *slm_index >= traps.len() => {
+                    err(format!(
+                        "@transfer slm index {slm_index} out of range ({} traps)",
+                        traps.len()
+                    ));
+                }
+                None => err("@transfer before any @slm initialization".to_string()),
+                _ => {}
+            }
+            match aod_dims {
+                Some((cols, rows)) if aod.0 >= *cols || aod.1 >= *rows => {
+                    err(format!(
+                        "@transfer aod ({}, {}) out of range for {cols}x{rows} grid",
+                        aod.0, aod.1
+                    ));
+                }
+                None => err("@transfer before any @aod initialization".to_string()),
+                _ => {}
+            }
+        }
+        Annotation::Shuttle { axis, index, .. } => match aod_dims {
+            Some((cols, rows)) => {
+                let bound = match axis {
+                    ShuttleAxis::Row => *rows,
+                    ShuttleAxis::Column => *cols,
+                };
+                if *index >= bound {
+                    err(format!("@shuttle {axis} index {index} out of range ({bound})"));
+                }
+            }
+            None => err("@shuttle before any @aod initialization".to_string()),
+        },
+        Annotation::RamanLocal { qubit, .. } => {
+            if !qregs.is_empty() && !qregs.contains_key(&qubit.register) {
+                err(format!(
+                    "@raman local references undeclared register `{}`",
+                    qubit.register
+                ));
+            }
+        }
+        Annotation::RamanGlobal { .. } | Annotation::Rydberg | Annotation::Other { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn errs(src: &str) -> Vec<SemanticError> {
+        validate(&parse(src).unwrap(), &SemanticConfig::default())
+    }
+
+    #[test]
+    fn valid_program_has_no_errors() {
+        let e = errs(
+            "qreg q[3];\ncreg c[3];\n@slm [(0.0, 0.0), (10.0, 0.0)]\n@aod [5.0] [7.0]\n@bind q[0] slm 0\nh q[0];\ncz q[0], q[1];\nmeasure q[0] -> c[0];",
+        );
+        assert!(e.is_empty(), "{e:?}");
+    }
+
+    #[test]
+    fn detects_undeclared_register() {
+        let e = errs("h r[0];");
+        assert!(e.iter().any(|x| x.message.contains("undeclared")));
+    }
+
+    #[test]
+    fn detects_out_of_range_index() {
+        let e = errs("qreg q[2];\nh q[5];");
+        assert!(e.iter().any(|x| x.message.contains("out of range")));
+    }
+
+    #[test]
+    fn detects_bad_arity_and_params() {
+        let e = errs("qreg q[2];\ncz q[0];\nrz q[0];");
+        assert!(e.iter().any(|x| x.message.contains("expects 2 qubit")));
+        assert!(e.iter().any(|x| x.message.contains("expects 1 parameter")));
+    }
+
+    #[test]
+    fn detects_unknown_gate() {
+        let e = errs("qreg q[1];\nfoo q[0];");
+        assert!(e.iter().any(|x| x.message.contains("unknown gate")));
+    }
+
+    #[test]
+    fn slm_minimum_distance_enforced() {
+        let e = errs("qreg q[1];\n@slm [(0.0, 0.0), (1.0, 0.0)]\nh q[0];");
+        assert!(e.iter().any(|x| x.message.contains("below the minimum")));
+    }
+
+    #[test]
+    fn aod_ordering_enforced() {
+        let e = errs("qreg q[1];\n@aod [10.0, 5.0] [0.0]\nh q[0];");
+        assert!(e.iter().any(|x| x.message.contains("strictly increasing")));
+    }
+
+    #[test]
+    fn bind_requires_initialization_and_range() {
+        let e = errs("qreg q[1];\n@bind q[0] slm 0\nh q[0];");
+        assert!(e.iter().any(|x| x.message.contains("before any @slm")));
+        let e = errs("qreg q[1];\n@slm [(0.0, 0.0)]\n@bind q[0] slm 3\nh q[0];");
+        assert!(e.iter().any(|x| x.message.contains("out of range")));
+    }
+
+    #[test]
+    fn shuttle_index_range() {
+        let e = errs("qreg q[1];\n@aod [0.0, 10.0] [0.0]\n@shuttle row 5 1.0\nh q[0];");
+        assert!(e.iter().any(|x| x.message.contains("@shuttle row index 5")));
+    }
+
+    #[test]
+    fn measure_target_checked() {
+        let e = errs("qreg q[1];\nmeasure q[0] -> c[0];");
+        assert!(e.iter().any(|x| x.message.contains("undeclared classical")));
+    }
+
+    #[test]
+    fn duplicate_operands_detected() {
+        let e = errs("qreg q[2];\ncz q[1], q[1];");
+        assert!(e.iter().any(|x| x.message.contains("duplicate operand")));
+    }
+
+    #[test]
+    fn zero_size_register_rejected() {
+        let e = errs("qreg q[0];");
+        assert!(e.iter().any(|x| x.message.contains("zero size")));
+    }
+}

@@ -1,0 +1,221 @@
+//! `weaverc` — command-line front end for the Weaver retargetable compiler.
+//!
+//! ```text
+//! weaverc <input.cnf> [--target fpqa|superconducting] [--out file.qasm]
+//!         [--no-compression] [--no-parallel-shuttling] [--greedy-coloring]
+//!         [--ccz-fidelity F] [--gamma G --beta B] [--check] [--metrics]
+//! ```
+//!
+//! Reads a DIMACS CNF Max-3SAT instance (SATLIB format), compiles it for
+//! the chosen backend, prints metrics, and optionally writes the compiled
+//! wQasm program and runs the wChecker.
+
+use std::process::ExitCode;
+use weaver::core::{CodegenOptions, Weaver};
+use weaver::fpqa::FpqaParams;
+use weaver::sat::{dimacs, qaoa::QaoaParams};
+use weaver::superconducting::CouplingMap;
+
+struct Args {
+    input: String,
+    target: String,
+    out: Option<String>,
+    compression: bool,
+    parallel_shuttling: bool,
+    dsatur: bool,
+    ccz_fidelity: Option<f64>,
+    gamma: f64,
+    beta: f64,
+    check: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: weaverc <input.cnf> [--target fpqa|superconducting] [--out file.qasm]\n\
+     \x20              [--no-compression] [--no-parallel-shuttling] [--greedy-coloring]\n\
+     \x20              [--ccz-fidelity F] [--gamma G] [--beta B] [--check]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        input: String::new(),
+        target: "fpqa".to_string(),
+        out: None,
+        compression: true,
+        parallel_shuttling: true,
+        dsatur: true,
+        ccz_fidelity: None,
+        gamma: 0.7,
+        beta: 0.3,
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or(format!("missing value for {flag}"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--target" => args.target = value(&mut it, "--target")?,
+            "--out" => args.out = Some(value(&mut it, "--out")?),
+            "--no-compression" => args.compression = false,
+            "--no-parallel-shuttling" => args.parallel_shuttling = false,
+            "--greedy-coloring" => args.dsatur = false,
+            "--ccz-fidelity" => {
+                args.ccz_fidelity = Some(
+                    value(&mut it, "--ccz-fidelity")?
+                        .parse()
+                        .map_err(|e| format!("bad --ccz-fidelity: {e}"))?,
+                )
+            }
+            "--gamma" => {
+                args.gamma = value(&mut it, "--gamma")?
+                    .parse()
+                    .map_err(|e| format!("bad --gamma: {e}"))?
+            }
+            "--beta" => {
+                args.beta = value(&mut it, "--beta")?
+                    .parse()
+                    .map_err(|e| format!("bad --beta: {e}"))?
+            }
+            "--check" => args.check = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if args.input.is_empty() && !other.starts_with('-') => {
+                args.input = other.to_string()
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if args.input.is_empty() {
+        return Err(usage().to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let text = match std::fs::read_to_string(&args.input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("weaverc: cannot read {}: {e}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let formula = match dimacs::parse(&text) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("weaverc: {}: {e}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "weaverc: {} — {} variables, {} clauses",
+        args.input,
+        formula.num_vars(),
+        formula.num_clauses()
+    );
+
+    let mut params = FpqaParams::default();
+    if let Some(f) = args.ccz_fidelity {
+        params = params.with_ccz_fidelity(f);
+    }
+    let options = CodegenOptions {
+        compression: args.compression,
+        parallel_shuttling: args.parallel_shuttling,
+        dsatur: args.dsatur,
+        qaoa: QaoaParams::single(args.gamma, args.beta),
+        measure: true,
+        ..CodegenOptions::default()
+    };
+    let weaver = Weaver::new()
+        .with_fpqa_params(params)
+        .with_options(options);
+
+    match args.target.as_str() {
+        "fpqa" => {
+            let result = weaver.compile_fpqa(&formula);
+            eprintln!(
+                "weaverc: compiled in {:.4} s — {} pulses, {} motion ops, {} colors",
+                result.metrics.compilation_seconds,
+                result.metrics.pulses,
+                result.metrics.motion_ops,
+                result.compiled.coloring.num_colors,
+            );
+            eprintln!(
+                "weaverc: estimated execution {:.4} s, EPS {:.3e}",
+                result.metrics.execution_micros * 1e-6,
+                result.metrics.eps
+            );
+            if args.check {
+                let report = weaver.verify(&result, &formula);
+                if report.passed() {
+                    eprintln!(
+                        "weaverc: wChecker PASS ({} pulses, {} motions checked)",
+                        report.pulses_checked, report.motions_checked
+                    );
+                } else {
+                    eprintln!("weaverc: wChecker FAIL:");
+                    for e in &report.errors {
+                        eprintln!("  {e}");
+                    }
+                    return ExitCode::FAILURE;
+                }
+            }
+            let qasm = weaver::wqasm::print(&result.compiled.program);
+            match &args.out {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, qasm) {
+                        eprintln!("weaverc: cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("weaverc: wrote {path}");
+                }
+                None => print!("{qasm}"),
+            }
+        }
+        "superconducting" | "sc" => {
+            let coupling = CouplingMap::ibm_washington();
+            if formula.num_vars() > coupling.num_qubits() {
+                eprintln!(
+                    "weaverc: {} variables exceed the 127-qubit backend",
+                    formula.num_vars()
+                );
+                return ExitCode::FAILURE;
+            }
+            let result = weaver.compile_superconducting(&formula, &coupling);
+            eprintln!(
+                "weaverc: compiled in {:.4} s — {} gates, {} SWAPs inserted",
+                result.metrics.compilation_seconds,
+                result.metrics.pulses,
+                result.swap_count
+            );
+            eprintln!(
+                "weaverc: estimated execution {:.4} s, EPS {:.3e}",
+                result.metrics.execution_micros * 1e-6,
+                result.metrics.eps
+            );
+            let program = weaver::wqasm::convert::circuit_to_program(&result.circuit);
+            let qasm = weaver::wqasm::print(&program);
+            match &args.out {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, qasm) {
+                        eprintln!("weaverc: cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("weaverc: wrote {path}");
+                }
+                None => print!("{qasm}"),
+            }
+        }
+        other => {
+            eprintln!("weaverc: unknown target `{other}` (use fpqa or superconducting)");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

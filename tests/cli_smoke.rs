@@ -1,0 +1,55 @@
+//! Smoke test for the `weaverc` CLI: DIMACS in, wQasm out, checker PASS.
+
+use std::process::Command;
+
+fn weaverc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_weaverc"))
+}
+
+fn write_cnf() -> String {
+    let f = weaver::sat::generator::instance(10, 1);
+    let path = std::env::temp_dir().join("weaverc_smoke_uf10.cnf");
+    std::fs::write(&path, weaver::sat::dimacs::to_string(&f)).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn compiles_dimacs_to_wqasm_with_check() {
+    let cnf = write_cnf();
+    let out = weaverc()
+        .args([cnf.as_str(), "--target", "fpqa", "--check"])
+        .output()
+        .expect("run weaverc");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("OPENQASM"));
+    assert!(stdout.contains("@rydberg"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("wChecker PASS"), "{stderr}");
+    // The emitted program reparses and validates.
+    let program = weaver::wqasm::parse(&stdout).expect("reparse CLI output");
+    assert!(weaver::wqasm::semantics::validate(&program, &Default::default()).is_empty());
+}
+
+#[test]
+fn superconducting_target_emits_plain_qasm() {
+    let cnf = write_cnf();
+    let out = weaverc()
+        .args([cnf.as_str(), "--target", "superconducting"])
+        .output()
+        .expect("run weaverc");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let program = weaver::wqasm::parse(&stdout).expect("reparse CLI output");
+    assert!(program.pulse_count() == 0, "no FPQA annotations on the SC path");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("SWAPs"));
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let out = weaverc().args(["/nonexistent.cnf"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = weaverc().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
