@@ -101,15 +101,12 @@ impl FpqaCompiler for Atomique {
                 for q in 0..n {
                     let mut best_cell = pos[q];
                     let mut best_cost = f64::MAX;
-                    for c in 0..cells {
-                        if cell_of[c].is_some() && cell_of[c] != Some(q) {
+                    for (c, occupant) in cell_of.iter().enumerate() {
+                        if occupant.is_some() && *occupant != Some(q) {
                             continue;
                         }
                         let mut cost = dist(pos[q], c) * 0.1;
-                        for &future in two_qubit_positions
-                            .iter()
-                            .filter(|&&p| p > gi)
-                            .take(window)
+                        for &future in two_qubit_positions.iter().filter(|&&p| p > gi).take(window)
                         {
                             steps += 1;
                             let (_, fq) = &gates[future];
@@ -150,11 +147,7 @@ impl FpqaCompiler for Atomique {
                         continue;
                     }
                     let mut cost = dist(pos[a], c);
-                    for &future in two_qubit_positions
-                        .iter()
-                        .filter(|&&p| p > gi)
-                        .take(window)
-                    {
+                    for &future in two_qubit_positions.iter().filter(|&&p| p > gi).take(window) {
                         steps += 1;
                         let (_, fq) = &gates[future];
                         if fq.contains(&a) {

@@ -13,7 +13,11 @@ use weaver_bench::{figures, Suite};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let suite = if quick { Suite::quick() } else { Suite::paper() };
+    let suite = if quick {
+        Suite::quick()
+    } else {
+        Suite::paper()
+    };
     let wanted: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))

@@ -199,8 +199,17 @@ pub fn fig10a(suite: &Suite) -> String {
         rows.push(row);
     }
     let header: Vec<String> = [
-        "N", "K(gates)", "SC steps", "Atomique steps", "Weaver steps", "DPQA steps",
-        "Geyser steps", "O(N^3)", "O(N^2)", "O(K^2)", "O(2^K)",
+        "N",
+        "K(gates)",
+        "SC steps",
+        "Atomique steps",
+        "Weaver steps",
+        "DPQA steps",
+        "Geyser steps",
+        "O(N^3)",
+        "O(N^2)",
+        "O(K^2)",
+        "O(2^K)",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -263,9 +272,9 @@ pub fn fig10c(suite: &Suite) -> String {
         rows,
     );
     out.push_str(&match threshold {
-        Some(t) => format!(
-            "Weaver surpasses all baselines above CCZ fidelity ≈ {t:.4} (paper: 0.9916)\n"
-        ),
+        Some(t) => {
+            format!("Weaver surpasses all baselines above CCZ fidelity ≈ {t:.4} (paper: 0.9916)\n")
+        }
         None => "Weaver did not overtake every baseline within the sweep\n".to_string(),
     });
     out
@@ -401,7 +410,14 @@ mod tests {
             params: FpqaParams::default(),
         };
         let text = fig8a(&s);
-        for name in ["Superconducting", "Atomique", "Weaver", "DPQA", "Geyser", "Mean"] {
+        for name in [
+            "Superconducting",
+            "Atomique",
+            "Weaver",
+            "DPQA",
+            "Geyser",
+            "Mean",
+        ] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }
     }

@@ -214,8 +214,14 @@ mod tests {
             motion_ops: 3,
             steps: 100,
         });
-        assert_eq!(done.cell(|m| format!("{:.1}", m.compilation_seconds)), "1.5");
-        assert_eq!(RunOutcome::TimedOut("x".into()).cell(|_| String::new()), "✗");
+        assert_eq!(
+            done.cell(|m| format!("{:.1}", m.compilation_seconds)),
+            "1.5"
+        );
+        assert_eq!(
+            RunOutcome::TimedOut("x".into()).cell(|_| String::new()),
+            "✗"
+        );
         assert_eq!(
             RunOutcome::NotApplicable("x".into()).cell(|_| String::new()),
             "—"

@@ -379,7 +379,12 @@ mod tests {
     #[test]
     fn builder_chains_and_counts() {
         let mut c = Circuit::new(3);
-        c.h(0).cx(0, 1).ccz(0, 1, 2).rz(0.5, 2).barrier().measure_all();
+        c.h(0)
+            .cx(0, 1)
+            .ccz(0, 1, 2)
+            .rz(0.5, 2)
+            .barrier()
+            .measure_all();
         assert_eq!(c.gate_count(), 4);
         assert_eq!(c.two_qubit_count(), 1);
         assert_eq!(c.count_with_arity_at_least(3), 1);

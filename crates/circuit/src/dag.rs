@@ -58,8 +58,7 @@ impl DependencyDag {
                     } else {
                         scope.clone()
                     };
-                    let frontier: Vec<usize> =
-                        covered.iter().filter_map(|&q| last_on[q]).collect();
+                    let frontier: Vec<usize> = covered.iter().filter_map(|&q| last_on[q]).collect();
                     if let Some(&max) = frontier.iter().max() {
                         for &q in &covered {
                             last_on[q] = Some(max);

@@ -258,9 +258,7 @@ mod tests {
         let mut c = Circuit::new(4);
         c.push(Gate::CnZ(3), &[0, 1, 2, 3]);
         let d = decompose_circuit(&c, true);
-        assert!(d
-            .instructions()
-            .all(|i| i.gate.num_qubits() <= 3));
+        assert!(d.instructions().all(|i| i.gate.num_qubits() <= 3));
         assert_equiv(&c, &d);
     }
 

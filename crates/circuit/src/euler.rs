@@ -20,8 +20,7 @@ pub struct EulerAngles {
 impl EulerAngles {
     /// Rebuilds the exact matrix `e^{iα}·U3(θ, φ, λ)`.
     pub fn to_matrix(self) -> Matrix {
-        gates::u3(self.theta, self.phi, self.lambda)
-            .scale(Complex::from_polar(self.global_phase))
+        gates::u3(self.theta, self.phi, self.lambda).scale(Complex::from_polar(self.global_phase))
     }
 }
 

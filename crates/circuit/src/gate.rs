@@ -152,7 +152,13 @@ impl Gate {
     pub fn is_diagonal(&self) -> bool {
         matches!(
             self,
-            Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::Rz(_) | Gate::P(_)
+            Gate::Z
+                | Gate::S
+                | Gate::Sdg
+                | Gate::T
+                | Gate::Tdg
+                | Gate::Rz(_)
+                | Gate::P(_)
                 | Gate::Cz
                 | Gate::Crz(_)
                 | Gate::Ccz
@@ -242,7 +248,14 @@ mod tests {
 
     #[test]
     fn diagonal_gates_have_diagonal_matrices() {
-        for g in [Gate::Z, Gate::T, Gate::Rz(0.6), Gate::Cz, Gate::Ccz, Gate::CnZ(3)] {
+        for g in [
+            Gate::Z,
+            Gate::T,
+            Gate::Rz(0.6),
+            Gate::Cz,
+            Gate::Ccz,
+            Gate::CnZ(3),
+        ] {
             assert!(g.is_diagonal());
             let m = g.matrix();
             for r in 0..m.rows() {

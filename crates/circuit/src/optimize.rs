@@ -70,11 +70,11 @@ pub fn peephole(circuit: &Circuit) -> (Circuit, OptStats) {
             if !matches!(a.gate, Gate::Cz | Gate::Ccz | Gate::Cx | Gate::Swap) {
                 continue;
             }
-            for jdx in idx + 1..ops.len() {
+            for (jdx, op) in ops.iter().enumerate().skip(idx + 1) {
                 if to_remove.contains(&jdx) {
                     continue;
                 }
-                let blocks = match &ops[jdx] {
+                let blocks = match op {
                     Operation::Gate(b) => {
                         let same_set = b.gate == a.gate
                             && if a.gate.is_symmetric() {

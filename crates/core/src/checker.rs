@@ -402,9 +402,7 @@ fn check_raman_global(
                 if !equiv::compare(&pulse_matrix, &logical, 1e-7).is_equivalent() {
                     report.errors.push(CheckError {
                         statement: idx + offset,
-                        message: format!(
-                            "@raman global pulse does not implement u3 on q[{q}]"
-                        ),
+                        message: format!("@raman global pulse does not implement u3 on q[{q}]"),
                     });
                 }
                 if q < n {

@@ -509,7 +509,8 @@ impl<'a> Emitter<'a> {
                 aod: (col, 0),
             });
         }
-        self.schedule.push(PulseOp::TransferBatch { atoms: batch.len() });
+        self.schedule
+            .push(PulseOp::TransferBatch { atoms: batch.len() });
         // Column moves in crossing-safe order; one schedule op for the whole
         // parallel move (duration = the longest individual distance).
         let mut max_dx = 0.0f64;
@@ -554,7 +555,8 @@ impl<'a> Emitter<'a> {
                 aod: (col, 0),
             });
         }
-        self.schedule.push(PulseOp::TransferBatch { atoms: batch.len() });
+        self.schedule
+            .push(PulseOp::TransferBatch { atoms: batch.len() });
     }
 
     // ---- pulses ----------------------------------------------------------------

@@ -217,8 +217,8 @@ mod tests {
         // Star graph: 2 colors.
         let mut star = vec![vec![]; 7];
         star[0] = (1..7).collect();
-        for leaf in 1..7 {
-            star[leaf] = vec![0];
+        for leaf in star.iter_mut().skip(1) {
+            *leaf = vec![0];
         }
         assert_eq!(dsatur(&star).num_colors, 2);
     }

@@ -208,10 +208,7 @@ mod tests {
         let compressed = compressed_clause_circuit(clause, gamma, n);
         let reference = reference_clause_circuit(clause, gamma, n);
         let e = equiv::compare(&compressed.unitary(), &reference.unitary(), TOL);
-        assert!(
-            e.is_equivalent(),
-            "clause {clause} at γ={gamma}: {e:?}"
-        );
+        assert!(e.is_equivalent(), "clause {clause} at γ={gamma}: {e:?}");
     }
 
     #[test]

@@ -217,16 +217,16 @@ mod tests {
         let out = weaver.compile_superconducting(&f, &coupling);
         assert!(out.swap_count > 0, "QAOA on heavy-hex must route");
         assert!(out.metrics.eps >= 0.0 && out.metrics.eps <= 1.0);
-        assert!(
-            weaver_superconducting::sabre::respects_coupling(&out.circuit, &coupling)
-        );
+        assert!(weaver_superconducting::sabre::respects_coupling(
+            &out.circuit,
+            &coupling
+        ));
     }
 
     #[test]
     fn low_ccz_fidelity_disables_compression() {
         let f = generator::instance(20, 3);
-        let weaver =
-            Weaver::new().with_fpqa_params(FpqaParams::default().with_ccz_fidelity(0.90));
+        let weaver = Weaver::new().with_fpqa_params(FpqaParams::default().with_ccz_fidelity(0.90));
         let out = weaver.compile_fpqa(&f);
         // Ladder mode: no CCZ pulses at all, and far more Rydberg slots
         // (≈10 per color instead of 4) plus more atom motion.

@@ -86,9 +86,7 @@ mod tests {
         let ccz = PulseOp::Rydberg {
             groups: vec![vec![0, 1, 2]],
         };
-        assert!(
-            op_success_probability(&ccz, &p, 3) < op_success_probability(&cz, &p, 3)
-        );
+        assert!(op_success_probability(&ccz, &p, 3) < op_success_probability(&cz, &p, 3));
     }
 
     #[test]

@@ -66,7 +66,11 @@ impl fmt::Display for PulseOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PulseOp::RamanGlobal { angles } => {
-                write!(f, "raman global ({:.3}, {:.3}, {:.3})", angles.0, angles.1, angles.2)
+                write!(
+                    f,
+                    "raman global ({:.3}, {:.3}, {:.3})",
+                    angles.0, angles.1, angles.2
+                )
             }
             PulseOp::RamanLocal { qubit, angles } => write!(
                 f,

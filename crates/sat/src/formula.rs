@@ -173,7 +173,11 @@ impl Formula {
     ///
     /// Panics if `assignment.len() != num_vars`.
     pub fn count_satisfied(&self, assignment: &[bool]) -> usize {
-        assert_eq!(assignment.len(), self.num_vars, "assignment length mismatch");
+        assert_eq!(
+            assignment.len(),
+            self.num_vars,
+            "assignment length mismatch"
+        );
         self.clauses.iter().filter(|c| c.eval(assignment)).count()
     }
 

@@ -209,7 +209,7 @@ pub fn ccz() -> Matrix {
 /// Panics if `n == 0` or the resulting matrix would exceed 2¹² rows.
 pub fn cnz(n: usize) -> Matrix {
     assert!(n >= 1, "CnZ needs at least one control");
-    assert!(n + 1 <= 12, "CnZ too large to materialize");
+    assert!(n < 12, "CnZ too large to materialize");
     let dim = 1usize << (n + 1);
     let mut m = Matrix::identity(dim);
     m[(dim - 1, dim - 1)] = -Complex::ONE;
@@ -224,7 +224,22 @@ mod tests {
 
     #[test]
     fn all_fixed_gates_are_unitary() {
-        for m in [id(), x(), y(), z(), h(), s(), sdg(), t(), tdg(), cx(), cz(), swap(), ccx(), ccz()] {
+        for m in [
+            id(),
+            x(),
+            y(),
+            z(),
+            h(),
+            s(),
+            sdg(),
+            t(),
+            tdg(),
+            cx(),
+            cz(),
+            swap(),
+            ccx(),
+            ccz(),
+        ] {
             assert!(m.is_unitary(TOL));
         }
     }

@@ -43,9 +43,15 @@ impl State {
     ///
     /// Panics if `index >= 2^num_qubits` or `num_qubits > 24`.
     pub fn basis(num_qubits: usize, index: usize) -> Self {
-        assert!(num_qubits <= 24, "state vector too large: {num_qubits} qubits");
+        assert!(
+            num_qubits <= 24,
+            "state vector too large: {num_qubits} qubits"
+        );
         let dim = 1usize << num_qubits;
-        assert!(index < dim, "basis index {index} out of range for {num_qubits} qubits");
+        assert!(
+            index < dim,
+            "basis index {index} out of range for {num_qubits} qubits"
+        );
         let mut amplitudes = vec![Complex::ZERO; dim];
         amplitudes[index] = Complex::ONE;
         State {
@@ -61,7 +67,10 @@ impl State {
     /// Panics if the length is not a power of two.
     pub fn from_amplitudes(amplitudes: Vec<Complex>) -> Self {
         let dim = amplitudes.len();
-        assert!(dim.is_power_of_two(), "amplitude count must be a power of two");
+        assert!(
+            dim.is_power_of_two(),
+            "amplitude count must be a power of two"
+        );
         State {
             num_qubits: dim.trailing_zeros() as usize,
             amplitudes,
@@ -108,10 +117,7 @@ impl State {
         }
 
         // Bit position (from LSB) of each target in the basis index.
-        let bits: Vec<usize> = targets
-            .iter()
-            .map(|&t| self.num_qubits - 1 - t)
-            .collect();
+        let bits: Vec<usize> = targets.iter().map(|&t| self.num_qubits - 1 - t).collect();
         let mask: usize = bits.iter().map(|&b| 1usize << b).sum();
 
         let mut scratch = vec![Complex::ZERO; gdim];
@@ -122,14 +128,14 @@ impl State {
                 continue; // only visit each group once, at target bits = 0
             }
             // Gather the 2^k amplitudes of this group.
-            for g in 0..gdim {
+            for (g, slot) in scratch.iter_mut().enumerate() {
                 let mut idx = base;
                 for (pos, &b) in bits.iter().enumerate() {
                     if (g >> (k - 1 - pos)) & 1 == 1 {
                         idx |= 1 << b;
                     }
                 }
-                scratch[g] = self.amplitudes[idx];
+                *slot = self.amplitudes[idx];
             }
             // Multiply by the gate and scatter back.
             for (r, row) in (0..gdim).map(|r| (r, r)) {

@@ -26,7 +26,10 @@ impl CouplingMap {
     pub fn new(num_qubits: usize, edges: &[(usize, usize)]) -> Self {
         let mut adjacency = vec![Vec::new(); num_qubits];
         for &(a, b) in edges {
-            assert!(a < num_qubits && b < num_qubits, "edge ({a}, {b}) out of range");
+            assert!(
+                a < num_qubits && b < num_qubits,
+                "edge ({a}, {b}) out of range"
+            );
             assert_ne!(a, b, "self-loop on qubit {a}");
             if !adjacency[a].contains(&b) {
                 adjacency[a].push(b);
@@ -232,7 +235,10 @@ mod tests {
             .map(|q| m.neighbors(q).len())
             .max()
             .unwrap();
-        assert!(max_degree <= 3, "heavy-hex degree must be ≤ 3, got {max_degree}");
+        assert!(
+            max_degree <= 3,
+            "heavy-hex degree must be ≤ 3, got {max_degree}"
+        );
     }
 
     #[test]

@@ -73,7 +73,10 @@ pub fn route(circuit: &Circuit, coupling: &CouplingMap) -> RoutedCircuit {
     for trial in 0..TRIALS {
         let mut result = route_once(circuit, coupling, trial);
         total_steps += result.steps;
-        if best.as_ref().is_none_or(|b| result.swap_count < b.swap_count) {
+        if best
+            .as_ref()
+            .is_none_or(|b| result.swap_count < b.swap_count)
+        {
             result.steps = 0; // replaced with the total below
             best = Some(result);
         }
@@ -344,7 +347,10 @@ mod tests {
         c.cz(0, 3).cz(0, 1).cz(1, 2).cz(2, 3).cz(0, 2).cz(1, 3);
         let coupling = CouplingMap::line(4);
         let r = route(&c, &coupling);
-        assert!(r.swap_count >= 1, "a 4-clique on a line cannot be swap-free");
+        assert!(
+            r.swap_count >= 1,
+            "a 4-clique on a line cannot be swap-free"
+        );
         assert!(respects_coupling(&r.circuit, &coupling));
         let recovered = unroute(&r, 4);
         assert!(equiv::compare(&c.unitary(), &recovered.unitary(), 1e-9).is_equivalent());

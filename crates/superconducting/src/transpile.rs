@@ -108,11 +108,7 @@ pub fn execution_time(circuit: &Circuit, params: &SuperconductingParams) -> f64 
                 } else {
                     params.duration_2q
                 };
-                let start = i
-                    .qubits
-                    .iter()
-                    .map(|&q| clock[q])
-                    .fold(0.0f64, f64::max);
+                let start = i.qubits.iter().map(|&q| clock[q]).fold(0.0f64, f64::max);
                 for &q in &i.qubits {
                     clock[q] = start + d;
                 }

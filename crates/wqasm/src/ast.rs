@@ -200,7 +200,10 @@ impl Annotation {
 
     /// Whether this annotation moves atoms (`@shuttle` / `@transfer`).
     pub fn is_motion(&self) -> bool {
-        matches!(self, Annotation::Shuttle { .. } | Annotation::Transfer { .. })
+        matches!(
+            self,
+            Annotation::Shuttle { .. } | Annotation::Transfer { .. }
+        )
     }
 }
 
@@ -262,7 +265,8 @@ mod tests {
             name: "q".into(),
             size: 4,
         });
-        p.statements.push(Statement::Standalone(Annotation::Rydberg));
+        p.statements
+            .push(Statement::Standalone(Annotation::Rydberg));
         p.statements.push(Statement::GateCall {
             annotations: vec![
                 Annotation::Shuttle {

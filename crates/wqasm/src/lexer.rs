@@ -126,7 +126,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -234,7 +238,9 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     col: tcol,
                 });
             }
-            c if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()) => {
+            c if c.is_ascii_digit()
+                || (c == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()) =>
+            {
                 let start = i;
                 let mut seen_dot = false;
                 let mut seen_exp = false;
@@ -360,8 +366,18 @@ mod tests {
     #[test]
     fn comments_are_skipped() {
         let k = kinds("// line comment\nh q[0]; /* block\n comment */ x q[1];");
-        assert_eq!(k.iter().filter(|t| matches!(t, TokenKind::Ident(s) if s == "h")).count(), 1);
-        assert_eq!(k.iter().filter(|t| matches!(t, TokenKind::Ident(s) if s == "x")).count(), 1);
+        assert_eq!(
+            k.iter()
+                .filter(|t| matches!(t, TokenKind::Ident(s) if s == "h"))
+                .count(),
+            1
+        );
+        assert_eq!(
+            k.iter()
+                .filter(|t| matches!(t, TokenKind::Ident(s) if s == "x"))
+                .count(),
+            1
+        );
     }
 
     #[test]

@@ -195,10 +195,8 @@ impl Parser {
                 "qreg" | "creg" | "measure" | "barrier" | "pragma" | "qubit" | "bit" => {
                     // Setup annotations may legitimately stand alone before
                     // non-gate statements.
-                    let mut out: Vec<Statement> = annotations
-                        .into_iter()
-                        .map(Statement::Standalone)
-                        .collect();
+                    let mut out: Vec<Statement> =
+                        annotations.into_iter().map(Statement::Standalone).collect();
                     out.push(self.non_gate_statement(&s)?);
                     Ok(out)
                 }
@@ -284,16 +282,14 @@ impl Parser {
     fn gate_call(&mut self, annotations: Vec<Annotation>) -> Result<Statement, ParseError> {
         let name = self.expect_ident()?;
         let mut params = Vec::new();
-        if self.eat(&TokenKind::LParen) {
-            if !self.eat(&TokenKind::RParen) {
-                loop {
-                    params.push(self.expr()?);
-                    if !self.eat(&TokenKind::Comma) {
-                        break;
-                    }
+        if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+            loop {
+                params.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
                 }
-                self.expect(TokenKind::RParen)?;
             }
+            self.expect(TokenKind::RParen)?;
         }
         let mut qubits = Vec::new();
         loop {
@@ -437,7 +433,9 @@ impl Parser {
                             target: BindTarget::Aod(cx, cy),
                         })
                     }
-                    other => self.error(format!("expected `slm` or `aod` in @bind, found `{other}`")),
+                    other => {
+                        self.error(format!("expected `slm` or `aod` in @bind, found `{other}`"))
+                    }
                 }
             }
             "transfer" => {
@@ -458,8 +456,9 @@ impl Parser {
                     "row" => ShuttleAxis::Row,
                     "column" => ShuttleAxis::Column,
                     other => {
-                        return self
-                            .error(format!("expected `row` or `column` in @shuttle, found `{other}`"))
+                        return self.error(format!(
+                            "expected `row` or `column` in @shuttle, found `{other}`"
+                        ))
                     }
                 };
                 let index = self.expect_usize()?;
@@ -486,9 +485,9 @@ impl Parser {
                         let z = self.signed_number()?;
                         Ok(Annotation::RamanLocal { qubit, x, y, z })
                     }
-                    other => {
-                        self.error(format!("expected `global` or `local` in @raman, found `{other}`"))
-                    }
+                    other => self.error(format!(
+                        "expected `global` or `local` in @raman, found `{other}`"
+                    )),
                 }
             }
             "rydberg" => Ok(Annotation::Rydberg),
@@ -559,13 +558,16 @@ mod tests {
 
     #[test]
     fn parses_measure_and_barrier() {
-        let p = parse("qreg q[2];\nbarrier q[0], q[1];\nmeasure q[0] -> c[0];\nmeasure q[1];")
-            .unwrap();
+        let p =
+            parse("qreg q[2];\nbarrier q[0], q[1];\nmeasure q[0] -> c[0];\nmeasure q[1];").unwrap();
         assert!(matches!(&p.statements[1], Statement::Barrier { qubits } if qubits.len() == 2));
         assert!(
             matches!(&p.statements[2], Statement::Measure { target: Some(t), .. } if t.register == "c")
         );
-        assert!(matches!(&p.statements[3], Statement::Measure { target: None, .. }));
+        assert!(matches!(
+            &p.statements[3],
+            Statement::Measure { target: None, .. }
+        ));
     }
 
     #[test]
@@ -584,12 +586,17 @@ qreg q[3];
 cz q[0], q[1];
 "#;
         let p = parse(src).unwrap();
-        let Statement::GateCall { annotations, name, .. } = &p.statements[1] else {
+        let Statement::GateCall {
+            annotations, name, ..
+        } = &p.statements[1]
+        else {
             panic!("expected annotated gate call, got {:?}", p.statements[1]);
         };
         assert_eq!(name, "cz");
         assert_eq!(annotations.len(), 9);
-        assert!(matches!(annotations[0], Annotation::Slm { ref positions } if positions.len() == 3));
+        assert!(
+            matches!(annotations[0], Annotation::Slm { ref positions } if positions.len() == 3)
+        );
         assert!(
             matches!(annotations[1], Annotation::Aod { ref xs, ref ys } if xs.len() == 2 && ys.len() == 1)
         );
@@ -641,6 +648,9 @@ cz q[0], q[1];
     #[test]
     fn trailing_standalone_annotations_allowed() {
         let p = parse("qreg q[1];\nh q[0];\n@rydberg").unwrap();
-        assert!(matches!(p.statements.last(), Some(Statement::Standalone(Annotation::Rydberg))));
+        assert!(matches!(
+            p.statements.last(),
+            Some(Statement::Standalone(Annotation::Rydberg))
+        ));
     }
 }

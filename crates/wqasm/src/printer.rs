@@ -21,7 +21,11 @@ pub fn print(program: &Program) -> String {
     let mut out = String::new();
     if let Some(v) = &program.version {
         // Keep a conventional two-part version number.
-        let v = if v.contains('.') { v.clone() } else { format!("{v}.0") };
+        let v = if v.contains('.') {
+            v.clone()
+        } else {
+            format!("{v}.0")
+        };
         let _ = writeln!(out, "OPENQASM {v};");
     }
     for inc in &program.includes {

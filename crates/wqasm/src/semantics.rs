@@ -79,9 +79,9 @@ pub fn validate(program: &Program, config: &SemanticConfig) -> Vec<SemanticError
     let mut aod_dims: Option<(usize, usize)> = None; // (columns, rows)
 
     let check_qubit = |qubit: &QubitRef,
-                           qregs: &HashMap<String, usize>,
-                           errors: &mut Vec<SemanticError>,
-                           idx: usize| {
+                       qregs: &HashMap<String, usize>,
+                       errors: &mut Vec<SemanticError>,
+                       idx: usize| {
         match qregs.get(&qubit.register) {
             None => errors.push(SemanticError {
                 statement: idx,
@@ -333,7 +333,9 @@ fn validate_annotation(
                     ShuttleAxis::Column => *cols,
                 };
                 if *index >= bound {
-                    err(format!("@shuttle {axis} index {index} out of range ({bound})"));
+                    err(format!(
+                        "@shuttle {axis} index {index} out of range ({bound})"
+                    ));
                 }
             }
             None => err("@shuttle before any @aod initialization".to_string()),

@@ -30,7 +30,11 @@ fn main() {
         println!(
             "{:>8.3} {:>12} {:>10.2e} {:>8} {:>12.4}",
             fidelity.min(0.999),
-            if compressed_mode { "CCZ (2+2)" } else { "CZ ladder" },
+            if compressed_mode {
+                "CCZ (2+2)"
+            } else {
+                "CZ ladder"
+            },
             out.metrics.eps,
             out.metrics.pulses,
             out.metrics.execution_micros * 1e-6,

@@ -61,14 +61,20 @@ fn main() {
         .iter()
         .filter(|&&(u, v)| side_of(u) != side_of(v))
         .count();
-    println!("most likely outcome: {bitstring:06b} (p = {p:.4}) cutting {cut} of {} edges", edges.len());
+    println!(
+        "most likely outcome: {bitstring:06b} (p = {p:.4}) cutting {cut} of {} edges",
+        edges.len()
+    );
     let partition: Vec<&str> = vertices
         .iter()
         .enumerate()
         .filter(|&(v, _)| side_of(v) == 1)
         .map(|(_, name)| *name)
         .collect();
-    println!("partition (Fig. 1d): {{{}}} vs the rest", partition.join(", "));
+    println!(
+        "partition (Fig. 1d): {{{}}} vs the rest",
+        partition.join(", ")
+    );
 
     // And the same workload through the actual Weaver FPQA pipeline.
     let weaver = Weaver::new();

@@ -24,15 +24,18 @@ fn main() {
     let result = weaver.compile_fpqa(&formula);
 
     println!("\n--- metrics -------------------------------------------");
-    println!("compilation time : {:.4} s", result.metrics.compilation_seconds);
-    println!("execution time   : {:.4} s", result.metrics.execution_micros * 1e-6);
+    println!(
+        "compilation time : {:.4} s",
+        result.metrics.compilation_seconds
+    );
+    println!(
+        "execution time   : {:.4} s",
+        result.metrics.execution_micros * 1e-6
+    );
     println!("EPS              : {:.4}", result.metrics.eps);
     println!("laser pulses     : {}", result.metrics.pulses);
     println!("motion ops       : {}", result.metrics.motion_ops);
-    println!(
-        "colors (stages)  : {}",
-        result.compiled.coloring.num_colors
-    );
+    println!("colors (stages)  : {}", result.compiled.coloring.num_colors);
 
     // Verify with the wChecker: every annotation is re-simulated on a fresh
     // device model and pulses are translated back to logical gates.
@@ -40,12 +43,18 @@ fn main() {
     println!("\n--- wChecker ------------------------------------------");
     println!("pulses checked   : {}", report.pulses_checked);
     println!("motions checked  : {}", report.motions_checked);
-    println!("verdict          : {}", if report.passed() { "PASS" } else { "FAIL" });
+    println!(
+        "verdict          : {}",
+        if report.passed() { "PASS" } else { "FAIL" }
+    );
     assert!(report.passed(), "checker found: {:?}", report.errors);
 
     // The compiled program is ordinary wQasm text.
     let text = weaver::wqasm::print(&result.compiled.program);
     let head: String = text.lines().take(12).collect::<Vec<_>>().join("\n");
-    println!("\n--- compiled wQasm (first 12 lines of {}) ----", text.lines().count());
+    println!(
+        "\n--- compiled wQasm (first 12 lines of {}) ----",
+        text.lines().count()
+    );
     println!("{head}\n...");
 }

@@ -25,7 +25,10 @@ fn main() {
     // Superconducting path.
     let sc = weaver.compile_superconducting(&formula, &CouplingMap::ibm_washington());
     print_row("Superconducting", &sc.metrics);
-    println!("    (SABRE inserted {} SWAPs on the heavy-hex map)", sc.swap_count);
+    println!(
+        "    (SABRE inserted {} SWAPs on the heavy-hex map)",
+        sc.swap_count
+    );
 
     // Weaver's FPQA path.
     let fpqa = weaver.compile_fpqa(&formula);
@@ -33,7 +36,11 @@ fn main() {
     println!(
         "    ({} colors, wChecker: {})",
         fpqa.compiled.coloring.num_colors,
-        if weaver.verify(&fpqa, &formula).passed() { "PASS" } else { "FAIL" }
+        if weaver.verify(&fpqa, &formula).passed() {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
 
     // Baselines.

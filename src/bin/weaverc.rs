@@ -49,7 +49,7 @@ fn parse_args() -> Result<Args, String> {
         check: false,
     };
     let mut it = std::env::args().skip(1);
-    let mut value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+    let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
         it.next().ok_or(format!("missing value for {flag}"))
     };
     while let Some(arg) = it.next() {
@@ -132,9 +132,7 @@ fn main() -> ExitCode {
         measure: true,
         ..CodegenOptions::default()
     };
-    let weaver = Weaver::new()
-        .with_fpqa_params(params)
-        .with_options(options);
+    let weaver = Weaver::new().with_fpqa_params(params).with_options(options);
 
     match args.target.as_str() {
         "fpqa" => {
@@ -190,9 +188,7 @@ fn main() -> ExitCode {
             let result = weaver.compile_superconducting(&formula, &coupling);
             eprintln!(
                 "weaverc: compiled in {:.4} s — {} gates, {} SWAPs inserted",
-                result.metrics.compilation_seconds,
-                result.metrics.pulses,
-                result.swap_count
+                result.metrics.compilation_seconds, result.metrics.pulses, result.swap_count
             );
             eprintln!(
                 "weaverc: estimated execution {:.4} s, EPS {:.3e}",

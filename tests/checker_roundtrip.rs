@@ -84,7 +84,10 @@ fn random_angle_perturbations_are_caught() {
         }
     }
     assert!(attempts > 0);
-    assert_eq!(caught, attempts, "every angle perturbation ≥ 0.2 rad must be caught");
+    assert_eq!(
+        caught, attempts,
+        "every angle perturbation ≥ 0.2 rad must be caught"
+    );
 }
 
 #[test]

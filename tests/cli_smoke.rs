@@ -20,7 +20,11 @@ fn compiles_dimacs_to_wqasm_with_check() {
         .args([cnf.as_str(), "--target", "fpqa", "--check"])
         .output()
         .expect("run weaverc");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("OPENQASM"));
     assert!(stdout.contains("@rydberg"));
@@ -38,10 +42,17 @@ fn superconducting_target_emits_plain_qasm() {
         .args([cnf.as_str(), "--target", "superconducting"])
         .output()
         .expect("run weaverc");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     let program = weaver::wqasm::parse(&stdout).expect("reparse CLI output");
-    assert!(program.pulse_count() == 0, "no FPQA annotations on the SC path");
+    assert!(
+        program.pulse_count() == 0,
+        "no FPQA annotations on the SC path"
+    );
     assert!(String::from_utf8_lossy(&out.stderr).contains("SWAPs"));
 }
 

@@ -30,8 +30,14 @@ fn fpqa_compile_verify_roundtrip() {
     let text2 = weaver::wqasm::print(&reparsed);
     let reparsed2 = weaver::wqasm::parse(&text2).expect("reparse twice");
     assert_eq!(reparsed2, reparsed, "print/parse must be idempotent");
-    assert_eq!(reparsed.pulse_count(), result.compiled.program.pulse_count());
-    assert_eq!(reparsed.motion_count(), result.compiled.program.motion_count());
+    assert_eq!(
+        reparsed.pulse_count(),
+        result.compiled.program.pulse_count()
+    );
+    assert_eq!(
+        reparsed.motion_count(),
+        result.compiled.program.motion_count()
+    );
     assert!(weaver::wqasm::semantics::validate(&reparsed, &Default::default()).is_empty());
 
     // wChecker accepts the reparsed text program too.
@@ -127,8 +133,9 @@ fn ablation_directions_hold() {
             ..CodegenOptions::default()
         })
         .compile_fpqa(&formula);
-    let has_ccz = ladder.compiled.schedule.ops().iter().any(|o| {
-        matches!(o, PulseOp::Rydberg { groups } if groups.iter().any(|g| g.len() == 3))
-    });
+    let has_ccz =
+        ladder.compiled.schedule.ops().iter().any(
+            |o| matches!(o, PulseOp::Rydberg { groups } if groups.iter().any(|g| g.len() == 3)),
+        );
     assert!(!has_ccz);
 }

@@ -1,0 +1,579 @@
+//! Offline stand-in for the subset of the `proptest` API used by this
+//! workspace's property tests: the [`strategy::Strategy`] trait with the
+//! `prop_map` / `prop_flat_map` / `prop_filter_map` combinators, range and
+//! tuple strategies, `prop::collection::{vec, hash_set}`, `any::<bool>()`,
+//! and the `proptest!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`
+//! macros.
+//!
+//! The build environment has no crates.io access. This crate keeps the same
+//! call surface so the seed's `tests/property_tests.rs` compiles and runs
+//! unchanged, but it generates values from a fixed-seed deterministic RNG and
+//! reports failures by panicking **without shrinking**. Swapping in the real
+//! proptest only requires editing `[workspace.dependencies]` in the root
+//! `Cargo.toml`.
+
+#![warn(missing_docs)]
+
+/// Deterministic RNG and run configuration.
+pub mod test_runner {
+    /// Run configuration; stands in for `proptest::test_runner::Config`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator driving all value generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator with a fixed seed, so test runs are reproducible.
+        pub fn deterministic() -> Self {
+            TestRng {
+                state: 0x5EED_1234_ABCD_EF01,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and its combinators.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no shrinking: a strategy is just a
+    /// deterministic-RNG-to-value function plus combinators.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform every generated value with `map`.
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F, O>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map {
+                source: self,
+                map,
+                _out: PhantomData,
+            }
+        }
+
+        /// Generate a value, then generate from the strategy it maps to.
+        fn prop_flat_map<S2, F>(self, map: F) -> FlatMap<Self, F, S2>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap {
+                source: self,
+                map,
+                _out: PhantomData,
+            }
+        }
+
+        /// Keep only values for which `map` returns `Some`, retrying others.
+        fn prop_filter_map<O, F>(self, reason: &'static str, map: F) -> FilterMap<Self, F, O>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<O>,
+        {
+            FilterMap {
+                source: self,
+                map,
+                reason,
+                _out: PhantomData,
+            }
+        }
+
+        /// Erase the concrete strategy type behind a box.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy, as produced by [`Strategy::boxed`].
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// Box a strategy; used by the `prop_oneof!` macro expansion.
+    pub fn boxed<S: Strategy + 'static>(strategy: S) -> BoxedStrategy<S::Value> {
+        Box::new(strategy)
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F, O> {
+        source: S,
+        map: F,
+        _out: PhantomData<fn() -> O>,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F, O>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.new_value(rng))
+        }
+    }
+
+    /// Output of [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F, S2> {
+        source: S,
+        map: F,
+        _out: PhantomData<fn() -> S2>,
+    }
+
+    impl<S, F, S2> Strategy for FlatMap<S, F, S2>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.map)(self.source.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// Output of [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F, O> {
+        source: S,
+        map: F,
+        reason: &'static str,
+        _out: PhantomData<fn() -> O>,
+    }
+
+    impl<S, F, O> Strategy for FilterMap<S, F, O>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Option<O>,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            for _ in 0..10_000 {
+                if let Some(v) = (self.map)(self.source.new_value(rng)) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter_map({:?}) rejected 10000 consecutive values",
+                self.reason
+            );
+        }
+    }
+
+    /// Uniform choice between boxed strategies; built by `prop_oneof!`.
+    pub struct OneOf<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// Choose uniformly among `options` (must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { options }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].new_value(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end - start) as u64 + 1;
+                    start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(usize, u64, u32, u16, u8);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+}
+
+/// `Arbitrary` and the [`any`] entry point.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Types with a canonical strategy, as in `proptest::arbitrary`.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy for this type.
+        type Strategy: Strategy<Value = Self>;
+        /// Build the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// Canonical strategy for `bool`: fair coin.
+    #[derive(Clone, Debug, Default)]
+    pub struct BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = BoolStrategy;
+        fn arbitrary() -> BoolStrategy {
+            BoolStrategy
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::{vec, hash_set}`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive size interval for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl SizeRange {
+        fn choose(&self, rng: &mut TestRng) -> usize {
+            self.min + rng.below((self.max - self.min) as u64 + 1) as usize
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.choose(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with a size drawn from `size`.
+    ///
+    /// The element strategy's domain must contain at least `size.min`
+    /// distinct values, as in real proptest.
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.choose(rng);
+            let mut set = HashSet::with_capacity(target);
+            let mut attempts = 0usize;
+            while set.len() < target {
+                set.insert(self.element.new_value(rng));
+                attempts += 1;
+                if attempts > 10_000 {
+                    assert!(
+                        set.len() >= self.size.min,
+                        "hash_set strategy could not reach minimum size {} \
+                         (element domain too small?)",
+                        self.size.min
+                    );
+                    break;
+                }
+            }
+            set
+        }
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Module-style access (`prop::collection::vec`), as in proptest.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert a condition inside a `proptest!` body, with optional format args.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Choose uniformly between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs (no shrinking on failure, unlike real proptest).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut rng = $crate::test_runner::TestRng::deterministic();
+                for _case in 0..config.cases {
+                    let ($($arg,)+) = (
+                        $($crate::strategy::Strategy::new_value(&($strategy), &mut rng),)+
+                    );
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_collections_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic();
+        for _ in 0..200 {
+            let v = Strategy::new_value(&(3..9usize), &mut rng);
+            assert!((3..9).contains(&v));
+            let s = Strategy::new_value(&prop::collection::hash_set(0..5usize, 1..=3), &mut rng);
+            assert!((1..=3).contains(&s.len()));
+            let xs = Strategy::new_value(&prop::collection::vec(any::<bool>(), 4), &mut rng);
+            assert_eq!(xs.len(), 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro front end compiles and runs: oneof + map + filter_map.
+        #[test]
+        fn macro_roundtrip(x in 0usize..10, flag in any::<bool>()) {
+            let s = prop_oneof![
+                (0usize..5).prop_map(|v| v * 2),
+                (0usize..5).prop_filter_map("odd", |v| (v % 2 == 1).then_some(v)),
+            ];
+            let mut rng = crate::test_runner::TestRng::deterministic();
+            let v = Strategy::new_value(&s, &mut rng);
+            prop_assert!(v < 10, "{v} out of range");
+            prop_assert!(x < 10);
+            prop_assert_ne!(x + usize::from(flag), 11);
+        }
+    }
+}
