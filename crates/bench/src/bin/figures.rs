@@ -2,13 +2,19 @@
 //!
 //! ```text
 //! figures [--quick] [fig8a|fig8b|fig10a|fig10b|fig10c|fig11a|fig11b|fig12a|fig12b|table2|ablation|all]
+//! figures [--quick] bench-sim   # kernel baseline -> BENCH_simulator.json
 //! ```
 //!
 //! `--quick` restricts the size sweep to {20, 50, 75} with 3 variants so a
 //! full run finishes in minutes; without it the paper's full methodology
 //! ({20..250} × 10 variants) is used.
+//!
+//! `bench-sim` (never part of `all`) times the simulator's specialized
+//! kernels against the seed gather/scatter path and writes the tracked
+//! `BENCH_simulator.json` baseline to the current directory; `--quick`
+//! reduces the sample count.
 
-use weaver_bench::{figures, Suite};
+use weaver_bench::{figures, simbench, Suite};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,6 +29,17 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
+    if wanted.contains(&"bench-sim") {
+        let samples = if quick { 3 } else { 15 };
+        let json = simbench::to_json(&simbench::run(samples), samples);
+        std::fs::write("BENCH_simulator.json", &json).expect("write BENCH_simulator.json");
+        print!("{json}");
+        eprintln!("wrote BENCH_simulator.json");
+        if wanted.len() == 1 {
+            return;
+        }
+    }
+
     let all = wanted.is_empty() || wanted.contains(&"all");
     let has = |name: &str| all || wanted.contains(&name);
 

@@ -6,5 +6,6 @@
 
 pub mod figures;
 pub mod harness;
+pub mod simbench;
 
 pub use harness::{run_compiler, CompilerId, RunOutcome, Suite};

@@ -330,7 +330,7 @@ impl Circuit {
     ///
     /// # Panics
     ///
-    /// Panics if the register exceeds 12 qubits (see
+    /// Panics if the register exceeds [`UnitaryBuilder::MAX_QUBITS`] (see
     /// [`UnitaryBuilder::new`]).
     pub fn unitary(&self) -> Matrix {
         let mut b = UnitaryBuilder::new(self.num_qubits);

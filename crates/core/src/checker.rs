@@ -10,12 +10,12 @@
 //!    gates claim — equidistance and non-interference included,
 //! 3. every Raman pulse matches its logical `u3` up to global phase,
 //! 4. the reconstructed circuit is equivalent to a reference circuit
-//!    (full unitary comparison up to 12 qubits).
+//!    (full unitary comparison up to [`UnitaryBuilder::MAX_QUBITS`] qubits).
 
 use std::fmt;
 use weaver_circuit::{Circuit, Gate};
 use weaver_fpqa::{FpqaDevice, FpqaParams, Location};
-use weaver_simulator::{equiv, gates};
+use weaver_simulator::{equiv, gates, UnitaryBuilder};
 use weaver_wqasm::{Annotation, BindTarget, Program, ShuttleAxis, Statement};
 
 /// Outcome of a wChecker run.
@@ -27,7 +27,8 @@ pub struct CheckReport {
     pub pulses_checked: usize,
     /// Number of motion annotations simulated.
     pub motions_checked: usize,
-    /// Whether the full-unitary comparison ran (register ≤ 12 qubits).
+    /// Whether the full-unitary comparison ran (register within
+    /// [`UnitaryBuilder::MAX_QUBITS`]).
     pub unitary_checked: bool,
     /// The circuit reconstructed from pulses (pulse-to-gate output).
     pub reconstructed: Option<Circuit>,
@@ -58,8 +59,9 @@ impl fmt::Display for CheckError {
 impl std::error::Error for CheckError {}
 
 /// Checks a compiled wQasm program. If `reference` is given and the
-/// register is small enough (≤ 12 qubits), additionally verifies full
-/// unitary equivalence of the reconstructed circuit against it.
+/// register is small enough (≤ [`UnitaryBuilder::MAX_QUBITS`] qubits),
+/// additionally verifies full unitary equivalence of the reconstructed
+/// circuit against it.
 pub fn check(program: &Program, params: &FpqaParams, reference: Option<&Circuit>) -> CheckReport {
     let mut report = CheckReport::default();
     let n = program.num_qubits();
@@ -152,7 +154,7 @@ pub fn check(program: &Program, params: &FpqaParams, reference: Option<&Circuit>
 
     // Unitary comparison against the reference.
     if let Some(reference) = reference {
-        if n <= 12 && report.errors.is_empty() {
+        if n <= UnitaryBuilder::MAX_QUBITS && report.errors.is_empty() {
             let e = equiv::compare(&reconstructed.unitary(), &reference.unitary(), 1e-7);
             report.unitary_checked = true;
             if !e.is_equivalent() {

@@ -172,7 +172,7 @@ impl Weaver {
     /// Runs the wChecker on an FPQA compilation result, comparing against
     /// the QAOA reference circuit when the register is small enough.
     pub fn verify(&self, result: &FpqaResult, formula: &Formula) -> CheckReport {
-        let reference = if formula.num_vars() <= 12 {
+        let reference = if formula.num_vars() <= weaver_simulator::UnitaryBuilder::MAX_QUBITS {
             Some(qaoa::build_circuit(formula, &self.options.qaoa, false))
         } else {
             None

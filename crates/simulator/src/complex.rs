@@ -112,6 +112,7 @@ impl Complex {
 }
 
 impl From<f64> for Complex {
+    #[inline]
     fn from(re: f64) -> Self {
         Complex::real(re)
     }
@@ -196,6 +197,7 @@ impl Neg for Complex {
 }
 
 impl Sum for Complex {
+    #[inline]
     fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
         iter.fold(Complex::ZERO, Add::add)
     }

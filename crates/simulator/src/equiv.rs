@@ -76,8 +76,15 @@ pub fn compare(a: &Matrix, b: &Matrix, tol: f64) -> Equivalence {
     }
     let ratio = a[best] / b[best];
     let phase = ratio.arg();
-    let rotated = b.scale(Complex::from_polar(phase));
-    let max_deviation = a.max_diff(&rotated);
+    // Deviation after phase alignment, computed entry-wise without
+    // materializing the rotated matrix.
+    let w = Complex::from_polar(phase);
+    let max_deviation = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (*x - *y * w).abs())
+        .fold(0.0, f64::max);
     if max_deviation <= tol {
         Equivalence::EquivalentUpToPhase {
             phase,
@@ -98,7 +105,7 @@ pub fn process_fidelity(a: &Matrix, b: &Matrix) -> f64 {
     assert!(a.is_square() && b.is_square(), "unitaries must be square");
     assert_eq!(a.rows(), b.rows(), "dimension mismatch");
     let d = a.rows() as f64;
-    let tr = (&a.adjoint() * b).trace();
+    let tr = a.adjoint().matmul(b).trace();
     tr.norm_sqr() / (d * d)
 }
 

@@ -1,0 +1,489 @@
+//! Stride-based gate-application kernels.
+//!
+//! [`State::apply`](crate::State::apply) and
+//! [`UnitaryBuilder::apply`](crate::UnitaryBuilder::apply) both funnel into
+//! [`apply_gate`], which classifies the gate matrix once per application and
+//! dispatches to an allocation-free closed-form kernel:
+//!
+//! * **1-qubit** gates run a butterfly over amplitude pairs `(i, i + 2^b)`,
+//! * **2-qubit** gates run a 4-way butterfly over the four strided indices of
+//!   each group,
+//! * **(multi-)controlled 1-qubit** gates (`CX`, `CZ`, `CCZ`, `CⁿZ`, `CRZ`,
+//!   …) touch only the half-space where every control bit is set,
+//! * everything else falls back to a generic gather/scatter with per-group
+//!   offsets hoisted out of the inner loop.
+//!
+//! All kernels operate on a raw amplitude slice plus bit positions, so the
+//! same code serves a `2ⁿ`-amplitude state vector and the `2ⁿ × 2ⁿ`
+//! column-major buffer of [`UnitaryBuilder`](crate::UnitaryBuilder) (where
+//! the column index contributes extra untouched high bits). Buffers with at
+//! least [`PAR_MIN_AMPLITUDES`] entries are split into self-contained
+//! aligned chunks and processed by scoped threads.
+
+use crate::{Complex, Matrix};
+
+/// Minimum amplitude count before gate application fans out across threads.
+///
+/// `2^16` amplitudes correspond to a 16-qubit register (or an 8-qubit
+/// `UnitaryBuilder`); below that the per-thread spawn cost dominates.
+pub const PAR_MIN_AMPLITUDES: usize = 1 << 16;
+
+/// How a gate matrix will be applied, decided once per application.
+enum Kernel {
+    /// Arbitrary 2×2 gate, row-major.
+    OneQ([Complex; 4]),
+    /// Arbitrary 4×4 gate, row-major.
+    TwoQ(Box<[Complex; 16]>),
+    /// Identity except the bottom-right 2×2 block: a 1-qubit gate under
+    /// `k - 1` controls. Carries the 2×2 block.
+    Controlled([Complex; 4]),
+    /// No specialized shape; use the gather/scatter fallback.
+    Generic,
+}
+
+/// Classifies `gate` (a `2^k × 2^k` matrix) for dispatch.
+fn classify(gate: &Matrix, k: usize) -> Kernel {
+    match k {
+        1 => {
+            let g = gate.as_slice();
+            Kernel::OneQ([g[0], g[1], g[2], g[3]])
+        }
+        2 => match controlled_block(gate) {
+            Some(block) => Kernel::Controlled(block),
+            None => {
+                let mut m = [Complex::ZERO; 16];
+                m.copy_from_slice(gate.as_slice());
+                Kernel::TwoQ(Box::new(m))
+            }
+        },
+        _ if k >= 3 => match controlled_block(gate) {
+            Some(block) => Kernel::Controlled(block),
+            None => Kernel::Generic,
+        },
+        _ => Kernel::Generic, // k == 0: a 1×1 global-phase "gate"
+    }
+}
+
+/// If `gate` is the identity everywhere except its bottom-right 2×2 block,
+/// returns that block. Entries are compared exactly: standard controlled
+/// gates are constructed from literal `0.0`/`1.0` entries, and a near-miss
+/// simply falls back to the (always correct) generic path.
+fn controlled_block(gate: &Matrix) -> Option<[Complex; 4]> {
+    let gdim = gate.rows();
+    debug_assert!(gdim >= 4);
+    let body = gdim - 2;
+    for r in 0..gdim {
+        for c in 0..gdim {
+            if r >= body && c >= body {
+                continue; // the candidate block itself is unconstrained
+            }
+            let expect = if r == c { Complex::ONE } else { Complex::ZERO };
+            if gate[(r, c)] != expect {
+                return None;
+            }
+        }
+    }
+    Some([
+        gate[(body, body)],
+        gate[(body, body + 1)],
+        gate[(body + 1, body)],
+        gate[(body + 1, body + 1)],
+    ])
+}
+
+/// Validates a gate/target combination against a register width; shared by
+/// `State::apply` and `UnitaryBuilder::apply`.
+///
+/// # Panics
+///
+/// Panics if the matrix shape does not match the target count, if a target
+/// repeats, or if a target is out of range.
+pub(crate) fn validate_targets(num_qubits: usize, gate: &Matrix, targets: &[usize]) {
+    let gdim = 1usize << targets.len();
+    assert_eq!(gate.rows(), gdim, "gate matrix must be 2^k x 2^k");
+    assert_eq!(gate.cols(), gdim, "gate matrix must be 2^k x 2^k");
+    for (i, &t) in targets.iter().enumerate() {
+        assert!(t < num_qubits, "target qubit {t} out of range");
+        assert!(
+            !targets[..i].contains(&t),
+            "duplicate target qubit {t} in gate application"
+        );
+    }
+}
+
+/// Applies `gate` to `amps` in place. `bits[i]` is the bit position (from
+/// LSB) of the gate's `i`-th target in the buffer index; `bits[0]` is the
+/// most significant bit of the gate's own index space. `amps.len()` must be
+/// a power of two with every bit position in range.
+pub(crate) fn apply_gate(amps: &mut [Complex], gate: &Matrix, bits: &[usize]) {
+    debug_assert!(amps.len().is_power_of_two());
+    debug_assert!(bits
+        .iter()
+        .all(|&b| (1usize << b) < amps.len() || amps.len() == 1));
+    // Smallest aligned block size that contains whole gate groups; chunks of
+    // this granularity can be processed independently.
+    let unit = 1usize << bits.iter().map(|&b| b + 1).max().unwrap_or(0);
+    let threads = plan_threads(amps.len(), unit);
+    match classify(gate, bits.len()) {
+        Kernel::OneQ(m) => {
+            run_chunked(amps, unit, threads, &|chunk| kernel_1q(chunk, bits[0], &m));
+        }
+        Kernel::TwoQ(m) => {
+            run_chunked(amps, unit, threads, &|chunk| {
+                kernel_2q(chunk, bits[0], bits[1], &m)
+            });
+        }
+        Kernel::Controlled(m) => {
+            let k = bits.len();
+            let cmask: usize = bits[..k - 1].iter().map(|&b| 1usize << b).sum();
+            run_chunked(amps, unit, threads, &|chunk| {
+                kernel_controlled(chunk, cmask, bits[k - 1], &m)
+            });
+        }
+        Kernel::Generic => {
+            let offsets = group_offsets(bits);
+            let mut sorted_bits = bits.to_vec();
+            sorted_bits.sort_unstable();
+            run_chunked(amps, unit, threads, &|chunk| {
+                // One scratch per chunk (i.e. per thread), not per group.
+                let mut scratch = vec![Complex::ZERO; offsets.len()];
+                kernel_generic(chunk, &sorted_bits, &offsets, gate, &mut scratch);
+            });
+        }
+    }
+}
+
+/// Number of worker threads for a buffer of `len` amplitudes split at `unit`
+/// granularity: 1 below the size threshold or when the machine/layout offers
+/// no parallelism.
+fn plan_threads(len: usize, unit: usize) -> usize {
+    if len < PAR_MIN_AMPLITUDES {
+        return 1;
+    }
+    let chunks = len / unit;
+    std::thread::available_parallelism()
+        .map_or(1, usize::from)
+        .min(chunks.max(1))
+}
+
+/// Runs `f` over `amps` split into `threads` contiguous pieces, each a
+/// multiple of `unit` so no gate group straddles a piece boundary.
+fn run_chunked(
+    amps: &mut [Complex],
+    unit: usize,
+    threads: usize,
+    f: &(dyn Fn(&mut [Complex]) + Sync),
+) {
+    let chunks = amps.len() / unit;
+    if threads <= 1 || chunks < 2 {
+        f(amps);
+        return;
+    }
+    let per = chunks.div_ceil(threads) * unit;
+    std::thread::scope(|s| {
+        for piece in amps.chunks_mut(per) {
+            s.spawn(move || f(piece));
+        }
+    });
+}
+
+/// Widest SIMD tier the running x86-64 CPU supports: 2 for AVX-512F, 1 for
+/// AVX2+FMA, 0 for baseline.
+#[cfg(target_arch = "x86_64")]
+fn simd_level() -> u8 {
+    use std::sync::OnceLock;
+    static LEVEL: OnceLock<u8> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        if is_x86_feature_detected!("avx512f") {
+            2
+        } else if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            1
+        } else {
+            0
+        }
+    })
+}
+
+/// Declares `$name` as a dispatcher over `$body`: on x86-64 it calls an
+/// AVX-512F or AVX2+FMA `#[target_feature]` clone when the CPU supports one
+/// (the `#[inline(always)]` body is re-codegenned with vector
+/// instructions), otherwise the portable scalar build.
+macro_rules! simd_kernel {
+    ($(#[$doc:meta])* $name:ident / $avx:ident / $avx512:ident =>
+     $body:ident ( $($arg:ident : $ty:ty),* $(,)? )) => {
+        $(#[$doc])*
+        fn $name($($arg: $ty),*) {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: each clone is entered only after its features were
+            // detected on the running CPU.
+            match simd_level() {
+                2 => return unsafe { $avx512($($arg),*) },
+                1 => return unsafe { $avx($($arg),*) },
+                _ => {}
+            }
+            $body($($arg),*);
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2", enable = "fma")]
+        unsafe fn $avx($($arg: $ty),*) {
+            $body($($arg),*);
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx512f", enable = "fma")]
+        unsafe fn $avx512($($arg: $ty),*) {
+            $body($($arg),*);
+        }
+    };
+}
+
+simd_kernel! {
+    /// Butterfly for an arbitrary 1-qubit gate on bit position `bit`.
+    kernel_1q / kernel_1q_avx / kernel_1q_avx512 => kernel_1q_body(amps: &mut [Complex], bit: usize, m: &[Complex; 4])
+}
+
+simd_kernel! {
+    /// 4-way butterfly for an arbitrary 2-qubit gate. `b0` is the bit
+    /// position of the gate's most significant target, `b1` of its least
+    /// significant.
+    kernel_2q / kernel_2q_avx / kernel_2q_avx512 => kernel_2q_body(
+        amps: &mut [Complex],
+        b0: usize,
+        b1: usize,
+        m: &[Complex; 16],
+    )
+}
+
+simd_kernel! {
+    /// Multi-controlled 1-qubit gate: applies the 2×2 block `m` to the
+    /// target bit only where every bit of `cmask` is set, enumerating
+    /// exactly the `len >> (1 + |controls|)` affected pairs.
+    kernel_controlled / kernel_controlled_avx / kernel_controlled_avx512 => kernel_controlled_body(
+        amps: &mut [Complex],
+        cmask: usize,
+        tbit: usize,
+        m: &[Complex; 4],
+    )
+}
+
+/// Scalar 1-qubit butterfly. The complex products are spelled out over
+/// `f64` components so the compiler can interleave the four dot products
+/// instead of chaining `Complex` ops.
+#[inline(always)]
+fn kernel_1q_body(amps: &mut [Complex], bit: usize, m: &[Complex; 4]) {
+    let (m00r, m00i) = (m[0].re, m[0].im);
+    let (m01r, m01i) = (m[1].re, m[1].im);
+    let (m10r, m10i) = (m[2].re, m[2].im);
+    let (m11r, m11i) = (m[3].re, m[3].im);
+    let stride = 1usize << bit;
+    for block in amps.chunks_exact_mut(2 * stride) {
+        let (lo, hi) = block.split_at_mut(stride);
+        for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+            let (xr, xi) = (a.re, a.im);
+            let (yr, yi) = (b.re, b.im);
+            a.re = m00r * xr - m00i * xi + m01r * yr - m01i * yi;
+            a.im = m00r * xi + m00i * xr + m01r * yi + m01i * yr;
+            b.re = m10r * xr - m10i * xi + m11r * yr - m11i * yi;
+            b.im = m10r * xi + m10i * xr + m11r * yi + m11i * yr;
+        }
+    }
+}
+
+/// Scalar 4-way butterfly for an arbitrary 2-qubit gate.
+#[inline(always)]
+fn kernel_2q_body(amps: &mut [Complex], b0: usize, b1: usize, m: &[Complex; 16]) {
+    let s0 = 1usize << b0;
+    let s1 = 1usize << b1;
+    let (hi, lo) = (s0.max(s1), s0.min(s1));
+    let mut outer = 0;
+    while outer < amps.len() {
+        let mut mid = outer;
+        while mid < outer + hi {
+            for base in mid..mid + lo {
+                let i01 = base | s1;
+                let i10 = base | s0;
+                let i11 = i10 | s1;
+                let a00 = amps[base];
+                let a01 = amps[i01];
+                let a10 = amps[i10];
+                let a11 = amps[i11];
+                amps[base] = m[0] * a00 + m[1] * a01 + m[2] * a10 + m[3] * a11;
+                amps[i01] = m[4] * a00 + m[5] * a01 + m[6] * a10 + m[7] * a11;
+                amps[i10] = m[8] * a00 + m[9] * a01 + m[10] * a10 + m[11] * a11;
+                amps[i11] = m[12] * a00 + m[13] * a01 + m[14] * a10 + m[15] * a11;
+            }
+            mid += 2 * lo;
+        }
+        outer += 2 * hi;
+    }
+}
+
+/// Scalar multi-controlled 1-qubit kernel.
+#[inline(always)]
+fn kernel_controlled_body(amps: &mut [Complex], cmask: usize, tbit: usize, m: &[Complex; 4]) {
+    let stride = 1usize << tbit;
+    let fixed = cmask | stride;
+    let fixed_count = fixed.count_ones() as usize;
+    // Ascending positions of the fixed (control + target) bits.
+    let mut positions = [0usize; usize::BITS as usize];
+    let mut npos = 0;
+    let mut rest = fixed;
+    while rest != 0 {
+        positions[npos] = rest.trailing_zeros() as usize;
+        npos += 1;
+        rest &= rest - 1;
+    }
+    let groups = amps.len() >> fixed_count;
+    for g in 0..groups {
+        // Spread the free bits of `g` around the fixed positions.
+        let mut idx = g;
+        for &b in &positions[..npos] {
+            let low = idx & ((1usize << b) - 1);
+            idx = ((idx >> b) << (b + 1)) | low;
+        }
+        let i0 = idx | cmask;
+        let i1 = i0 | stride;
+        let x = amps[i0];
+        let y = amps[i1];
+        amps[i0] = m[0] * x + m[1] * y;
+        amps[i1] = m[2] * x + m[3] * y;
+    }
+}
+
+/// Buffer-index offset of each gate-index within a group: `offsets[g]` ORs
+/// the stride of every target whose gate-space bit is set in `g`.
+fn group_offsets(bits: &[usize]) -> Vec<usize> {
+    let k = bits.len();
+    (0..1usize << k)
+        .map(|g| {
+            let mut off = 0usize;
+            for (pos, &b) in bits.iter().enumerate() {
+                if (g >> (k - 1 - pos)) & 1 == 1 {
+                    off |= 1usize << b;
+                }
+            }
+            off
+        })
+        .collect()
+}
+
+/// Generic gather/scatter fallback with hoisted offsets: one compressed
+/// index enumerates the non-target bits, `offsets` locates the group's
+/// amplitudes, and `scratch` (allocated once per thread) holds the gathered
+/// input while rows are scattered back.
+fn kernel_generic(
+    amps: &mut [Complex],
+    sorted_bits: &[usize],
+    offsets: &[usize],
+    gate: &Matrix,
+    scratch: &mut [Complex],
+) {
+    let k = sorted_bits.len();
+    let gdim = offsets.len();
+    let g = gate.as_slice();
+    let groups = amps.len() >> k;
+    for group in 0..groups {
+        // Expand the compressed index by inserting a zero at each target bit.
+        let mut base = group;
+        for &b in sorted_bits {
+            let low = base & ((1usize << b) - 1);
+            base = ((base >> b) << (b + 1)) | low;
+        }
+        for (slot, &off) in scratch.iter_mut().zip(offsets) {
+            *slot = amps[base + off];
+        }
+        for (r, &off) in offsets.iter().enumerate() {
+            let row = &g[r * gdim..(r + 1) * gdim];
+            let mut acc = Complex::ZERO;
+            for (&w, &x) in row.iter().zip(scratch.iter()) {
+                acc += w * x;
+            }
+            amps[base + off] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+
+    /// Deterministic non-trivial amplitude buffer (not normalized; the
+    /// kernels are linear maps and do not care).
+    fn test_amps(len: usize) -> Vec<Complex> {
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let re = ((state >> 40) as f64) / (1u64 << 24) as f64 - 0.5;
+                let im = ((state >> 16) as f64 % (1u64 << 24) as f64) / (1u64 << 24) as f64 - 0.5;
+                Complex::new(re, im)
+            })
+            .collect()
+    }
+
+    fn max_diff(a: &[Complex], b: &[Complex]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn controlled_detection() {
+        assert!(controlled_block(&gates::cx()).is_some());
+        assert!(controlled_block(&gates::cz()).is_some());
+        assert!(controlled_block(&gates::ccz()).is_some());
+        assert!(controlled_block(&gates::ccx()).is_some());
+        assert!(controlled_block(&gates::cnz(4)).is_some());
+        assert!(controlled_block(&gates::crz(0.3)).is_some());
+        assert!(controlled_block(&gates::swap()).is_none());
+        let block = controlled_block(&gates::cz()).unwrap();
+        assert_eq!(
+            block,
+            [Complex::ONE, Complex::ZERO, Complex::ZERO, -Complex::ONE]
+        );
+    }
+
+    #[test]
+    fn forced_multithread_chunking_matches_serial() {
+        // One physical core is enough: run_chunked takes the thread count
+        // explicitly, so this exercises the real scoped-thread path.
+        let bits = [3usize, 0];
+        let gate = gates::swap();
+        let mut m = [Complex::ZERO; 16];
+        m.copy_from_slice(gate.as_slice());
+        let unit = 1usize << 4;
+
+        let mut serial = test_amps(1 << 10);
+        let mut parallel = serial.clone();
+        kernel_2q(&mut serial, bits[0], bits[1], &m);
+        run_chunked(&mut parallel, unit, 4, &|chunk| {
+            kernel_2q(chunk, bits[0], bits[1], &m)
+        });
+        assert!(max_diff(&serial, &parallel) == 0.0);
+    }
+
+    #[test]
+    fn forced_multithread_controlled_matches_serial() {
+        let mut serial = test_amps(1 << 9);
+        let mut parallel = serial.clone();
+        let m = [Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO]; // X block
+        let cmask = (1 << 2) | (1 << 5);
+        kernel_controlled(&mut serial, cmask, 7, &m);
+        run_chunked(&mut parallel, 1 << 8, 3, &|chunk| {
+            kernel_controlled(chunk, cmask, 7, &m)
+        });
+        assert!(max_diff(&serial, &parallel) == 0.0);
+    }
+
+    #[test]
+    fn plan_threads_stays_serial_below_threshold() {
+        assert_eq!(plan_threads(PAR_MIN_AMPLITUDES / 2, 2), 1);
+        // At or above the threshold the count is capped by the chunk count.
+        assert!(plan_threads(PAR_MIN_AMPLITUDES, PAR_MIN_AMPLITUDES) == 1);
+    }
+}

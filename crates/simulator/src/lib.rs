@@ -8,7 +8,10 @@
 //! * [`gates`] — the standard gate matrices (Paulis, rotations, `U3`, `CZ`,
 //!   `CCZ`, `CⁿZ`, …),
 //! * [`State`] — a state-vector simulator for functional testing,
-//! * [`UnitaryBuilder`] — materializes whole-register unitaries,
+//! * [`kernels`] — stride-based specialized gate-application kernels shared
+//!   by [`State`] and [`UnitaryBuilder`],
+//! * [`UnitaryBuilder`] — materializes whole-register unitaries in a single
+//!   contiguous column-major buffer,
 //! * [`equiv`] — global-phase-insensitive unitary comparison used by the
 //!   wChecker (paper §6).
 //!
@@ -31,6 +34,7 @@
 mod complex;
 pub mod equiv;
 pub mod gates;
+pub mod kernels;
 mod matrix;
 mod state;
 mod unitary;

@@ -6,7 +6,7 @@
 //! `110010` with `q0` first) are read. The bit of qubit `q` in basis index
 //! `b` is `(b >> (n - 1 - q)) & 1`.
 
-use crate::{Complex, Matrix};
+use crate::{kernels, Complex, Matrix};
 
 /// A pure quantum state over `n` qubits as a dense vector of 2ⁿ amplitudes.
 ///
@@ -99,24 +99,39 @@ impl State {
     /// target qubits. `targets[0]` is the most significant qubit of the gate's
     /// own index space.
     ///
+    /// Dispatches to a stride-based specialized kernel (1-qubit butterfly,
+    /// 2-qubit, multi-controlled 1-qubit) with a generic gather/scatter
+    /// fallback; see [`crate::kernels`]. Registers with at least
+    /// [`kernels::PAR_MIN_AMPLITUDES`] amplitudes are processed by scoped
+    /// threads.
+    ///
     /// # Panics
     ///
     /// Panics if the matrix shape does not match the target count, if a
     /// target repeats, or if a target is out of range.
     pub fn apply(&mut self, gate: &Matrix, targets: &[usize]) {
+        kernels::validate_targets(self.num_qubits, gate, targets);
+        // Bit position (from LSB) of each target in the basis index.
+        let bits: Vec<usize> = targets.iter().map(|&t| self.num_qubits - 1 - t).collect();
+        kernels::apply_gate(&mut self.amplitudes, gate, &bits);
+    }
+
+    /// Applies a gate via the seed's generic gather/scatter loop, bypassing
+    /// the specialized kernels.
+    ///
+    /// Kept as the differential-testing oracle and the "before" side of the
+    /// tracked benchmark baseline (`BENCH_simulator.json`); use [`apply`] for
+    /// real work.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`apply`].
+    ///
+    /// [`apply`]: State::apply
+    pub fn apply_reference(&mut self, gate: &Matrix, targets: &[usize]) {
+        kernels::validate_targets(self.num_qubits, gate, targets);
         let k = targets.len();
         let gdim = 1usize << k;
-        assert_eq!(gate.rows(), gdim, "gate matrix must be 2^k x 2^k");
-        assert_eq!(gate.cols(), gdim, "gate matrix must be 2^k x 2^k");
-        for (i, &t) in targets.iter().enumerate() {
-            assert!(t < self.num_qubits, "target qubit {t} out of range");
-            assert!(
-                !targets[..i].contains(&t),
-                "duplicate target qubit {t} in gate application"
-            );
-        }
-
-        // Bit position (from LSB) of each target in the basis index.
         let bits: Vec<usize> = targets.iter().map(|&t| self.num_qubits - 1 - t).collect();
         let mask: usize = bits.iter().map(|&b| 1usize << b).sum();
 
@@ -138,10 +153,10 @@ impl State {
                 *slot = self.amplitudes[idx];
             }
             // Multiply by the gate and scatter back.
-            for (r, row) in (0..gdim).map(|r| (r, r)) {
+            for r in 0..gdim {
                 let mut acc = Complex::ZERO;
                 for (c, &amp) in scratch.iter().enumerate() {
-                    acc += gate[(row, c)] * amp;
+                    acc += gate[(r, c)] * amp;
                 }
                 let mut idx = base;
                 for (pos, &b) in bits.iter().enumerate() {
@@ -278,6 +293,60 @@ mod tests {
     fn duplicate_targets_panic() {
         let mut s = State::zero(2);
         s.apply(&gates::cx(), &[0, 0]);
+    }
+
+    fn assert_states_close(a: &State, b: &State, tol: f64) {
+        let d = a
+            .amplitudes()
+            .iter()
+            .zip(b.amplitudes())
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max);
+        assert!(d <= tol, "states differ by {d}");
+    }
+
+    #[test]
+    fn kernels_match_reference_on_mixed_gates() {
+        let n = 6;
+        let mut fast = State::zero(n);
+        let mut slow = State::zero(n);
+        let ops: Vec<(Matrix, Vec<usize>)> = vec![
+            (gates::h(), vec![0]),
+            (gates::h(), vec![3]),
+            (gates::u3(0.4, -1.1, 2.0), vec![5]),
+            (gates::cx(), vec![0, 4]),
+            (gates::cz(), vec![5, 1]),
+            (gates::swap(), vec![2, 3]),
+            (gates::crz(0.9), vec![4, 2]),
+            (gates::ccz(), vec![1, 3, 5]),
+            (gates::ccx(), vec![5, 0, 2]),
+            (gates::cnz(3), vec![0, 1, 2, 3]),
+            (gates::h().kron(&gates::rx(0.3)), vec![4, 1]),
+        ];
+        for (gate, targets) in &ops {
+            fast.apply(gate, targets);
+            slow.apply_reference(gate, targets);
+            assert_states_close(&fast, &slow, 1e-12);
+        }
+    }
+
+    #[test]
+    fn threshold_sized_register_matches_reference() {
+        // 2^16 amplitudes: at the scoped-thread threshold, so this walks the
+        // chunked dispatch path end to end.
+        let n = 16;
+        let mut fast = State::zero(n);
+        let mut slow = State::zero(n);
+        for q in [0usize, 7, 15] {
+            fast.apply(&gates::h(), &[q]);
+            slow.apply_reference(&gates::h(), &[q]);
+        }
+        fast.apply(&gates::cx(), &[0, 15]);
+        slow.apply_reference(&gates::cx(), &[0, 15]);
+        fast.apply(&gates::swap(), &[3, 12]);
+        slow.apply_reference(&gates::swap(), &[3, 12]);
+        assert_states_close(&fast, &slow, 1e-12);
+        assert!((fast.norm_sqr() - 1.0).abs() < 1e-10);
     }
 
     #[test]

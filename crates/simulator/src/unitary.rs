@@ -1,10 +1,15 @@
 //! Construction of full-register unitaries from sequences of gate
 //! applications, used by the wChecker's unitary-equivalence pass.
 
-use crate::{Matrix, State};
+use crate::{kernels, Complex, Matrix};
 
 /// Incrementally builds the `2ⁿ × 2ⁿ` unitary of a gate sequence by tracking
 /// the image of every basis column.
+///
+/// The columns live in one contiguous column-major buffer, so a gate is
+/// applied to all `2ⁿ` columns in a single kernel pass with unit-stride
+/// access: the column index only contributes high bits that the kernels
+/// treat like any other untouched qubit (see [`crate::kernels`]).
 ///
 /// # Examples
 ///
@@ -20,27 +25,41 @@ use crate::{Matrix, State};
 #[derive(Clone, Debug)]
 pub struct UnitaryBuilder {
     num_qubits: usize,
-    columns: Vec<State>,
+    dim: usize,
+    /// Column-major: entry `(row, col)` lives at `col * dim + row`.
+    data: Vec<Complex>,
 }
 
 impl UnitaryBuilder {
+    /// Largest register the builder materializes. The contiguous buffer
+    /// holds `4ⁿ` complex doubles (1 GiB at 13 qubits, and [`finish`]
+    /// transiently doubles that); the checker falls back to structural
+    /// comparison beyond this size.
+    ///
+    /// [`finish`]: UnitaryBuilder::finish
+    pub const MAX_QUBITS: usize = 13;
+
     /// Starts from the identity on `num_qubits` qubits.
     ///
     /// # Panics
     ///
-    /// Panics if `num_qubits > 12` — the full unitary would not fit in
-    /// memory, and the checker falls back to structural comparison beyond
-    /// this size.
+    /// Panics if `num_qubits` exceeds [`UnitaryBuilder::MAX_QUBITS`] — the
+    /// full unitary would not fit in memory.
     pub fn new(num_qubits: usize) -> Self {
         assert!(
-            num_qubits <= 12,
-            "unitary construction limited to 12 qubits, got {num_qubits}"
+            num_qubits <= Self::MAX_QUBITS,
+            "unitary construction limited to {} qubits, got {num_qubits}",
+            Self::MAX_QUBITS
         );
         let dim = 1usize << num_qubits;
-        let columns = (0..dim).map(|j| State::basis(num_qubits, j)).collect();
+        let mut data = vec![Complex::ZERO; dim * dim];
+        for j in 0..dim {
+            data[j * dim + j] = Complex::ONE;
+        }
         UnitaryBuilder {
             num_qubits,
-            columns,
+            dim,
+            data,
         }
     }
 
@@ -49,23 +68,35 @@ impl UnitaryBuilder {
         self.num_qubits
     }
 
-    /// Applies a gate (see [`State::apply`]) to every column.
+    /// Applies a gate (see [`crate::State::apply`]) to every column in one
+    /// kernel pass over the contiguous buffer.
     ///
     /// # Panics
     ///
-    /// Panics under the same conditions as [`State::apply`].
+    /// Panics under the same conditions as [`crate::State::apply`].
     pub fn apply(&mut self, gate: &Matrix, targets: &[usize]) {
-        for col in &mut self.columns {
-            col.apply(gate, targets);
-        }
+        kernels::validate_targets(self.num_qubits, gate, targets);
+        // Row-index bit positions are identical to the state-vector case;
+        // the column index occupies bits `n..2n` and is left untouched, which
+        // is exactly "apply to every column".
+        let bits: Vec<usize> = targets.iter().map(|&t| self.num_qubits - 1 - t).collect();
+        kernels::apply_gate(&mut self.data, gate, &bits);
+    }
+
+    /// One column of the accumulated unitary (the image of basis state `j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= 2ⁿ`.
+    pub fn column(&self, j: usize) -> &[Complex] {
+        &self.data[j * self.dim..(j + 1) * self.dim]
     }
 
     /// Materializes the accumulated unitary matrix.
     pub fn finish(&self) -> Matrix {
-        let dim = self.columns.len();
-        let mut m = Matrix::zeros(dim, dim);
-        for (j, col) in self.columns.iter().enumerate() {
-            for (i, &amp) in col.amplitudes().iter().enumerate() {
+        let mut m = Matrix::zeros(self.dim, self.dim);
+        for j in 0..self.dim {
+            for (i, &amp) in self.column(j).iter().enumerate() {
                 m[(i, j)] = amp;
             }
         }
@@ -76,7 +107,7 @@ impl UnitaryBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gates;
+    use crate::{gates, State};
 
     const TOL: f64 = 1e-10;
 
@@ -121,5 +152,39 @@ mod tests {
         b.apply(&gates::ccz(), &[0, 1, 2]);
         b.apply(&gates::rx(0.7), &[2]);
         assert!(b.finish().is_unitary(TOL));
+    }
+
+    #[test]
+    fn matches_per_column_state_simulation() {
+        // The contiguous buffer must agree with simulating each basis state
+        // separately through the seed reference path.
+        let n = 4;
+        let ops: Vec<(Matrix, Vec<usize>)> = vec![
+            (gates::h(), vec![2]),
+            (gates::u3(0.7, 0.1, -0.4), vec![0]),
+            (gates::cx(), vec![2, 1]),
+            (gates::ccz(), vec![0, 1, 3]),
+            (gates::swap(), vec![3, 0]),
+        ];
+        let mut b = UnitaryBuilder::new(n);
+        for (gate, targets) in &ops {
+            b.apply(gate, targets);
+        }
+        let u = b.finish();
+        for j in 0..1usize << n {
+            let mut col = State::basis(n, j);
+            for (gate, targets) in &ops {
+                col.apply_reference(gate, targets);
+            }
+            for (i, &amp) in col.amplitudes().iter().enumerate() {
+                assert!(u[(i, j)].approx_eq(amp, TOL));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unitary construction limited")]
+    fn oversized_register_panics() {
+        let _ = UnitaryBuilder::new(UnitaryBuilder::MAX_QUBITS + 1);
     }
 }

@@ -1,0 +1,202 @@
+//! Differential property tests for the simulator's specialized kernels.
+//!
+//! `State::apply` dispatches 1q/2q/(multi-)controlled gates to closed-form
+//! stride kernels; these properties assert that every dispatch decision
+//! agrees with the seed's generic matrix path (`State::apply_reference`) on
+//! random gates, targets, and register sizes, that norms survive, and that
+//! the contiguous `UnitaryBuilder` matches per-column simulation.
+
+use proptest::prelude::*;
+use proptest::strategy::OneOf;
+use weaver::simulator::{gates, Complex, Matrix, State, UnitaryBuilder};
+
+const TOL: f64 = 1e-9;
+
+fn max_amp_diff(a: &State, b: &State) -> f64 {
+    a.amplitudes()
+        .iter()
+        .zip(b.amplitudes())
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// A random normalized state on `n` qubits.
+fn arb_state(n: usize) -> impl Strategy<Value = State> {
+    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1usize << n).prop_map(|parts| {
+        let mut amps: Vec<Complex> = parts
+            .into_iter()
+            .map(|(re, im)| Complex::new(re, im))
+            .collect();
+        let norm = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        let scale = if norm > 1e-9 { 1.0 / norm } else { 1.0 };
+        for a in &mut amps {
+            *a = a.scale(scale);
+        }
+        if norm <= 1e-9 {
+            amps[0] = Complex::ONE; // astronomically unlikely all-zero draw
+        }
+        State::from_amplitudes(amps)
+    })
+}
+
+/// A dense 2-qubit unitary with no controlled structure.
+fn dense_2q(angles: [f64; 6]) -> Matrix {
+    let pre = gates::u3(angles[0], angles[1], 0.3).kron(&gates::u3(angles[2], -0.2, 0.7));
+    let post = gates::u3(angles[3], 0.1, angles[4]).kron(&gates::u3(angles[5], 0.5, -1.1));
+    post.matmul(&gates::cx()).matmul(&pre)
+}
+
+/// A random gate applicable to an `n`-qubit register, together with its
+/// targets: arbitrary-angle 1q gates, controlled and dense 2q gates, 3q
+/// controlled/dense gates, and a 4-qubit `CⁿZ` — every kernel dispatch arm.
+fn arb_gate(n: usize) -> BoxedStrategy<(Matrix, Vec<usize>)> {
+    let angle = || -3.2f64..3.2;
+    let mut arms: Vec<BoxedStrategy<(Matrix, Vec<usize>)>> =
+        vec![(0..n, (angle(), angle(), angle()))
+            .prop_map(|(q, (t, p, l))| (gates::u3(t, p, l), vec![q]))
+            .boxed()];
+    if n >= 2 {
+        let pair =
+            || (0..n, 0..n).prop_filter_map("distinct qubits", |(a, b)| (a != b).then_some((a, b)));
+        arms.push(
+            (pair(), angle())
+                .prop_map(|((a, b), t)| (gates::crz(t), vec![a, b]))
+                .boxed(),
+        );
+        arms.push(pair().prop_map(|(a, b)| (gates::cx(), vec![a, b])).boxed());
+        arms.push(
+            (
+                pair(),
+                (angle(), angle(), angle()),
+                (angle(), angle(), angle()),
+            )
+                .prop_map(|((a, b), (t0, t1, t2), (t3, t4, t5))| {
+                    (dense_2q([t0, t1, t2, t3, t4, t5]), vec![a, b])
+                })
+                .boxed(),
+        );
+    }
+    if n >= 3 {
+        let triple = || {
+            (0..n, 0..n, 0..n).prop_filter_map("distinct qubits", |(a, b, c)| {
+                (a != b && b != c && a != c).then_some(vec![a, b, c])
+            })
+        };
+        arms.push(triple().prop_map(|qs| (gates::ccz(), qs)).boxed());
+        arms.push(triple().prop_map(|qs| (gates::ccx(), qs)).boxed());
+        // Dense 3-qubit gate: exercises the generic fallback.
+        arms.push(
+            (triple(), angle())
+                .prop_map(|(qs, t)| {
+                    let wall = gates::rx(t).kron(&gates::h()).kron(&gates::ry(0.4));
+                    (wall.matmul(&gates::ccx()), qs)
+                })
+                .boxed(),
+        );
+    }
+    if n >= 4 {
+        arms.push(
+            (0..n, 0..n, 0..n, 0..n)
+                .prop_filter_map("distinct qubits", |(a, b, c, d)| {
+                    let qs = vec![a, b, c, d];
+                    let mut sorted = qs.clone();
+                    sorted.sort_unstable();
+                    sorted.dedup();
+                    (sorted.len() == 4).then_some(qs)
+                })
+                .prop_map(|qs| (gates::cnz(3), qs))
+                .boxed(),
+        );
+    }
+    OneOf::new(arms).boxed()
+}
+
+/// A register size, a random state on it, and a random gate sequence.
+fn arb_case(
+    max_qubits: usize,
+    max_gates: usize,
+) -> impl Strategy<Value = (State, Vec<(Matrix, Vec<usize>)>)> {
+    (1usize..=max_qubits).prop_flat_map(move |n| {
+        (
+            arb_state(n),
+            prop::collection::vec(arb_gate(n), 1..max_gates),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kernels_agree_with_generic_matrix_path(case in arb_case(7, 8)) {
+        let (state, ops) = case;
+        let mut fast = state.clone();
+        let mut slow = state;
+        for (gate, targets) in &ops {
+            fast.apply(gate, targets);
+            slow.apply_reference(gate, targets);
+            let d = max_amp_diff(&fast, &slow);
+            prop_assert!(d <= TOL, "kernel diverged from reference by {d}");
+        }
+    }
+
+    #[test]
+    fn kernels_preserve_norm(case in arb_case(7, 8)) {
+        let (state, ops) = case;
+        let mut s = state;
+        for (gate, targets) in &ops {
+            s.apply(gate, targets);
+        }
+        prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-8, "norm drifted to {}", s.norm_sqr());
+    }
+
+    #[test]
+    fn unitary_builder_matches_per_column_reference(case in arb_case(5, 6)) {
+        let (state, ops) = case;
+        let n = state.num_qubits();
+        let mut b = UnitaryBuilder::new(n);
+        for (gate, targets) in &ops {
+            b.apply(gate, targets);
+        }
+        let u = b.finish();
+        prop_assert!(u.is_unitary(1e-8));
+        for j in 0..1usize << n {
+            let mut col = State::basis(n, j);
+            for (gate, targets) in &ops {
+                col.apply_reference(gate, targets);
+            }
+            for (i, &amp) in col.amplitudes().iter().enumerate() {
+                prop_assert!(
+                    u[(i, j)].approx_eq(amp, TOL),
+                    "column {j} row {i}: {} vs {amp}",
+                    u[(i, j)]
+                );
+            }
+        }
+    }
+}
+
+/// Crossing the scoped-thread size threshold must not change results: a
+/// 16-qubit register (2¹⁶ amplitudes) runs the chunked dispatch path.
+#[test]
+fn threshold_register_full_dispatch_matches_reference() {
+    let n = 16;
+    let mut fast = State::zero(n);
+    let mut slow = State::zero(n);
+    let ops: Vec<(Matrix, Vec<usize>)> = vec![
+        (gates::h(), vec![0]),
+        (gates::h(), vec![8]),
+        (gates::h(), vec![15]),
+        (gates::u3(0.3, 1.0, -0.5), vec![4]),
+        (dense_2q([0.1, 0.2, 0.3, 0.4, 0.5, 0.6]), vec![2, 12]),
+        (gates::cx(), vec![0, 15]),
+        (gates::ccz(), vec![1, 8, 14]),
+    ];
+    for (gate, targets) in &ops {
+        fast.apply(gate, targets);
+        slow.apply_reference(gate, targets);
+    }
+    let d = max_amp_diff(&fast, &slow);
+    assert!(d <= TOL, "kernel diverged from reference by {d}");
+    assert!((fast.norm_sqr() - 1.0).abs() < 1e-10);
+}
