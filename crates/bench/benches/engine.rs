@@ -1,0 +1,52 @@
+//! Criterion benches for the batch engine: cold-cache, warm-cache, and
+//! cache-bypassed throughput over the eight-instance fixture suite, plus a
+//! 1-vs-N worker comparison. Mirrors the tracked `BENCH_engine.json`
+//! baseline emitted by `figures bench-engine`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use weaver_bench::enginebench::suite_jobs;
+use weaver_engine::{Engine, EngineConfig};
+
+fn config(workers: usize, use_cache: bool) -> EngineConfig {
+    EngineConfig {
+        jobs: workers,
+        use_cache,
+        ..EngineConfig::default()
+    }
+}
+
+fn bench_cold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_cold");
+    group.sample_size(10);
+    for workers in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("batch8x20", workers), &workers, |b, &w| {
+            // A fresh engine per iteration keeps the cache cold.
+            b.iter(|| Engine::new(config(w, true)).run(suite_jobs(true)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_warm");
+    group.sample_size(10);
+    for workers in [1usize, 2] {
+        let engine = Engine::new(config(workers, true));
+        engine.run(suite_jobs(true)); // populate
+        group.bench_with_input(BenchmarkId::new("batch8x20", workers), &workers, |b, _| {
+            b.iter(|| engine.run(suite_jobs(true)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_nocache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_nocache");
+    group.sample_size(10);
+    let engine = Engine::new(config(0, false));
+    group.bench_function("batch8x20", |b| b.iter(|| engine.run(suite_jobs(true))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold, bench_warm, bench_nocache);
+criterion_main!(benches);

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! figures [--quick] [fig8a|fig8b|fig10a|fig10b|fig10c|fig11a|fig11b|fig12a|fig12b|table2|ablation|all]
-//! figures [--quick] bench-sim   # kernel baseline -> BENCH_simulator.json
+//! figures [--quick] bench-sim      # kernel baseline  -> BENCH_simulator.json
+//! figures [--quick] bench-engine   # batch baseline   -> BENCH_engine.json
 //! ```
 //!
 //! `--quick` restricts the size sweep to {20, 50, 75} with 3 variants so a
@@ -11,10 +12,11 @@
 //!
 //! `bench-sim` (never part of `all`) times the simulator's specialized
 //! kernels against the seed gather/scatter path and writes the tracked
-//! `BENCH_simulator.json` baseline to the current directory; `--quick`
-//! reduces the sample count.
+//! `BENCH_simulator.json` baseline to the current directory; `bench-engine`
+//! (likewise never part of `all`) times cold vs warm batch compilation and
+//! writes `BENCH_engine.json`; `--quick` reduces the sample counts.
 
-use weaver_bench::{figures, simbench, Suite};
+use weaver_bench::{enginebench, figures, simbench, Suite};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,15 +31,25 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
+    let mut handled = 0usize;
     if wanted.contains(&"bench-sim") {
         let samples = if quick { 3 } else { 15 };
         let json = simbench::to_json(&simbench::run(samples), samples);
         std::fs::write("BENCH_simulator.json", &json).expect("write BENCH_simulator.json");
         print!("{json}");
         eprintln!("wrote BENCH_simulator.json");
-        if wanted.len() == 1 {
-            return;
-        }
+        handled += 1;
+    }
+    if wanted.contains(&"bench-engine") {
+        let samples = if quick { 3 } else { 10 };
+        let json = enginebench::to_json(&enginebench::run(samples, 0), samples);
+        std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+        print!("{json}");
+        eprintln!("wrote BENCH_engine.json");
+        handled += 1;
+    }
+    if handled > 0 && wanted.len() == handled {
+        return;
     }
 
     let all = wanted.is_empty() || wanted.contains(&"all");

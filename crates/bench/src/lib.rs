@@ -4,6 +4,7 @@
 
 #![warn(missing_docs)]
 
+pub mod enginebench;
 pub mod figures;
 pub mod harness;
 pub mod simbench;

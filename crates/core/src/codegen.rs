@@ -16,6 +16,7 @@
 //! 4. motion between configurations (triangle → pair, guests home, …),
 //! 5. closing Raman segments, atoms return home.
 
+use crate::cache::{CacheHandle, Digest, Fingerprint};
 use crate::coloring::{color_clauses, ClauseColoring};
 use crate::compress::{append_compressed_clause, assign_roles};
 use crate::plan::{batch_moves, safe_shuttle_order, AtomMove, SiteLayout};
@@ -86,12 +87,25 @@ pub fn compile_formula(
     params: &FpqaParams,
     options: &CodegenOptions,
 ) -> CompiledFpqa {
+    compile_formula_cached(formula, params, options, None)
+}
+
+/// Like [`compile_formula`], but consulting `cache` for memoized per-clause
+/// execution plans (shared across QAOA layers and across batch jobs that
+/// repeat a clause under the same options and layout). The emitted program
+/// is byte-identical with and without a cache.
+pub fn compile_formula_cached(
+    formula: &Formula,
+    params: &FpqaParams,
+    options: &CodegenOptions,
+    cache: Option<&CacheHandle>,
+) -> CompiledFpqa {
     let coloring = if options.dsatur {
         color_clauses(formula)
     } else {
         crate::coloring::greedy_first_fit(&crate::coloring::conflict_graph(formula))
     };
-    compile_formula_with_coloring(formula, params, options, coloring)
+    compile_formula_with_coloring_cached(formula, params, options, coloring, cache)
 }
 
 /// Like [`compile_formula`], but with an externally supplied clause
@@ -109,7 +123,18 @@ pub fn compile_formula_with_coloring(
     options: &CodegenOptions,
     coloring: ClauseColoring,
 ) -> CompiledFpqa {
-    let mut emitter = Emitter::new(formula, params, options, coloring.clone());
+    compile_formula_with_coloring_cached(formula, params, options, coloring, None)
+}
+
+/// [`compile_formula_with_coloring`] with an optional clause-plan cache.
+pub fn compile_formula_with_coloring_cached(
+    formula: &Formula,
+    params: &FpqaParams,
+    options: &CodegenOptions,
+    coloring: ClauseColoring,
+    cache: Option<&CacheHandle>,
+) -> CompiledFpqa {
+    let mut emitter = Emitter::new(formula, params, options, coloring.clone(), cache);
     emitter.emit_program();
     CompiledFpqa {
         program: emitter.program,
@@ -130,10 +155,37 @@ struct ClauseExec {
     configs: Vec<Vec<(usize, Point)>>,
 }
 
+/// The memoizable part of a [`ClauseExec`] — everything derived purely from
+/// (clause literals, γ, compression flag, site layout), shared through a
+/// [`CacheHandle`] across QAOA layers and across batch jobs repeating a
+/// clause under identical options.
+pub(crate) struct ClausePlan {
+    segments: Vec<Vec<Instruction>>,
+    entanglers: Vec<Instruction>,
+    configs: Vec<Vec<(usize, Point)>>,
+}
+
+/// Content key of a clause plan.
+fn clause_plan_key(clause: &Clause, gamma: f64, compression: bool, layout: &SiteLayout) -> Digest {
+    let mut fp = Fingerprint::new();
+    fp.tag(0xCE).str(crate::cache::COMPILER_VERSION);
+    fp.usize(clause.lits().len());
+    for lit in clause.lits() {
+        fp.u64(lit.to_dimacs() as u64);
+    }
+    fp.f64(gamma)
+        .bool(compression)
+        .f64(layout.home_spacing)
+        .f64(layout.interaction_distance)
+        .f64(layout.pair_lift);
+    fp.digest()
+}
+
 struct Emitter<'a> {
     formula: &'a Formula,
     params: &'a FpqaParams,
     options: &'a CodegenOptions,
+    cache: Option<&'a CacheHandle>,
     coloring: ClauseColoring,
     layout: SiteLayout,
     device: FpqaDevice,
@@ -156,11 +208,13 @@ impl<'a> Emitter<'a> {
         params: &'a FpqaParams,
         options: &'a CodegenOptions,
         coloring: ClauseColoring,
+        cache: Option<&'a CacheHandle>,
     ) -> Self {
         Emitter {
             formula,
             params,
             options,
+            cache,
             coloring,
             layout: options.layout,
             device: FpqaDevice::new(params.clone()),
@@ -310,8 +364,24 @@ impl<'a> Emitter<'a> {
         }
     }
 
-    /// Builds the per-clause execution plan from its fragment circuit.
+    /// Builds the per-clause execution plan from its fragment circuit,
+    /// consulting the clause-plan memo first.
     fn plan_clause(&mut self, clause: &Clause, gamma: f64) -> ClauseExec {
+        let mut vars: Vec<usize> = clause.vars().collect();
+        vars.sort_unstable();
+        let key = self
+            .cache
+            .map(|_| clause_plan_key(clause, gamma, self.options.compression, &self.layout));
+        if let (Some(cache), Some(key)) = (self.cache, &key) {
+            if let Some(plan) = cache.clause_plan(key) {
+                return ClauseExec {
+                    vars,
+                    segments: plan.segments.clone(),
+                    entanglers: plan.entanglers.clone(),
+                    configs: plan.configs.clone(),
+                };
+            }
+        }
         let n = self.formula.num_vars();
         let mut fragment = Circuit::new(n);
         if self.options.compression {
@@ -349,8 +419,16 @@ impl<'a> Emitter<'a> {
         }
 
         let configs = self.clause_configs(clause, &entanglers);
-        let mut vars: Vec<usize> = clause.vars().collect();
-        vars.sort_unstable();
+        if let (Some(cache), Some(key)) = (self.cache, key) {
+            cache.store_clause_plan(
+                key,
+                ClausePlan {
+                    segments: segments.clone(),
+                    entanglers: entanglers.clone(),
+                    configs: configs.clone(),
+                },
+            );
+        }
         ClauseExec {
             vars,
             segments,
@@ -466,9 +544,13 @@ impl<'a> Emitter<'a> {
                 outward.push(mv);
             }
         }
-        // Deterministic order.
-        homeward.sort_by(|a, b| a.from.x.total_cmp(&b.from.x));
-        outward.sort_by(|a, b| a.from.x.total_cmp(&b.from.x));
+        // Deterministic order: the qubit tie-break makes emission
+        // independent of `HashMap` iteration order (byte-identical wQasm
+        // across runs and thread counts).
+        let move_order =
+            |a: &AtomMove, b: &AtomMove| a.from.x.total_cmp(&b.from.x).then(a.qubit.cmp(&b.qubit));
+        homeward.sort_by(move_order);
+        outward.sort_by(move_order);
         for phase in [homeward, outward] {
             let batches = batch_moves(
                 &phase,
@@ -814,6 +896,24 @@ mod tests {
             .filter(|o| matches!(o, PulseOp::Rydberg { .. }))
             .count();
         assert_eq!(rydbergs, 4 * out.coloring.num_colors);
+    }
+
+    #[test]
+    fn cached_compile_is_byte_identical() {
+        let f = generator::instance(20, 1);
+        let opts = options(true);
+        let params = FpqaParams::default();
+        let cache = crate::cache::CacheHandle::new();
+        let plain = compile_formula(&f, &params, &opts);
+        let cold = compile_formula_cached(&f, &params, &opts, Some(&cache));
+        let warm = compile_formula_cached(&f, &params, &opts, Some(&cache));
+        let text = |o: &CompiledFpqa| weaver_wqasm::print(&o.program);
+        assert_eq!(text(&plain), text(&cold));
+        assert_eq!(text(&plain), text(&warm));
+        assert_eq!(plain.steps, warm.steps);
+        let stats = cache.stats();
+        assert_eq!(stats.plan_misses, f.num_clauses() as u64);
+        assert_eq!(stats.plan_hits, f.num_clauses() as u64);
     }
 
     #[test]

@@ -2,6 +2,8 @@
 //! contribution): the wOptimizer pass pipeline, wQasm code generation, and
 //! the wChecker equivalence checker.
 //!
+//! * [`cache`] — content hashing (BLAKE2s) and the shared compilation
+//!   memo store threaded through codegen and the checker,
 //! * [`coloring`] — clause coloring via DSatur (§5.2, Algorithm 1),
 //! * [`plan`] — site geometry and parallel shuttle batching (§5.3,
 //!   Algorithm 2),
@@ -31,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod checker;
 pub mod codegen;
 pub mod coloring;
@@ -38,6 +41,7 @@ pub mod compress;
 pub mod pipeline;
 pub mod plan;
 
-pub use checker::{check, CheckReport};
+pub use cache::{CacheHandle, CacheStats, Digest, Fingerprint};
+pub use checker::{check, check_with_cache, CheckReport};
 pub use codegen::{CodegenOptions, CompiledFpqa};
 pub use pipeline::{FpqaResult, Metrics, SuperconductingResult, Weaver};

@@ -100,6 +100,18 @@ impl Weaver {
 
     /// Compiles a Max-3SAT formula down the FPQA path (wOptimizer).
     pub fn compile_fpqa(&self, formula: &Formula) -> FpqaResult {
+        self.compile_fpqa_cached(formula, None)
+    }
+
+    /// Like [`Weaver::compile_fpqa`], but threading a shared compilation
+    /// cache through codegen (memoized clause plans). Output is
+    /// byte-identical with and without a cache; only
+    /// [`Metrics::compilation_seconds`] may differ.
+    pub fn compile_fpqa_cached(
+        &self,
+        formula: &Formula,
+        cache: Option<&crate::cache::CacheHandle>,
+    ) -> FpqaResult {
         let start = Instant::now();
         let mut options = self.options.clone();
         // The site geometry follows the device parameters (interaction
@@ -114,7 +126,7 @@ impl Weaver {
         {
             options.compression = false;
         }
-        let compiled = codegen::compile_formula(formula, &self.fpqa_params, &options);
+        let compiled = codegen::compile_formula_cached(formula, &self.fpqa_params, &options, cache);
         let compilation_seconds = start.elapsed().as_secs_f64();
         let metrics = Metrics {
             compilation_seconds,
@@ -172,15 +184,28 @@ impl Weaver {
     /// Runs the wChecker on an FPQA compilation result, comparing against
     /// the QAOA reference circuit when the register is small enough.
     pub fn verify(&self, result: &FpqaResult, formula: &Formula) -> CheckReport {
+        self.verify_cached(result, formula, None)
+    }
+
+    /// Like [`Weaver::verify`], but consulting a shared cache for memoized
+    /// per-annotation device traces: re-checking an unchanged program skips
+    /// the pulse re-simulation (see [`checker::check_with_cache`]).
+    pub fn verify_cached(
+        &self,
+        result: &FpqaResult,
+        formula: &Formula,
+        cache: Option<&crate::cache::CacheHandle>,
+    ) -> CheckReport {
         let reference = if formula.num_vars() <= weaver_simulator::UnitaryBuilder::MAX_QUBITS {
             Some(qaoa::build_circuit(formula, &self.options.qaoa, false))
         } else {
             None
         };
-        checker::check(
+        checker::check_with_cache(
             &result.compiled.program,
             &self.fpqa_params,
             reference.as_ref(),
+            cache,
         )
     }
 }
@@ -195,6 +220,20 @@ impl Default for Weaver {
 mod tests {
     use super::*;
     use weaver_sat::generator;
+
+    #[test]
+    fn pipeline_types_are_send_and_sync() {
+        // The batch engine shares one `Weaver` per job and one cache
+        // handle across worker threads; losing these bounds (e.g. by
+        // introducing hidden `Rc`/`RefCell` state) must fail to compile.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Weaver>();
+        assert_send_sync::<FpqaResult>();
+        assert_send_sync::<SuperconductingResult>();
+        assert_send_sync::<crate::cache::CacheHandle>();
+        assert_send_sync::<crate::codegen::CompiledFpqa>();
+        assert_send_sync::<crate::checker::CheckReport>();
+    }
 
     #[test]
     fn fpqa_path_end_to_end() {

@@ -1,0 +1,374 @@
+//! The content-addressed artifact cache: an in-memory LRU tier backed by an
+//! optional on-disk tier.
+//!
+//! Artifacts are addressed by the BLAKE2s-256 key of
+//! [`crate::CompileJob::artifact_key`] — canonical formula ⊕ target
+//! parameters ⊕ options ⊕ compiler version — so a hit is valid by
+//! construction and no invalidation logic exists. The disk tier stores one
+//! framed text file per artifact under `<dir>/<hex-key>.wvart`, written
+//! atomically (temp file + rename) so concurrent writers cannot tear each
+//! other's entries. Malformed or truncated disk entries degrade to misses.
+//!
+//! The cache also owns the process-wide [`CacheHandle`] threaded through
+//! `weaver-core`, so all batch jobs share memoized clause plans and checker
+//! device traces.
+
+use crate::job::Artifact;
+use crate::job::CacheOutcome;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use weaver_core::cache::{CacheHandle, Digest};
+use weaver_core::Metrics;
+
+/// Artifact-cache configuration.
+#[derive(Clone, Debug)]
+pub struct CacheConfig {
+    /// Maximum artifacts held by the in-memory LRU tier.
+    pub memory_capacity: usize,
+    /// Directory of the on-disk tier; `None` disables it.
+    pub disk_dir: Option<PathBuf>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            memory_capacity: 1024,
+            disk_dir: None,
+        }
+    }
+}
+
+/// Hit/miss counters of the two tiers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheTierStats {
+    /// Lookups served by the in-memory tier.
+    pub memory_hits: u64,
+    /// Lookups served by the on-disk tier.
+    pub disk_hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Artifacts evicted from the memory tier.
+    pub evictions: u64,
+}
+
+struct MemoryEntry {
+    artifact: Arc<Artifact>,
+    stamp: u64,
+}
+
+/// The content-addressed artifact cache (see module docs).
+pub struct ArtifactCache {
+    config: CacheConfig,
+    memory: Mutex<HashMap<Digest, MemoryEntry>>,
+    clock: AtomicU64,
+    core: CacheHandle,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// Builds a cache; the disk directory (when configured) is created
+    /// eagerly so store failures surface here rather than mid-batch.
+    pub fn new(config: CacheConfig) -> std::io::Result<Self> {
+        if let Some(dir) = &config.disk_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        Ok(ArtifactCache {
+            config,
+            memory: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            core: CacheHandle::new(),
+            memory_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        })
+    }
+
+    /// The shared `weaver-core` memo handle (clause plans, checker traces).
+    pub fn core_handle(&self) -> &CacheHandle {
+        &self.core
+    }
+
+    /// Looks up an artifact: memory tier first, then disk (promoting the
+    /// entry into memory on a disk hit).
+    pub fn lookup(&self, key: &Digest) -> Option<(Arc<Artifact>, CacheOutcome)> {
+        {
+            let mut memory = self.memory.lock().unwrap();
+            if let Some(entry) = memory.get_mut(key) {
+                entry.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+                self.memory_hits.fetch_add(1, Ordering::Relaxed);
+                return Some((entry.artifact.clone(), CacheOutcome::MemoryHit));
+            }
+        }
+        if let Some(dir) = &self.config.disk_dir {
+            let path = dir.join(format!("{}.wvart", key.to_hex()));
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                if let Some(artifact) = parse_artifact(&text) {
+                    let artifact = Arc::new(artifact);
+                    self.insert_memory(*key, artifact.clone());
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some((artifact, CacheOutcome::DiskHit));
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores an artifact in both tiers. Disk-tier I/O failures are
+    /// swallowed — the cache is an accelerator, not a system of record.
+    pub fn store(&self, key: Digest, artifact: Arc<Artifact>) {
+        if let Some(dir) = &self.config.disk_dir {
+            let final_path = dir.join(format!("{}.wvart", key.to_hex()));
+            // The clock tick keeps the temp name unique across concurrent
+            // same-key writers within this process too, so the rename is
+            // the only point an entry becomes visible.
+            let tmp_path = dir.join(format!(
+                "{}.tmp.{}.{}",
+                key.to_hex(),
+                std::process::id(),
+                self.clock.fetch_add(1, Ordering::Relaxed)
+            ));
+            let text = render_artifact(&artifact);
+            if std::fs::write(&tmp_path, text).is_ok() {
+                let _ = std::fs::rename(&tmp_path, &final_path);
+            }
+        }
+        self.insert_memory(key, artifact);
+    }
+
+    fn insert_memory(&self, key: Digest, artifact: Arc<Artifact>) {
+        let mut memory = self.memory.lock().unwrap();
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        memory.insert(key, MemoryEntry { artifact, stamp });
+        while memory.len() > self.config.memory_capacity.max(1) {
+            let oldest = memory
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+                .expect("nonempty map");
+            memory.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Point-in-time tier counters.
+    pub fn stats(&self) -> CacheTierStats {
+        CacheTierStats {
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Disk-tier serialization (framed text, one artifact per file)
+// ---------------------------------------------------------------------------
+
+fn escape_line(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn unescape_line(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => out.push(other),
+                None => {}
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn opt_usize(v: Option<usize>) -> String {
+    v.map_or("-".to_string(), |n| n.to_string())
+}
+
+fn opt_bool(v: Option<bool>) -> String {
+    v.map_or("-".to_string(), |b| b.to_string())
+}
+
+/// Renders an artifact in the on-disk format (`weaver-artifact 1`).
+pub(crate) fn render_artifact(a: &Artifact) -> String {
+    let mut out = String::new();
+    out.push_str("weaver-artifact 1\n");
+    let m = &a.metrics;
+    // `{}` on f64 prints the shortest round-tripping decimal, so parsing
+    // recovers the exact bits.
+    let _ = writeln!(out, "compilation_seconds {}", m.compilation_seconds);
+    let _ = writeln!(out, "execution_micros {}", m.execution_micros);
+    let _ = writeln!(out, "eps {}", m.eps);
+    let _ = writeln!(out, "pulses {}", m.pulses);
+    let _ = writeln!(out, "motion_ops {}", m.motion_ops);
+    let _ = writeln!(out, "steps {}", m.steps);
+    let _ = writeln!(out, "swap_count {}", opt_usize(a.swap_count));
+    let _ = writeln!(out, "num_colors {}", opt_usize(a.num_colors));
+    let _ = writeln!(out, "check_passed {}", opt_bool(a.check_passed));
+    let _ = writeln!(out, "check_errors {}", a.check_errors.len());
+    for e in &a.check_errors {
+        let _ = writeln!(out, "{}", escape_line(e));
+    }
+    let _ = writeln!(out, "wqasm {}", a.wqasm.len());
+    out.push_str(&a.wqasm);
+    out
+}
+
+/// Parses the on-disk format; any malformation yields `None` (a cache miss).
+pub(crate) fn parse_artifact(text: &str) -> Option<Artifact> {
+    struct Cursor<'a> {
+        rest: &'a str,
+    }
+    impl<'a> Cursor<'a> {
+        fn line(&mut self) -> Option<&'a str> {
+            let idx = self.rest.find('\n')?;
+            let (line, tail) = self.rest.split_at(idx);
+            self.rest = &tail[1..];
+            Some(line)
+        }
+        fn field(&mut self, name: &str) -> Option<&'a str> {
+            self.line()?.strip_prefix(name)?.strip_prefix(' ')
+        }
+        fn opt_usize(&mut self, name: &str) -> Option<Option<usize>> {
+            match self.field(name)? {
+                "-" => Some(None),
+                v => v.parse().ok().map(Some),
+            }
+        }
+    }
+
+    let mut cur = Cursor { rest: text };
+    if cur.line()? != "weaver-artifact 1" {
+        return None;
+    }
+    let metrics = Metrics {
+        compilation_seconds: cur.field("compilation_seconds")?.parse().ok()?,
+        execution_micros: cur.field("execution_micros")?.parse().ok()?,
+        eps: cur.field("eps")?.parse().ok()?,
+        pulses: cur.field("pulses")?.parse().ok()?,
+        motion_ops: cur.field("motion_ops")?.parse().ok()?,
+        steps: cur.field("steps")?.parse().ok()?,
+    };
+    let swap_count = cur.opt_usize("swap_count")?;
+    let num_colors = cur.opt_usize("num_colors")?;
+    let check_passed = match cur.field("check_passed")? {
+        "-" => None,
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => return None,
+    };
+    let error_count: usize = cur.field("check_errors")?.parse().ok()?;
+    let mut check_errors = Vec::with_capacity(error_count.min(1024));
+    for _ in 0..error_count {
+        check_errors.push(unescape_line(cur.line()?));
+    }
+    let wqasm_len: usize = cur.field("wqasm")?.parse().ok()?;
+    if cur.rest.len() != wqasm_len {
+        return None;
+    }
+    Some(Artifact {
+        wqasm: cur.rest.to_string(),
+        metrics,
+        swap_count,
+        num_colors,
+        check_passed,
+        check_errors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weaver_core::cache::Fingerprint;
+
+    fn sample_artifact(tag: usize) -> Artifact {
+        Artifact {
+            wqasm: format!("OPENQASM 3.0;\n// artifact {tag}\nqubit[3] q;\n"),
+            metrics: Metrics {
+                compilation_seconds: 0.125 + tag as f64,
+                execution_micros: 1.0 / 3.0,
+                eps: 1e-7,
+                pulses: 10 + tag,
+                motion_ops: 3,
+                steps: 99,
+            },
+            swap_count: None,
+            num_colors: Some(2),
+            check_passed: Some(true),
+            check_errors: vec!["line one\nline two".to_string(), "back\\slash".to_string()],
+        }
+    }
+
+    fn key(tag: u64) -> Digest {
+        let mut fp = Fingerprint::new();
+        fp.u64(tag);
+        fp.digest()
+    }
+
+    #[test]
+    fn disk_format_roundtrips_exactly() {
+        let a = sample_artifact(7);
+        let parsed = parse_artifact(&render_artifact(&a)).expect("parse");
+        assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn malformed_disk_entries_are_misses() {
+        assert!(parse_artifact("").is_none());
+        assert!(parse_artifact("weaver-artifact 2\n").is_none());
+        let truncated = &render_artifact(&sample_artifact(1))[..40];
+        assert!(parse_artifact(truncated).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = ArtifactCache::new(CacheConfig {
+            memory_capacity: 2,
+            disk_dir: None,
+        })
+        .unwrap();
+        cache.store(key(1), Arc::new(sample_artifact(1)));
+        cache.store(key(2), Arc::new(sample_artifact(2)));
+        assert!(cache.lookup(&key(1)).is_some()); // refresh 1
+        cache.store(key(3), Arc::new(sample_artifact(3))); // evicts 2
+        assert!(cache.lookup(&key(1)).is_some());
+        assert!(cache.lookup(&key(2)).is_none());
+        assert!(cache.lookup(&key(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn disk_tier_survives_a_fresh_cache() {
+        let dir = std::env::temp_dir().join(format!("weaver-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = CacheConfig {
+            memory_capacity: 8,
+            disk_dir: Some(dir.clone()),
+        };
+        let first = ArtifactCache::new(config.clone()).unwrap();
+        first.store(key(9), Arc::new(sample_artifact(9)));
+        // A fresh cache (new process, cold memory) finds the disk entry.
+        let second = ArtifactCache::new(config).unwrap();
+        let (artifact, outcome) = second.lookup(&key(9)).expect("disk hit");
+        assert_eq!(outcome, CacheOutcome::DiskHit);
+        assert_eq!(*artifact, sample_artifact(9));
+        // And it is promoted into memory.
+        let (_, outcome) = second.lookup(&key(9)).expect("memory hit");
+        assert_eq!(outcome, CacheOutcome::MemoryHit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,364 @@
+//! The batch-compilation job model: what to compile ([`JobSource`]), for
+//! which backend ([`Target`]), under which options ([`JobOptions`]) — and
+//! what came back ([`JobResult`]).
+
+use std::fmt;
+use std::path::PathBuf;
+use weaver_core::cache::{fingerprint_fpqa_params, Digest, Fingerprint, COMPILER_VERSION};
+use weaver_core::Metrics;
+use weaver_fpqa::FpqaParams;
+use weaver_sat::Formula;
+
+/// Compilation backend of a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// The FPQA path (wOptimizer + wChecker).
+    Fpqa,
+    /// The superconducting path (QAOA + SABRE on IBM Washington).
+    Superconducting,
+}
+
+impl Target {
+    /// CLI / JSONL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Target::Fpqa => "fpqa",
+            Target::Superconducting => "superconducting",
+        }
+    }
+
+    /// Parses a CLI / manifest target name.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "fpqa" => Ok(Target::Fpqa),
+            "superconducting" | "sc" => Ok(Target::Superconducting),
+            other => Err(format!(
+                "unknown target `{other}` (use fpqa or superconducting)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-job compiler options — the batch equivalent of the `weaverc` flags.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobOptions {
+    /// 3-qubit gate compression (§5.4).
+    pub compression: bool,
+    /// Parallel shuttle batching (Algorithm 2).
+    pub parallel_shuttling: bool,
+    /// DSatur clause coloring (off ⇒ first-fit greedy).
+    pub dsatur: bool,
+    /// CCZ fidelity override.
+    pub ccz_fidelity: Option<f64>,
+    /// QAOA γ.
+    pub gamma: f64,
+    /// QAOA β.
+    pub beta: f64,
+    /// Run the wChecker on FPQA output.
+    pub check: bool,
+}
+
+impl Default for JobOptions {
+    fn default() -> Self {
+        JobOptions {
+            compression: true,
+            parallel_shuttling: true,
+            dsatur: true,
+            ccz_fidelity: None,
+            gamma: 0.7,
+            beta: 0.3,
+            check: false,
+        }
+    }
+}
+
+impl JobOptions {
+    /// The FPQA parameters these options select.
+    pub fn fpqa_params(&self) -> FpqaParams {
+        let params = FpqaParams::default();
+        match self.ccz_fidelity {
+            Some(f) => params.with_ccz_fidelity(f),
+            None => params,
+        }
+    }
+}
+
+/// Where a job's Max-3SAT workload comes from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobSource {
+    /// A DIMACS CNF file on disk.
+    Path(PathBuf),
+    /// An in-memory DIMACS text (name is for reporting only).
+    Inline {
+        /// Display name.
+        name: String,
+        /// DIMACS CNF text.
+        text: String,
+    },
+    /// An already parsed formula (name is for reporting only).
+    Formula {
+        /// Display name.
+        name: String,
+        /// The workload.
+        formula: Formula,
+    },
+}
+
+/// One unit of batch work: workload source × target × options.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompileJob {
+    /// The workload.
+    pub source: JobSource,
+    /// The backend.
+    pub target: Target,
+    /// Compiler options.
+    pub options: JobOptions,
+}
+
+impl CompileJob {
+    /// An FPQA job for a DIMACS file with default options.
+    pub fn from_path(path: impl Into<PathBuf>) -> Self {
+        CompileJob {
+            source: JobSource::Path(path.into()),
+            target: Target::Fpqa,
+            options: JobOptions::default(),
+        }
+    }
+
+    /// An FPQA job for an in-memory formula with default options.
+    pub fn from_formula(name: impl Into<String>, formula: Formula) -> Self {
+        CompileJob {
+            source: JobSource::Formula {
+                name: name.into(),
+                formula,
+            },
+            target: Target::Fpqa,
+            options: JobOptions::default(),
+        }
+    }
+
+    /// Display name used in results and JSONL records.
+    pub fn name(&self) -> String {
+        match &self.source {
+            JobSource::Path(p) => p.display().to_string(),
+            JobSource::Inline { name, .. } | JobSource::Formula { name, .. } => name.clone(),
+        }
+    }
+
+    /// Content-addressed artifact key of this job for `formula`: BLAKE2s-256
+    /// over the canonicalized formula, the target and its parameters, every
+    /// option that can influence the artifact, and the compiler version.
+    /// The workload *source* (file path vs inline) deliberately does not
+    /// participate — identical content hits regardless of origin.
+    pub fn artifact_key(&self, formula: &Formula) -> Digest {
+        let mut fp = Fingerprint::new();
+        fp.tag(0xA7).str(COMPILER_VERSION);
+        fp.bytes(&formula.canonical_bytes());
+        fp.tag(match self.target {
+            Target::Fpqa => 1,
+            Target::Superconducting => 2,
+        });
+        fingerprint_fpqa_params(&mut fp, &self.options.fpqa_params());
+        fp.bool(self.options.compression)
+            .bool(self.options.parallel_shuttling)
+            .bool(self.options.dsatur)
+            .f64(self.options.gamma)
+            .f64(self.options.beta)
+            .bool(self.options.check);
+        fp.digest()
+    }
+}
+
+/// How the artifact cache participated in a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the in-memory tier.
+    MemoryHit,
+    /// Served from the on-disk tier.
+    DiskHit,
+    /// Compiled fresh and stored.
+    Miss,
+    /// Caching disabled for this run.
+    Bypass,
+}
+
+impl CacheOutcome {
+    /// JSONL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheOutcome::MemoryHit => "memory_hit",
+            CacheOutcome::DiskHit => "disk_hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Bypass => "bypass",
+        }
+    }
+
+    /// Whether the artifact was served without recompiling.
+    pub fn is_hit(self) -> bool {
+        matches!(self, CacheOutcome::MemoryHit | CacheOutcome::DiskHit)
+    }
+}
+
+/// Wall-clock seconds spent in each stage of one job.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StageTimings {
+    /// Reading + DIMACS parsing.
+    pub parse_seconds: f64,
+    /// Compilation (zero on a cache hit).
+    pub compile_seconds: f64,
+    /// wChecker verification (zero on a cache hit or when not requested).
+    pub check_seconds: f64,
+    /// End-to-end job time, including cache lookups.
+    pub total_seconds: f64,
+}
+
+/// The cacheable output of one successful job. Wall-clock metrics inside
+/// refer to the compile that produced the artifact, not to the lookup that
+/// may have served it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Artifact {
+    /// The printed wQasm program.
+    pub wqasm: String,
+    /// Evaluation metrics of the producing compile.
+    pub metrics: Metrics,
+    /// SWAPs inserted (superconducting only).
+    pub swap_count: Option<usize>,
+    /// Colors used by the clause coloring (FPQA only).
+    pub num_colors: Option<usize>,
+    /// wChecker verdict, when the job requested `--check`.
+    pub check_passed: Option<bool>,
+    /// wChecker findings (empty when passed or not checked).
+    pub check_errors: Vec<String>,
+}
+
+/// Failure classification for structured one-line diagnostics. A wChecker
+/// rejection is *not* a [`JobError`]: the compile produced an artifact, so
+/// it flows through [`Artifact::check_passed`] `== Some(false)` instead
+/// (and [`JobResult::succeeded`] reports it as a failure).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobErrorKind {
+    /// The workload file could not be read.
+    Io,
+    /// The DIMACS text did not parse.
+    Parse,
+    /// Compilation failed (including internal panics, which the engine
+    /// contains instead of aborting the batch).
+    Compile,
+}
+
+impl JobErrorKind {
+    /// JSONL / diagnostic name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobErrorKind::Io => "io",
+            JobErrorKind::Parse => "parse",
+            JobErrorKind::Compile => "compile",
+        }
+    }
+}
+
+/// A structured job failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobError {
+    /// What went wrong.
+    pub kind: JobErrorKind,
+    /// One-line description.
+    pub message: String,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind.name(), self.message)
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Outcome of one job in a batch.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// Index of the job in the submitted batch (results are returned in
+    /// this order regardless of completion order).
+    pub index: usize,
+    /// Display name of the workload.
+    pub name: String,
+    /// The backend compiled for.
+    pub target: Target,
+    /// Hex artifact key (empty when the workload never parsed).
+    pub key: String,
+    /// Cache participation.
+    pub cache: CacheOutcome,
+    /// Per-stage wall-clock timings of *this* run.
+    pub timings: StageTimings,
+    /// The artifact (shared with the cache — a hit is served without
+    /// copying the program text), or a structured error.
+    pub artifact: Result<std::sync::Arc<Artifact>, JobError>,
+}
+
+impl JobResult {
+    /// Whether the job produced an artifact (and, if checked, passed).
+    pub fn succeeded(&self) -> bool {
+        match &self.artifact {
+            Ok(a) => a.check_passed != Some(false),
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weaver_sat::generator;
+
+    #[test]
+    fn artifact_key_is_content_addressed() {
+        let f = generator::instance(20, 1);
+        let by_formula = CompileJob::from_formula("a", f.clone());
+        let by_inline = CompileJob {
+            source: JobSource::Inline {
+                name: "b".into(),
+                text: weaver_sat::dimacs::to_string(&f),
+            },
+            ..by_formula.clone()
+        };
+        assert_eq!(
+            by_formula.artifact_key(&f),
+            by_inline.artifact_key(&f),
+            "source origin must not affect the key"
+        );
+    }
+
+    #[test]
+    fn artifact_key_separates_every_input() {
+        let f = generator::instance(20, 1);
+        let base = CompileJob::from_formula("a", f.clone());
+        let key = base.artifact_key(&f);
+        let other_formula = generator::instance(20, 2);
+        assert_ne!(key, base.artifact_key(&other_formula));
+        let mut sc = base.clone();
+        sc.target = Target::Superconducting;
+        assert_ne!(key, sc.artifact_key(&f));
+        let mut opts = base.clone();
+        opts.options.gamma += 1e-12;
+        assert_ne!(key, opts.artifact_key(&f));
+        let mut ccz = base.clone();
+        ccz.options.ccz_fidelity = Some(0.97);
+        assert_ne!(key, ccz.artifact_key(&f));
+        let mut check = base.clone();
+        check.options.check = true;
+        assert_ne!(key, check.artifact_key(&f));
+    }
+
+    #[test]
+    fn target_parses_cli_names() {
+        assert_eq!(Target::parse("fpqa").unwrap(), Target::Fpqa);
+        assert_eq!(Target::parse("sc").unwrap(), Target::Superconducting);
+        assert!(Target::parse("ion-trap").is_err());
+    }
+}

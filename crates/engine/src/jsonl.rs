@@ -1,0 +1,128 @@
+//! Minimal dependency-free JSON encoding for result streaming.
+//!
+//! The engine emits one JSON object per line (JSONL): a `job` record per
+//! finished job and a trailing `batch` summary record. Only encoding lives
+//! here — the on-disk artifact tier uses its own framed text format.
+
+use std::fmt::Write;
+
+/// Escapes a string for a JSON string literal (no surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a JSON number (`null` for non-finite values).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An ordered JSON object builder.
+#[derive(Default)]
+pub struct JsonObject {
+    fields: Vec<String>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields
+            .push(format!("\"{}\":\"{}\"", escape(key), escape(value)));
+        self
+    }
+
+    /// Adds a float field.
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.fields
+            .push(format!("\"{}\":{}", escape(key), number(value)));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.fields.push(format!("\"{}\":{value}", escape(key)));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.fields.push(format!("\"{}\":{value}", escape(key)));
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (object, array, `null`, …).
+    pub fn raw(mut self, key: &str, json: &str) -> Self {
+        self.fields.push(format!("\"{}\":{json}", escape(key)));
+        self
+    }
+
+    /// Adds an array of strings.
+    pub fn str_array(self, key: &str, values: &[String]) -> Self {
+        let items: Vec<String> = values
+            .iter()
+            .map(|v| format!("\"{}\"", escape(v)))
+            .collect();
+        let array = format!("[{}]", items.join(","));
+        self.raw(key, &array)
+    }
+
+    /// Renders the object.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.fields.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        assert_eq!(escape("a\"b\\c\nd\te\u{1}"), "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn builds_ordered_objects() {
+        let json = JsonObject::new()
+            .str("kind", "job")
+            .u64("index", 3)
+            .f64("seconds", 0.25)
+            .bool("ok", true)
+            .str_array("errors", &["a".to_string(), "b\"c".to_string()])
+            .finish();
+        assert_eq!(
+            json,
+            "{\"kind\":\"job\",\"index\":3,\"seconds\":0.25,\"ok\":true,\
+             \"errors\":[\"a\",\"b\\\"c\"]}"
+        );
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(1.5), "1.5");
+    }
+}

@@ -1,0 +1,201 @@
+//! Batch-job discovery: a fixture directory of `.cnf` files, or a manifest
+//! file describing one job per line.
+//!
+//! # Manifest format
+//!
+//! ```text
+//! # one job per line: <path> [key=value ...]
+//! uf20-01.cnf
+//! uf20-02.cnf target=superconducting
+//! hard/uf50-01.cnf check=true compression=false gamma=0.9 beta=0.2
+//! ```
+//!
+//! Recognized keys: `target` (`fpqa`/`superconducting`/`sc`), `check`,
+//! `compression`, `parallel-shuttling`, `dsatur` (booleans), `gamma`,
+//! `beta`, `ccz-fidelity` (floats). Unset keys inherit the batch defaults
+//! passed on the command line. Relative paths resolve against the
+//! manifest's directory; blank lines and `#` comments are skipped.
+
+use crate::job::{CompileJob, JobOptions, JobSource, Target};
+use std::path::Path;
+
+/// Expands `path` into jobs: every `*.cnf` / `*.dimacs` file (sorted by
+/// name) when `path` is a directory, or one job per manifest line when it
+/// is a file. `default_target` and `defaults` seed every job's settings.
+pub fn discover_jobs(
+    path: &Path,
+    default_target: Target,
+    defaults: &JobOptions,
+) -> Result<Vec<CompileJob>, String> {
+    if path.is_dir() {
+        discover_dir(path, default_target, defaults)
+    } else if path.is_file() {
+        parse_manifest(path, default_target, defaults)
+    } else {
+        Err(format!("{}: no such file or directory", path.display()))
+    }
+}
+
+fn discover_dir(
+    dir: &Path,
+    target: Target,
+    defaults: &JobOptions,
+) -> Result<Vec<CompileJob>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension()
+                .and_then(|x| x.to_str())
+                .is_some_and(|x| x == "cnf" || x == "dimacs")
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("{}: no .cnf or .dimacs files found", dir.display()));
+    }
+    Ok(paths
+        .into_iter()
+        .map(|p| CompileJob {
+            source: JobSource::Path(p),
+            target,
+            options: defaults.clone(),
+        })
+        .collect())
+}
+
+fn parse_manifest(
+    manifest: &Path,
+    default_target: Target,
+    defaults: &JobOptions,
+) -> Result<Vec<CompileJob>, String> {
+    let text = std::fs::read_to_string(manifest)
+        .map_err(|e| format!("cannot read {}: {e}", manifest.display()))?;
+    let base = manifest.parent().unwrap_or(Path::new("."));
+    let mut jobs = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let at = |msg: String| format!("{} line {}: {msg}", manifest.display(), lineno + 1);
+        let mut fields = line.split_whitespace();
+        let file = fields.next().expect("non-empty line has a first token");
+        let mut target = default_target;
+        let mut options = defaults.clone();
+        for field in fields {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| at(format!("expected key=value, got `{field}`")))?;
+            let parse_bool = |v: &str| -> Result<bool, String> {
+                v.parse()
+                    .map_err(|_| at(format!("bad boolean `{v}` for {key}")))
+            };
+            let parse_f64 = |v: &str| -> Result<f64, String> {
+                v.parse()
+                    .map_err(|_| at(format!("bad number `{v}` for {key}")))
+            };
+            match key {
+                "target" => target = Target::parse(value).map_err(at)?,
+                "check" => options.check = parse_bool(value)?,
+                "compression" => options.compression = parse_bool(value)?,
+                "parallel-shuttling" => options.parallel_shuttling = parse_bool(value)?,
+                "dsatur" => options.dsatur = parse_bool(value)?,
+                "gamma" => options.gamma = parse_f64(value)?,
+                "beta" => options.beta = parse_f64(value)?,
+                "ccz-fidelity" => options.ccz_fidelity = Some(parse_f64(value)?),
+                other => return Err(at(format!("unknown key `{other}`"))),
+            }
+        }
+        let path = base.join(file);
+        jobs.push(CompileJob {
+            source: JobSource::Path(path),
+            target,
+            options,
+        });
+    }
+    if jobs.is_empty() {
+        return Err(format!("{}: manifest lists no jobs", manifest.display()));
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("weaver-manifest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn directory_discovery_sorts_by_name() {
+        let dir = scratch_dir("dir");
+        for name in ["b.cnf", "a.cnf", "ignored.txt", "c.dimacs"] {
+            std::fs::write(dir.join(name), "p cnf 1 1\n1 0\n").unwrap();
+        }
+        let jobs = discover_jobs(&dir, Target::Fpqa, &JobOptions::default()).unwrap();
+        let names: Vec<String> = jobs
+            .iter()
+            .map(|j| match &j.source {
+                JobSource::Path(p) => p.file_name().unwrap().to_string_lossy().into_owned(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(names, vec!["a.cnf", "b.cnf", "c.dimacs"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_lines_override_defaults() {
+        let dir = scratch_dir("manifest");
+        let manifest = dir.join("suite.manifest");
+        std::fs::write(
+            &manifest,
+            "# suite\n\
+             one.cnf\n\
+             two.cnf target=sc check=true gamma=0.9\n\
+             sub/three.cnf compression=false ccz-fidelity=0.95\n",
+        )
+        .unwrap();
+        let jobs = discover_jobs(&manifest, Target::Fpqa, &JobOptions::default()).unwrap();
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[0].target, Target::Fpqa);
+        assert_eq!(jobs[1].target, Target::Superconducting);
+        assert!(jobs[1].options.check);
+        assert_eq!(jobs[1].options.gamma, 0.9);
+        assert!(!jobs[2].options.compression);
+        assert_eq!(jobs[2].options.ccz_fidelity, Some(0.95));
+        assert!(matches!(
+            &jobs[2].source,
+            JobSource::Path(p) if p.ends_with("sub/three.cnf")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_errors_carry_line_numbers() {
+        let dir = scratch_dir("badmanifest");
+        let manifest = dir.join("bad.manifest");
+        std::fs::write(&manifest, "ok.cnf\nbad.cnf target=ion-trap\n").unwrap();
+        let err = discover_jobs(&manifest, Target::Fpqa, &JobOptions::default()).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_path_is_an_error() {
+        let err = discover_jobs(
+            Path::new("/definitely/not/here"),
+            Target::Fpqa,
+            &JobOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("no such file"));
+    }
+}

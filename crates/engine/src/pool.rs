@@ -1,0 +1,148 @@
+//! A work-stealing thread-pool driver for batch jobs.
+//!
+//! Jobs are seeded round-robin into per-worker deques; an idle worker pops
+//! from the front of its own deque and, when empty, steals from the back of
+//! the fullest other deque. Because no job spawns further jobs, "every
+//! deque empty" is a stable termination condition. Results land in a slot
+//! array indexed by submission order, so the output is deterministic and
+//! independent of scheduling, thread count, and completion order.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Runs every item of `items` through `run` on `workers` threads and
+/// returns the results in submission order. `workers` is clamped to
+/// `1..=items.len()`; with one worker the pool degenerates to a sequential
+/// loop (no threads are spawned).
+pub fn run_jobs<T, R, F>(items: Vec<T>, workers: usize, run: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(n);
+    if workers == 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| run(i, item))
+            .collect();
+    }
+
+    // Round-robin seeding keeps the initial load balanced; stealing fixes
+    // whatever imbalance job runtimes introduce.
+    let queues: Vec<Mutex<VecDeque<(usize, T)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        queues[i % workers].lock().unwrap().push_back((i, item));
+    }
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let queues = &queues;
+            let results = &results;
+            let run = &run;
+            scope.spawn(move || loop {
+                // Own deque first (front), then steal (back of the fullest).
+                let next = queues[me].lock().unwrap().pop_front();
+                let (index, item) = match next.or_else(|| steal(queues, me)) {
+                    Some(job) => job,
+                    None => return,
+                };
+                let result = run(index, item);
+                *results[index].lock().unwrap() = Some(result);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every job ran exactly once")
+        })
+        .collect()
+}
+
+/// Steals one job from the back of the fullest deque other than `me`.
+fn steal<T>(queues: &[Mutex<VecDeque<(usize, T)>>], me: usize) -> Option<(usize, T)> {
+    let mut victim: Option<usize> = None;
+    let mut longest = 0usize;
+    for (w, queue) in queues.iter().enumerate() {
+        if w == me {
+            continue;
+        }
+        let len = queue.lock().unwrap().len();
+        if len > longest {
+            longest = len;
+            victim = Some(w);
+        }
+    }
+    queues[victim?].lock().unwrap().pop_back()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_submission_order() {
+        for workers in [1, 2, 4, 7] {
+            let items: Vec<usize> = (0..50).collect();
+            let out = run_jobs(items, workers, |i, item| {
+                assert_eq!(i, item);
+                item * 2
+            });
+            assert_eq!(out, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        run_jobs((0..64).collect::<Vec<usize>>(), 4, |_, item| {
+            counters[item].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let out = run_jobs(vec![1, 2], 16, |_, item| item + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_batch_returns_empty() {
+        let out = run_jobs(Vec::<u32>::new(), 4, |_, item| item);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn idle_workers_steal_queued_jobs() {
+        // Job 0 pins worker 0 for 300 ms. Jobs 2,4,6,8 sit behind it in
+        // worker 0's deque, so they can only finish before job 0 does if
+        // the other worker steals them.
+        let done = AtomicUsize::new(0);
+        let observed = run_jobs((0..9).collect::<Vec<usize>>(), 2, |i, _| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(300));
+                done.load(Ordering::SeqCst)
+            } else {
+                done.fetch_add(1, Ordering::SeqCst);
+                0
+            }
+        });
+        assert_eq!(
+            observed[0], 8,
+            "all queued jobs must have been stolen and finished while job 0 slept"
+        );
+    }
+}

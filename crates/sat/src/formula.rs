@@ -167,6 +167,24 @@ impl Formula {
         self.clauses.len()
     }
 
+    /// Canonical byte serialization for content addressing (the batch
+    /// engine's artifact-cache keys): the sizes followed by every clause's
+    /// length and literals as little-endian DIMACS codes. Two formulas
+    /// produce the same bytes iff they are structurally identical — clause
+    /// order, literal order, and polarity included.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.clauses.len() * 32);
+        out.extend((self.num_vars as u64).to_le_bytes());
+        out.extend((self.clauses.len() as u64).to_le_bytes());
+        for clause in &self.clauses {
+            out.extend((clause.lits().len() as u64).to_le_bytes());
+            for lit in clause.lits() {
+                out.extend(lit.to_dimacs().to_le_bytes());
+            }
+        }
+        out
+    }
+
     /// Number of clauses satisfied by an assignment.
     ///
     /// # Panics
@@ -282,5 +300,32 @@ mod tests {
         let s = f.to_string();
         assert!(s.contains("¬x0"));
         assert!(s.contains("∧"));
+    }
+
+    #[test]
+    fn canonical_bytes_distinguish_structure() {
+        let f = paper_example();
+        let same = Formula::new(f.num_vars(), f.clauses().to_vec());
+        assert_eq!(f.canonical_bytes(), same.canonical_bytes());
+        // Polarity flip of one literal changes the bytes.
+        let mut clauses = f.clauses().to_vec();
+        let lits: Vec<Lit> = clauses[0]
+            .lits()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == 0 {
+                    Lit::from_dimacs(-l.to_dimacs())
+                } else {
+                    *l
+                }
+            })
+            .collect();
+        clauses[0] = Clause::new(lits);
+        let flipped = Formula::new(f.num_vars(), clauses);
+        assert_ne!(f.canonical_bytes(), flipped.canonical_bytes());
+        // Extra unused variable changes the bytes too.
+        let widened = Formula::new(f.num_vars() + 1, f.clauses().to_vec());
+        assert_ne!(f.canonical_bytes(), widened.canonical_bytes());
     }
 }

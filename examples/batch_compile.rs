@@ -1,0 +1,69 @@
+//! Batch compilation through `weaver-engine`: compile a suite of Max-3SAT
+//! instances across all cores with a content-addressed artifact cache,
+//! then rerun the suite to show warm-cache throughput.
+//!
+//! ```text
+//! cargo run --release --example batch_compile
+//! ```
+
+use weaver::engine::{CompileJob, Engine, EngineConfig};
+use weaver::sat::generator;
+
+fn main() {
+    // The same eight 20-variable instances as `tests/fixtures/` and the
+    // tracked `BENCH_engine.json` baseline, wChecker enabled.
+    let jobs: Vec<CompileJob> = (1..=8)
+        .map(|v| {
+            let mut job =
+                CompileJob::from_formula(format!("uf20-{v:02}"), generator::instance(20, v));
+            job.options.check = true;
+            job
+        })
+        .collect();
+
+    let engine = Engine::new(EngineConfig::default());
+    println!(
+        "batch of {} jobs on {} worker(s)\n",
+        jobs.len(),
+        engine.workers()
+    );
+
+    let cold = engine.run(jobs.clone());
+    println!("--- cold run (every job compiles) ---------------------");
+    for result in &cold.results {
+        let artifact = result.artifact.as_ref().expect("job succeeded");
+        println!(
+            "{:>9}  {}  pulses {:>4}  colors {:>2}  checker {}  [{}]",
+            result.name,
+            &result.key[..12],
+            artifact.metrics.pulses,
+            artifact.num_colors.unwrap_or(0),
+            if artifact.check_passed == Some(true) {
+                "PASS"
+            } else {
+                "FAIL"
+            },
+            result.cache.name(),
+        );
+    }
+    println!(
+        "cold: {:.2} jobs/s ({:.3} s wall)\n",
+        cold.jobs_per_sec(),
+        cold.wall_seconds
+    );
+
+    let warm = engine.run(jobs);
+    println!("--- warm rerun (content-addressed cache hits) ----------");
+    println!(
+        "warm: {:.2} jobs/s ({:.4} s wall), {} of {} served from cache — {:.0}× the cold run",
+        warm.jobs_per_sec(),
+        warm.wall_seconds,
+        warm.cache_hits(),
+        warm.results.len(),
+        warm.jobs_per_sec() / cold.jobs_per_sec()
+    );
+
+    // The JSONL stream `weaverc batch` and `crates/bench` consume.
+    println!("\n--- batch summary record (JSONL) -----------------------");
+    println!("{}", warm.batch_record());
+}

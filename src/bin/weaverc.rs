@@ -4,14 +4,27 @@
 //! weaverc <input.cnf> [--target fpqa|superconducting] [--out file.qasm]
 //!         [--no-compression] [--no-parallel-shuttling] [--greedy-coloring]
 //!         [--ccz-fidelity F] [--gamma G --beta B] [--check] [--metrics]
+//!
+//! weaverc batch <dir|manifest> [--jobs N] [--target fpqa|superconducting]
+//!         [--check] [--jsonl file] [--out-dir dir] [--cache-dir dir]
+//!         [--no-cache] [shared option flags as above]
 //! ```
 //!
-//! Reads a DIMACS CNF Max-3SAT instance (SATLIB format), compiles it for
-//! the chosen backend, prints metrics, and optionally writes the compiled
-//! wQasm program and runs the wChecker.
+//! Single-shot mode reads one DIMACS CNF Max-3SAT instance (SATLIB format),
+//! compiles it for the chosen backend, prints metrics, and optionally
+//! writes the compiled wQasm program and runs the wChecker. Batch mode
+//! compiles a whole fixture directory or manifest through `weaver-engine`:
+//! jobs run on a work-stealing pool, finished artifacts land in a
+//! content-addressed cache, and results stream as JSONL. Failures exit
+//! nonzero with a one-line structured `weaverc: error: <kind>: <message>`
+//! diagnostic instead of panicking mid-batch.
 
+use std::io::Write as _;
 use std::process::ExitCode;
 use weaver::core::{CodegenOptions, Weaver};
+use weaver::engine::{
+    discover_jobs, job_record, CacheConfig, Engine, EngineConfig, JobOptions, Target,
+};
 use weaver::fpqa::FpqaParams;
 use weaver::sat::{dimacs, qaoa::QaoaParams};
 use weaver::superconducting::CouplingMap;
@@ -27,12 +40,28 @@ struct Args {
     gamma: f64,
     beta: f64,
     check: bool,
+    // Batch-only surface.
+    batch: bool,
+    jobs: usize,
+    jsonl: Option<String>,
+    out_dir: Option<String>,
+    cache_dir: Option<String>,
+    use_cache: bool,
 }
 
 fn usage() -> &'static str {
     "usage: weaverc <input.cnf> [--target fpqa|superconducting] [--out file.qasm]\n\
      \x20              [--no-compression] [--no-parallel-shuttling] [--greedy-coloring]\n\
-     \x20              [--ccz-fidelity F] [--gamma G] [--beta B] [--check]"
+     \x20              [--ccz-fidelity F] [--gamma G] [--beta B] [--check]\n\
+     \x20      weaverc batch <dir|manifest> [--jobs N] [--target fpqa|superconducting]\n\
+     \x20              [--check] [--jsonl file] [--out-dir dir] [--cache-dir dir]\n\
+     \x20              [--no-cache] [shared option flags]"
+}
+
+/// Prints the one-line structured diagnostic every failure path uses.
+fn error_line(kind: &str, message: &str) -> ExitCode {
+    eprintln!("weaverc: error: {kind}: {message}");
+    ExitCode::FAILURE
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,36 +76,48 @@ fn parse_args() -> Result<Args, String> {
         gamma: 0.7,
         beta: 0.3,
         check: false,
+        batch: false,
+        jobs: 0,
+        jsonl: None,
+        out_dir: None,
+        cache_dir: None,
+        use_cache: true,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    if it.peek().map(String::as_str) == Some("batch") {
+        args.batch = true;
+        it.next();
+    }
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
         it.next().ok_or(format!("missing value for {flag}"))
+    };
+    let number = |v: String, flag: &str| -> Result<f64, String> {
+        v.parse().map_err(|e| format!("bad {flag}: {e}"))
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--target" => args.target = value(&mut it, "--target")?,
-            "--out" => args.out = Some(value(&mut it, "--out")?),
+            // Single-shot only; batch writes artifacts via --out-dir.
+            "--out" if !args.batch => args.out = Some(value(&mut it, "--out")?),
             "--no-compression" => args.compression = false,
             "--no-parallel-shuttling" => args.parallel_shuttling = false,
             "--greedy-coloring" => args.dsatur = false,
             "--ccz-fidelity" => {
-                args.ccz_fidelity = Some(
-                    value(&mut it, "--ccz-fidelity")?
-                        .parse()
-                        .map_err(|e| format!("bad --ccz-fidelity: {e}"))?,
-                )
+                args.ccz_fidelity =
+                    Some(number(value(&mut it, "--ccz-fidelity")?, "--ccz-fidelity")?)
             }
-            "--gamma" => {
-                args.gamma = value(&mut it, "--gamma")?
-                    .parse()
-                    .map_err(|e| format!("bad --gamma: {e}"))?
-            }
-            "--beta" => {
-                args.beta = value(&mut it, "--beta")?
-                    .parse()
-                    .map_err(|e| format!("bad --beta: {e}"))?
-            }
+            "--gamma" => args.gamma = number(value(&mut it, "--gamma")?, "--gamma")?,
+            "--beta" => args.beta = number(value(&mut it, "--beta")?, "--beta")?,
             "--check" => args.check = true,
+            "--jobs" if args.batch => {
+                args.jobs = value(&mut it, "--jobs")?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs: {e}"))?
+            }
+            "--jsonl" if args.batch => args.jsonl = Some(value(&mut it, "--jsonl")?),
+            "--out-dir" if args.batch => args.out_dir = Some(value(&mut it, "--out-dir")?),
+            "--cache-dir" if args.batch => args.cache_dir = Some(value(&mut it, "--cache-dir")?),
+            "--no-cache" if args.batch => args.use_cache = false,
             "--help" | "-h" => return Err(usage().to_string()),
             other if args.input.is_empty() && !other.starts_with('-') => {
                 args.input = other.to_string()
@@ -98,20 +139,165 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.batch {
+        run_batch(&args)
+    } else {
+        run_single(&args)
+    }
+}
 
+// ---------------------------------------------------------------------------
+// Batch mode
+// ---------------------------------------------------------------------------
+
+fn run_batch(args: &Args) -> ExitCode {
+    let target = match Target::parse(&args.target) {
+        Ok(t) => t,
+        Err(e) => return error_line("usage", &e),
+    };
+    let defaults = JobOptions {
+        compression: args.compression,
+        parallel_shuttling: args.parallel_shuttling,
+        dsatur: args.dsatur,
+        ccz_fidelity: args.ccz_fidelity,
+        gamma: args.gamma,
+        beta: args.beta,
+        check: args.check,
+    };
+    let jobs = match discover_jobs(std::path::Path::new(&args.input), target, &defaults) {
+        Ok(jobs) => jobs,
+        Err(e) => return error_line("io", &e),
+    };
+    let engine = match Engine::try_new(EngineConfig {
+        jobs: args.jobs,
+        cache: CacheConfig {
+            disk_dir: args.cache_dir.as_ref().map(Into::into),
+            ..CacheConfig::default()
+        },
+        use_cache: args.use_cache,
+    }) {
+        Ok(engine) => engine,
+        Err(e) => return error_line("io", &format!("cannot open cache dir: {e}")),
+    };
+    if let Some(dir) = &args.out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            return error_line("io", &format!("cannot create {dir}: {e}"));
+        }
+    }
+
+    let n = jobs.len();
+    eprintln!(
+        "weaverc: batch of {n} job{} on {} worker{} (cache: {})",
+        if n == 1 { "" } else { "s" },
+        engine.workers(),
+        if engine.workers() == 1 { "" } else { "s" },
+        if !args.use_cache {
+            "off".to_string()
+        } else if let Some(dir) = &args.cache_dir {
+            format!("memory + disk at {dir}")
+        } else {
+            "memory".to_string()
+        },
+    );
+
+    // Stream one JSONL record per finished job (stdout or --jsonl file).
+    let sink_file = match &args.jsonl {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Some(std::sync::Mutex::new(f)),
+            Err(e) => return error_line("io", &format!("cannot create {path}: {e}")),
+        },
+        None => None,
+    };
+    let stdout = std::sync::Mutex::new(std::io::stdout());
+    let report = engine.run_streaming(jobs, &|result| {
+        let line = job_record(result);
+        match &sink_file {
+            Some(file) => {
+                let _ = writeln!(file.lock().unwrap(), "{line}");
+            }
+            None => {
+                let _ = writeln!(stdout.lock().unwrap(), "{line}");
+            }
+        }
+    });
+    match &sink_file {
+        Some(file) => {
+            let _ = writeln!(file.lock().unwrap(), "{}", report.batch_record());
+        }
+        None => {
+            let _ = writeln!(stdout.lock().unwrap(), "{}", report.batch_record());
+        }
+    }
+
+    // Optionally materialize artifacts next to their job names. Stems can
+    // collide (same file name in two directories, or one file listed twice
+    // in a manifest under different options) — disambiguate with the job
+    // index rather than silently overwriting.
+    if let Some(dir) = &args.out_dir {
+        let mut used = std::collections::HashSet::new();
+        for result in &report.results {
+            if let Ok(artifact) = &result.artifact {
+                let stem = std::path::Path::new(&result.name)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| format!("job-{}", result.index));
+                let name = if used.insert(stem.clone()) {
+                    format!("{stem}.qasm")
+                } else {
+                    format!("{stem}-{}.qasm", result.index)
+                };
+                let path = std::path::Path::new(dir).join(name);
+                if let Err(e) = std::fs::write(&path, &artifact.wqasm) {
+                    return error_line("io", &format!("cannot write {}: {e}", path.display()));
+                }
+            }
+        }
+    }
+
+    eprintln!(
+        "weaverc: batch done — {}/{} succeeded, {} cache hit{}, {:.2} jobs/s ({:.3} s)",
+        report.succeeded(),
+        report.results.len(),
+        report.cache_hits(),
+        if report.cache_hits() == 1 { "" } else { "s" },
+        report.jobs_per_sec(),
+        report.wall_seconds,
+    );
+    for result in report.results.iter().filter(|r| !r.succeeded()) {
+        match &result.artifact {
+            Err(e) => eprintln!(
+                "weaverc: error: {}: {} ({})",
+                e.kind.name(),
+                e.message,
+                result.name
+            ),
+            Ok(a) => eprintln!(
+                "weaverc: error: check: wChecker FAIL with {} finding{} ({})",
+                a.check_errors.len(),
+                if a.check_errors.len() == 1 { "" } else { "s" },
+                result.name
+            ),
+        }
+    }
+    if report.failed() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-shot mode
+// ---------------------------------------------------------------------------
+
+fn run_single(args: &Args) -> ExitCode {
     let text = match std::fs::read_to_string(&args.input) {
         Ok(t) => t,
-        Err(e) => {
-            eprintln!("weaverc: cannot read {}: {e}", args.input);
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return error_line("io", &format!("cannot read {}: {e}", args.input)),
     };
     let formula = match dimacs::parse(&text) {
         Ok(f) => f,
-        Err(e) => {
-            eprintln!("weaverc: {}: {e}", args.input);
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return error_line("parse", &format!("{}: {e}", args.input)),
     };
     eprintln!(
         "weaverc: {} — {} variables, {} clauses",
@@ -157,33 +343,33 @@ fn main() -> ExitCode {
                         report.pulses_checked, report.motions_checked
                     );
                 } else {
-                    eprintln!("weaverc: wChecker FAIL:");
                     for e in &report.errors {
-                        eprintln!("  {e}");
+                        eprintln!("weaverc:   {e}");
                     }
-                    return ExitCode::FAILURE;
+                    return error_line(
+                        "check",
+                        &format!(
+                            "wChecker FAIL with {} finding{} ({})",
+                            report.errors.len(),
+                            if report.errors.len() == 1 { "" } else { "s" },
+                            args.input
+                        ),
+                    );
                 }
             }
             let qasm = weaver::wqasm::print(&result.compiled.program);
-            match &args.out {
-                Some(path) => {
-                    if let Err(e) = std::fs::write(path, qasm) {
-                        eprintln!("weaverc: cannot write {path}: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                    eprintln!("weaverc: wrote {path}");
-                }
-                None => print!("{qasm}"),
-            }
+            write_output(&args.out, &qasm)
         }
         "superconducting" | "sc" => {
             let coupling = CouplingMap::ibm_washington();
             if formula.num_vars() > coupling.num_qubits() {
-                eprintln!(
-                    "weaverc: {} variables exceed the 127-qubit backend",
-                    formula.num_vars()
+                return error_line(
+                    "compile",
+                    &format!(
+                        "{} variables exceed the 127-qubit backend",
+                        formula.num_vars()
+                    ),
                 );
-                return ExitCode::FAILURE;
             }
             let result = weaver.compile_superconducting(&formula, &coupling);
             eprintln!(
@@ -197,21 +383,27 @@ fn main() -> ExitCode {
             );
             let program = weaver::wqasm::convert::circuit_to_program(&result.circuit);
             let qasm = weaver::wqasm::print(&program);
-            match &args.out {
-                Some(path) => {
-                    if let Err(e) = std::fs::write(path, qasm) {
-                        eprintln!("weaverc: cannot write {path}: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                    eprintln!("weaverc: wrote {path}");
-                }
-                None => print!("{qasm}"),
-            }
+            write_output(&args.out, &qasm)
         }
-        other => {
-            eprintln!("weaverc: unknown target `{other}` (use fpqa or superconducting)");
-            return ExitCode::FAILURE;
+        other => error_line(
+            "usage",
+            &format!("unknown target `{other}` (use fpqa or superconducting)"),
+        ),
+    }
+}
+
+fn write_output(out: &Option<String>, qasm: &str) -> ExitCode {
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, qasm) {
+                return error_line("io", &format!("cannot write {path}: {e}"));
+            }
+            eprintln!("weaverc: wrote {path}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            print!("{qasm}");
+            ExitCode::SUCCESS
         }
     }
-    ExitCode::SUCCESS
 }

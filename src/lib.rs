@@ -13,6 +13,7 @@
 //! | [`fpqa`] | `weaver-fpqa` | neutral-atom device model, pulses, noise |
 //! | [`superconducting`] | `weaver-superconducting` | coupling maps, SABRE transpiler |
 //! | [`core`] | `weaver-core` | wOptimizer, wQasm codegen, wChecker, pipeline |
+//! | [`engine`] | `weaver-engine` | parallel batch compilation + artifact cache |
 //! | [`baselines`] | `weaver-baselines` | Geyser, Atomique, DPQA baselines |
 //!
 //! # Quickstart
@@ -42,6 +43,7 @@
 pub use weaver_baselines as baselines;
 pub use weaver_circuit as circuit;
 pub use weaver_core as core;
+pub use weaver_engine as engine;
 pub use weaver_fpqa as fpqa;
 pub use weaver_sat as sat;
 pub use weaver_simulator as simulator;
@@ -52,7 +54,8 @@ pub use weaver_wqasm as wqasm;
 pub mod prelude {
     pub use weaver_baselines::{Atomique, BaselineOutput, Dpqa, FpqaCompiler, Geyser, Timeout};
     pub use weaver_circuit::{Circuit, Gate, NativeBasis};
-    pub use weaver_core::{CheckReport, CodegenOptions, FpqaResult, Metrics, Weaver};
+    pub use weaver_core::{CacheHandle, CheckReport, CodegenOptions, FpqaResult, Metrics, Weaver};
+    pub use weaver_engine::{CompileJob, Engine, EngineConfig};
     pub use weaver_fpqa::{FpqaDevice, FpqaParams, PulseOp, PulseSchedule};
     pub use weaver_sat::{generator, qaoa::QaoaParams, Formula};
     pub use weaver_superconducting::{CouplingMap, SuperconductingParams};

@@ -64,3 +64,111 @@ fn bad_input_fails_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
+
+#[test]
+fn failures_emit_one_line_structured_errors() {
+    // Missing file → io error, nonzero exit.
+    let out = weaverc().args(["/nonexistent.cnf"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("weaverc: error: io:"), "{stderr}");
+    // Garbage DIMACS → parse error, nonzero exit.
+    let bad = std::env::temp_dir().join("weaverc_smoke_bad.cnf");
+    std::fs::write(&bad, "p cnf two three\nnot a clause\n").unwrap();
+    let out = weaverc().arg(bad.to_str().unwrap()).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("weaverc: error: parse:"), "{stderr}");
+}
+
+fn fixtures_dir() -> String {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures").to_string()
+}
+
+#[test]
+fn batch_compiles_the_fixture_suite_with_check() {
+    let out = weaverc()
+        .args(["batch", fixtures_dir().as_str(), "--jobs", "2", "--check"])
+        .output()
+        .expect("run weaverc batch");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    // 8 fixture job records + 1 batch summary, all JSONL.
+    assert_eq!(lines.len(), 9, "{stdout}");
+    assert_eq!(
+        lines
+            .iter()
+            .filter(|l| l.contains("\"kind\":\"job\"") && l.contains("\"check_passed\":true"))
+            .count(),
+        8
+    );
+    let summary = lines.last().unwrap();
+    assert!(summary.contains("\"kind\":\"batch\""), "{summary}");
+    assert!(summary.contains("\"succeeded\":8"), "{summary}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("8/8 succeeded"));
+}
+
+#[test]
+fn batch_wqasm_matches_single_shot_output() {
+    let dir = std::env::temp_dir().join(format!("weaverc_batch_out_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let fixture = format!("{}/uf20-01.cnf", fixtures_dir());
+    // Single-shot reference.
+    let single = weaverc().args([fixture.as_str()]).output().unwrap();
+    assert!(single.status.success());
+    // Batch over the suite, artifacts materialized into --out-dir.
+    let out = weaverc()
+        .args([
+            "batch",
+            fixtures_dir().as_str(),
+            "--jobs",
+            "2",
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let from_batch = std::fs::read(dir.join("uf20-01.qasm")).expect("batch artifact");
+    assert_eq!(
+        from_batch, single.stdout,
+        "batch artifact must be byte-identical to the single-shot run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_reports_per_job_failures_and_exits_nonzero() {
+    let dir = std::env::temp_dir().join(format!("weaverc_batch_bad_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("good.cnf"),
+        weaver::sat::dimacs::to_string(&weaver::sat::generator::instance(10, 1)),
+    )
+    .unwrap();
+    std::fs::write(dir.join("broken.cnf"), "p cnf nonsense\n").unwrap();
+    let out = weaverc()
+        .args(["batch", dir.to_str().unwrap(), "--jobs", "2"])
+        .output()
+        .unwrap();
+    // One job fails → nonzero exit, structured error, but the good job ran.
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"status\":\"error\""), "{stdout}");
+    assert!(stdout.contains("\"error_kind\":\"parse\""), "{stdout}");
+    assert!(stdout.contains("\"status\":\"ok\""), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("weaverc: error: parse:"), "{stderr}");
+    assert!(stderr.contains("1/2 succeeded"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,184 @@
+//! End-to-end tests for `weaver-engine` batch compilation (ISSUE 3
+//! acceptance criteria): batch output identical to sequential single-shot
+//! runs, byte-identical wQasm across cold/warm caches and thread counts,
+//! identical `Metrics` modulo wall-clock fields, and warm-cache hits.
+
+use proptest::prelude::*;
+use std::path::Path;
+use weaver::core::{CodegenOptions, Metrics, Weaver};
+use weaver::engine::{discover_jobs, CompileJob, Engine, EngineConfig, JobOptions, Target};
+use weaver::sat::{dimacs, generator, qaoa::QaoaParams, Formula};
+
+fn fixtures_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_jobs(check: bool) -> Vec<CompileJob> {
+    let options = JobOptions {
+        check,
+        ..JobOptions::default()
+    };
+    let jobs = discover_jobs(&fixtures_dir(), Target::Fpqa, &options).expect("fixtures");
+    assert!(jobs.len() >= 8, "acceptance needs ≥ 8 DIMACS instances");
+    jobs
+}
+
+fn engine_with(workers: usize) -> Engine {
+    Engine::new(EngineConfig {
+        jobs: workers,
+        ..EngineConfig::default()
+    })
+}
+
+/// The `Metrics` fields that must be deterministic (everything but the
+/// wall-clock `compilation_seconds`).
+fn stable_metrics(m: &Metrics) -> (u64, u64, usize, usize, u64) {
+    (
+        m.execution_micros.to_bits(),
+        m.eps.to_bits(),
+        m.pulses,
+        m.motion_ops,
+        m.steps,
+    )
+}
+
+/// Mirrors one single-shot `weaverc` run: parse the file, compile with the
+/// default CLI options, print wQasm.
+fn single_shot(path: &Path) -> (String, Metrics) {
+    let text = std::fs::read_to_string(path).expect("fixture readable");
+    let formula = dimacs::parse(&text).expect("fixture parses");
+    let options = CodegenOptions {
+        qaoa: QaoaParams::single(0.7, 0.3),
+        measure: true,
+        ..CodegenOptions::default()
+    };
+    let weaver = Weaver::new().with_options(options);
+    let result = weaver.compile_fpqa(&formula);
+    (
+        weaver::wqasm::print(&result.compiled.program),
+        result.metrics,
+    )
+}
+
+#[test]
+fn batch_matches_sequential_single_shot_runs() {
+    let jobs = fixture_jobs(false);
+    let paths: Vec<std::path::PathBuf> = jobs
+        .iter()
+        .map(|j| match &j.source {
+            weaver::engine::JobSource::Path(p) => p.clone(),
+            other => panic!("expected path source, got {other:?}"),
+        })
+        .collect();
+    let report = engine_with(2).run(jobs);
+    assert_eq!(report.succeeded(), paths.len());
+    for (result, path) in report.results.iter().zip(&paths) {
+        let (expected_qasm, expected_metrics) = single_shot(path);
+        let artifact = result.artifact.as_ref().expect("artifact");
+        assert_eq!(
+            artifact.wqasm,
+            expected_qasm,
+            "batch wQasm must be byte-identical to the single-shot run for {}",
+            path.display()
+        );
+        assert_eq!(
+            stable_metrics(&artifact.metrics),
+            stable_metrics(&expected_metrics),
+            "metrics must match modulo wall-clock for {}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn cold_warm_and_thread_counts_agree_byte_for_byte() {
+    let jobs = fixture_jobs(true);
+    let one = engine_with(1);
+    let cold_1 = one.run(jobs.clone());
+    let warm_1 = one.run(jobs.clone());
+    let cold_4 = engine_with(4).run(jobs.clone());
+    assert_eq!(cold_1.cache_hits(), 0);
+    assert_eq!(warm_1.cache_hits(), jobs.len());
+    assert_eq!(cold_4.cache_hits(), 0);
+    for ((a, b), c) in cold_1
+        .results
+        .iter()
+        .zip(&warm_1.results)
+        .zip(&cold_4.results)
+    {
+        let (aa, ba, ca) = (
+            a.artifact.as_ref().unwrap(),
+            b.artifact.as_ref().unwrap(),
+            c.artifact.as_ref().unwrap(),
+        );
+        assert_eq!(aa.wqasm, ba.wqasm, "cold vs warm must be byte-identical");
+        assert_eq!(aa.wqasm, ca.wqasm, "1 vs 4 workers must be byte-identical");
+        assert_eq!(stable_metrics(&aa.metrics), stable_metrics(&ba.metrics));
+        assert_eq!(stable_metrics(&aa.metrics), stable_metrics(&ca.metrics));
+        assert_eq!(aa.check_passed, Some(true));
+        assert_eq!(ba.check_passed, Some(true));
+        assert_eq!(ca.check_passed, Some(true));
+    }
+    // Warm reruns are served from the artifact cache before the checker is
+    // ever reached: the cold run recorded one device trace per job and the
+    // warm run added nothing.
+    assert_eq!(warm_1.core_stats.checker_misses, jobs.len() as u64);
+    assert_eq!(warm_1.core_stats.checker_hits, 0);
+}
+
+#[test]
+fn warm_cache_throughput_exceeds_cold_5x() {
+    // The acceptance bar, measured the same way BENCH_engine.json is.
+    let jobs = fixture_jobs(false);
+    let engine = engine_with(0);
+    let start = std::time::Instant::now();
+    let cold = engine.run(jobs.clone());
+    let cold_seconds = start.elapsed().as_secs_f64();
+    let start = std::time::Instant::now();
+    let warm = engine.run(jobs.clone());
+    let warm_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(cold.cache_hits(), 0);
+    assert_eq!(warm.cache_hits(), jobs.len());
+    let speedup = cold_seconds / warm_seconds.max(1e-9);
+    assert!(
+        speedup >= 5.0,
+        "warm batch must be ≥ 5× cold, got {speedup:.1}× ({cold_seconds:.4}s vs {warm_seconds:.4}s)"
+    );
+}
+
+/// A compact random Max-3SAT workload for the determinism property.
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    (4usize..10, 1usize..500).prop_map(|(vars, variant)| generator::instance(vars, variant))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Determinism property (ISSUE 3 satellite): compiling the same
+    /// instance twice — cold vs warm cache, 1 vs N worker threads — yields
+    /// byte-identical wQasm and identical `Metrics` modulo wall-clock.
+    #[test]
+    fn compiling_twice_is_deterministic(formula in arb_formula()) {
+        let job = {
+            let mut job = CompileJob::from_formula("prop", formula);
+            job.options.check = true;
+            job
+        };
+        let sequential = engine_with(1);
+        let cold = sequential.run(vec![job.clone()]);
+        let warm = sequential.run(vec![job.clone()]);
+        let parallel = engine_with(3).run(vec![job.clone(), job.clone(), job]);
+        let base = cold.results[0].artifact.as_ref().unwrap();
+        prop_assert!(cold.results[0].succeeded());
+        prop_assert_eq!(warm.cache_hits(), 1);
+        for other in warm.results.iter().chain(&parallel.results) {
+            let artifact = other.artifact.as_ref().unwrap();
+            prop_assert_eq!(&artifact.wqasm, &base.wqasm);
+            prop_assert_eq!(
+                stable_metrics(&artifact.metrics),
+                stable_metrics(&base.metrics)
+            );
+            prop_assert_eq!(artifact.check_passed, Some(true));
+        }
+    }
+}
