@@ -11,7 +11,6 @@
 use crate::common::{BaselineOutput, FpqaCompiler, Timeout};
 use std::time::Instant;
 use weaver_circuit::{native, NativeBasis};
-use weaver_core::Metrics;
 use weaver_fpqa::{FpqaParams, PulseOp, PulseSchedule};
 use weaver_sat::{qaoa, Formula};
 
@@ -201,19 +200,14 @@ impl FpqaCompiler for Atomique {
             }
         }
 
-        let metrics = Metrics {
-            compilation_seconds: start.elapsed().as_secs_f64(),
-            execution_micros: schedule.duration(&self.params),
-            eps: weaver_fpqa::eps(&schedule, &self.params, n),
-            pulses: schedule.pulse_count(),
-            motion_ops: schedule.motion_count(),
-            steps,
-        };
-        Ok(BaselineOutput {
-            name: self.name(),
-            metrics,
+        Ok(BaselineOutput::from_schedule(
+            self.name(),
             schedule,
-        })
+            &self.params,
+            n,
+            start.elapsed().as_secs_f64(),
+            steps,
+        ))
     }
 }
 

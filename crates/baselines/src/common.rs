@@ -16,6 +16,28 @@ pub struct BaselineOutput {
     pub schedule: PulseSchedule,
 }
 
+impl BaselineOutput {
+    /// Assembles a baseline result from its pulse schedule, deriving the
+    /// metrics through the one shared [`Metrics::for_schedule`] constructor
+    /// (every baseline previously hand-rolled the same field list).
+    pub fn from_schedule(
+        name: &'static str,
+        schedule: PulseSchedule,
+        params: &weaver_fpqa::FpqaParams,
+        num_atoms: usize,
+        compilation_seconds: f64,
+        steps: u64,
+    ) -> Self {
+        let metrics =
+            Metrics::for_schedule(&schedule, params, num_atoms, compilation_seconds, steps);
+        BaselineOutput {
+            name,
+            metrics,
+            schedule,
+        }
+    }
+}
+
 /// A baseline failed to finish within its budget — the paper marks these
 /// points `✗` (Geyser and DPQA beyond 20 variables).
 #[derive(Clone, Debug, PartialEq)]

@@ -20,7 +20,6 @@ use crate::common::{BaselineOutput, FpqaCompiler, Timeout};
 use std::time::Instant;
 use weaver_core::codegen::{self, CodegenOptions};
 use weaver_core::coloring::{conflict_graph, dsatur, ClauseColoring};
-use weaver_core::Metrics;
 use weaver_fpqa::FpqaParams;
 use weaver_sat::{qaoa, Formula};
 
@@ -232,19 +231,14 @@ impl FpqaCompiler for Dpqa {
         let compiled =
             codegen::compile_formula_with_coloring(formula, &self.params, &options, coloring);
 
-        let metrics = Metrics {
-            compilation_seconds: start.elapsed().as_secs_f64(),
-            execution_micros: compiled.schedule.duration(&self.params),
-            eps: weaver_fpqa::eps(&compiled.schedule, &self.params, formula.num_vars()),
-            pulses: compiled.schedule.pulse_count(),
-            motion_ops: compiled.schedule.motion_count(),
-            steps: nodes + compiled.steps,
-        };
-        Ok(BaselineOutput {
-            name: self.name(),
-            metrics,
-            schedule: compiled.schedule,
-        })
+        Ok(BaselineOutput::from_schedule(
+            self.name(),
+            compiled.schedule,
+            &self.params,
+            formula.num_vars(),
+            start.elapsed().as_secs_f64(),
+            nodes + compiled.steps,
+        ))
     }
 }
 

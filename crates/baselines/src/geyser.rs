@@ -11,7 +11,6 @@
 use crate::common::{BaselineOutput, FpqaCompiler, Timeout};
 use std::time::Instant;
 use weaver_circuit::{native, Circuit, Gate, Instruction, NativeBasis};
-use weaver_core::Metrics;
 use weaver_fpqa::{FpqaParams, PulseOp, PulseSchedule};
 use weaver_sat::{qaoa, Formula};
 
@@ -204,19 +203,16 @@ impl FpqaCompiler for Geyser {
             schedule.extend(ops);
         }
 
-        let metrics = Metrics {
-            compilation_seconds: start.elapsed().as_secs_f64(),
-            execution_micros: schedule.duration(&self.params),
-            eps: weaver_fpqa::eps(&schedule, &self.params, n),
-            pulses: schedule.pulse_count(),
-            motion_ops: 0,
-            steps,
-        };
-        Ok(BaselineOutput {
-            name: self.name(),
-            metrics,
+        // Geyser never moves atoms, so `Metrics::for_schedule`'s motion
+        // count is structurally zero here.
+        Ok(BaselineOutput::from_schedule(
+            self.name(),
             schedule,
-        })
+            &self.params,
+            n,
+            start.elapsed().as_secs_f64(),
+            steps,
+        ))
     }
 }
 

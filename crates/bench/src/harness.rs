@@ -8,7 +8,6 @@ use weaver_baselines::{Atomique, Dpqa, FpqaCompiler, Geyser};
 use weaver_core::{Metrics, Weaver};
 use weaver_fpqa::FpqaParams;
 use weaver_sat::{generator, Formula};
-use weaver_superconducting::CouplingMap;
 
 /// The five systems of the paper's figures.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -78,22 +77,23 @@ impl RunOutcome {
 }
 
 /// Runs one system on one formula with the paper's applicability rules.
+/// Weaver and the superconducting baseline dispatch through the shared
+/// backend registry ([`Weaver::compile_target`]); the FPQA baselines keep
+/// their own [`FpqaCompiler`] interface.
 pub fn run_compiler(id: CompilerId, formula: &Formula, params: &FpqaParams) -> RunOutcome {
     match id {
         CompilerId::Weaver => {
             let weaver = Weaver::new().with_fpqa_params(params.clone());
-            RunOutcome::Done(weaver.compile_fpqa(formula).metrics)
+            match weaver.compile_target("fpqa", formula) {
+                Ok(out) => RunOutcome::Done(out.metrics),
+                Err(e) => RunOutcome::NotApplicable(e.message),
+            }
         }
         CompilerId::Superconducting => {
-            let coupling = CouplingMap::ibm_washington();
-            if formula.num_vars() > coupling.num_qubits() {
-                return RunOutcome::NotApplicable(format!(
-                    "{} variables exceed the 127-qubit backend",
-                    formula.num_vars()
-                ));
+            match Weaver::new().compile_target("superconducting", formula) {
+                Ok(out) => RunOutcome::Done(out.metrics),
+                Err(e) => RunOutcome::NotApplicable(e.message),
             }
-            let weaver = Weaver::new();
-            RunOutcome::Done(weaver.compile_superconducting(formula, &coupling).metrics)
         }
         CompilerId::Atomique => match Atomique::new(params.clone()).compile(formula) {
             Ok(out) => RunOutcome::Done(out.metrics),

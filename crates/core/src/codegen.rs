@@ -100,12 +100,19 @@ pub fn compile_formula_cached(
     options: &CodegenOptions,
     cache: Option<&CacheHandle>,
 ) -> CompiledFpqa {
-    let coloring = if options.dsatur {
+    let coloring = select_coloring(formula, options);
+    compile_formula_with_coloring_cached(formula, params, options, coloring, cache)
+}
+
+/// The coloring policy the options select: DSatur, or first-fit greedy for
+/// the ablation. Single source of truth shared by [`compile_formula_cached`]
+/// and the backend pass pipeline.
+pub(crate) fn select_coloring(formula: &Formula, options: &CodegenOptions) -> ClauseColoring {
+    if options.dsatur {
         color_clauses(formula)
     } else {
         crate::coloring::greedy_first_fit(&crate::coloring::conflict_graph(formula))
-    };
-    compile_formula_with_coloring_cached(formula, params, options, coloring, cache)
+    }
 }
 
 /// Like [`compile_formula`], but with an externally supplied clause

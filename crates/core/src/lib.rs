@@ -2,6 +2,8 @@
 //! contribution): the wOptimizer pass pipeline, wQasm code generation, and
 //! the wChecker equivalence checker.
 //!
+//! * [`backend`] — the retargetable [`Backend`] trait, the per-target pass
+//!   manager, and the [`BackendRegistry`] every dispatch site goes through,
 //! * [`cache`] — content hashing (BLAKE2s) and the shared compilation
 //!   memo store threaded through codegen and the checker,
 //! * [`coloring`] — clause coloring via DSatur (§5.2, Algorithm 1),
@@ -33,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cache;
 pub mod checker;
 pub mod codegen;
@@ -41,6 +44,9 @@ pub mod compress;
 pub mod pipeline;
 pub mod plan;
 
+pub use backend::{
+    Backend, BackendError, BackendInfo, BackendRegistry, CompileOutput, CompiledArtifact, PassStat,
+};
 pub use cache::{CacheHandle, CacheStats, Digest, Fingerprint};
 pub use checker::{check, check_with_cache, CheckReport};
 pub use codegen::{CodegenOptions, CompiledFpqa};

@@ -1,18 +1,28 @@
 //! The retargetable compilation pipeline (paper Fig. 3).
 //!
-//! One entry point, two backends: a Max-3SAT workload is lowered to a
-//! hardware-agnostic native circuit; the superconducting path routes it
-//! through the SABRE transpiler onto a coupling map, the FPQA path runs the
-//! wOptimizer (coloring → shuttling → compression) and emits annotated
-//! wQasm plus a pulse schedule; the wChecker verifies the FPQA output.
+//! One entry point, many backends: a Max-3SAT workload is lowered to a
+//! hardware-agnostic native circuit and dispatched through the
+//! [`BackendRegistry`]. The FPQA target
+//! runs the wOptimizer (coloring → shuttling → compression) and emits
+//! annotated wQasm plus a pulse schedule (verified by the wChecker), the
+//! superconducting target routes through the SABRE transpiler onto a
+//! coupling map, and the simulator target executes the native circuit on
+//! the ideal state-vector simulator. [`Weaver::compile_target`] reaches any
+//! of them by name; [`Weaver::compile_fpqa`] and
+//! [`Weaver::compile_superconducting`] remain as thin shims over the same
+//! trait-dispatched path.
 
+use crate::backend::{
+    Backend as _, BackendError, BackendRegistry, CompileOutput, CompiledArtifact, FpqaBackend,
+    SuperconductingBackend,
+};
 use crate::checker::{self, CheckReport};
-use crate::codegen::{self, CodegenOptions, CompiledFpqa};
-use std::time::Instant;
+use crate::codegen::{CodegenOptions, CompiledFpqa};
 use weaver_circuit::{native, Circuit, NativeBasis};
-use weaver_fpqa::FpqaParams;
+use weaver_fpqa::{FpqaParams, PulseSchedule};
 use weaver_sat::{qaoa, Formula};
-use weaver_superconducting::{CouplingMap, SuperconductingParams};
+use weaver_superconducting::{CouplingMap, SuperconductingParams, TranspileResult};
+use weaver_wqasm::Program;
 
 /// The paper's evaluation metrics for one compilation (§8.1).
 #[derive(Clone, Debug, PartialEq)]
@@ -29,6 +39,40 @@ pub struct Metrics {
     pub motion_ops: usize,
     /// Internal work-step counter (complexity instrumentation, Fig. 10a).
     pub steps: u64,
+}
+
+impl Metrics {
+    /// The metrics of an FPQA pulse schedule — the one shared constructor
+    /// behind the Weaver pipeline and every baseline compiler (they
+    /// previously each hand-rolled the same five fields).
+    pub fn for_schedule(
+        schedule: &PulseSchedule,
+        params: &FpqaParams,
+        num_atoms: usize,
+        compilation_seconds: f64,
+        steps: u64,
+    ) -> Metrics {
+        Metrics {
+            compilation_seconds,
+            execution_micros: schedule.duration(params),
+            eps: weaver_fpqa::eps(schedule, params, num_atoms),
+            pulses: schedule.pulse_count(),
+            motion_ops: schedule.motion_count(),
+            steps,
+        }
+    }
+
+    /// The metrics of a routed superconducting circuit.
+    pub fn for_transpiled(result: &TranspileResult, compilation_seconds: f64) -> Metrics {
+        Metrics {
+            compilation_seconds,
+            execution_micros: result.execution_time,
+            eps: result.eps,
+            pulses: result.circuit.gate_count(),
+            motion_ops: 0,
+            steps: result.steps,
+        }
+    }
 }
 
 /// Result of the FPQA path.
@@ -98,7 +142,76 @@ impl Weaver {
         self
     }
 
-    /// Compiles a Max-3SAT formula down the FPQA path (wOptimizer).
+    /// Compiles a Max-3SAT formula for the target registered under `name`
+    /// (or an alias) in the [global registry](BackendRegistry::global) —
+    /// `fpqa`, `superconducting`/`sc`, or `simulator`/`sim`. To dispatch to
+    /// a custom backend, build your own [`BackendRegistry`], `register` it,
+    /// and call [`crate::backend::Backend::compile`] on the looked-up entry
+    /// (see the module example in [`crate::backend`]).
+    ///
+    /// # Errors
+    ///
+    /// An unknown target name, or a workload the target cannot hold (see
+    /// [`BackendInfo::max_qubits`](crate::backend::BackendInfo::max_qubits)).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use weaver_core::Weaver;
+    /// use weaver_sat::generator;
+    ///
+    /// let formula = generator::instance(10, 1);
+    /// let weaver = Weaver::new();
+    /// for target in ["fpqa", "sc", "simulator"] {
+    ///     let out = weaver.compile_target(target, &formula).unwrap();
+    ///     assert!(out.metrics.eps > 0.0, "{target}");
+    /// }
+    /// assert!(weaver.compile_target("ion-trap", &formula).is_err());
+    /// ```
+    pub fn compile_target(
+        &self,
+        name: &str,
+        formula: &Formula,
+    ) -> Result<CompileOutput, BackendError> {
+        self.compile_target_cached(name, formula, None)
+    }
+
+    /// Like [`Weaver::compile_target`], threading a shared compilation
+    /// cache through the backend's passes. Output is byte-identical with
+    /// and without a cache; only [`Metrics::compilation_seconds`] may
+    /// differ.
+    pub fn compile_target_cached(
+        &self,
+        name: &str,
+        formula: &Formula,
+        cache: Option<&crate::cache::CacheHandle>,
+    ) -> Result<CompileOutput, BackendError> {
+        let registry = BackendRegistry::global();
+        let backend = registry
+            .get(name)
+            .ok_or_else(|| registry.unknown_target(name))?;
+        backend.compile(self, formula, cache)
+    }
+
+    /// Runs the producing backend's verify hook on a [`CompileOutput`]
+    /// (dispatched by [`CompileOutput::backend`] through the global
+    /// registry): `Some(report)` on the FPQA path (the wChecker), `None`
+    /// for targets without a checker. For a backend living only in a local
+    /// registry, call [`crate::backend::Backend::verify`] on it directly.
+    pub fn verify_output(
+        &self,
+        output: &CompileOutput,
+        formula: &Formula,
+        cache: Option<&crate::cache::CacheHandle>,
+    ) -> Option<CheckReport> {
+        BackendRegistry::global()
+            .get(output.backend)
+            .and_then(|backend| backend.verify(self, output, formula, cache))
+    }
+
+    /// Compiles a Max-3SAT formula down the FPQA path (wOptimizer). Thin
+    /// shim over the trait-dispatched [`FpqaBackend`]; output is
+    /// byte-identical to pre-registry releases.
     pub fn compile_fpqa(&self, formula: &Formula) -> FpqaResult {
         self.compile_fpqa_cached(formula, None)
     }
@@ -112,35 +225,21 @@ impl Weaver {
         formula: &Formula,
         cache: Option<&crate::cache::CacheHandle>,
     ) -> FpqaResult {
-        let start = Instant::now();
-        let mut options = self.options.clone();
-        // The site geometry follows the device parameters (interaction
-        // distance within the Rydberg radius, homes well separated).
-        options.layout = crate::plan::SiteLayout::for_params(&self.fpqa_params);
-        // Profitability gate of §5.4: fall back to CNOT ladders when the
-        // hardware's CCZ is too noisy to pay off (accounting for the motion
-        // each ladder visit costs).
-        let typical_move = options.layout.home_spacing;
-        if options.compression
-            && !crate::compress::compression_beneficial(&self.fpqa_params, typical_move)
-        {
-            options.compression = false;
+        let output = FpqaBackend
+            .compile(self, formula, cache)
+            .expect("the FPQA backend accepts any register");
+        match output.artifact {
+            CompiledArtifact::Fpqa(compiled) => FpqaResult {
+                compiled,
+                metrics: output.metrics,
+            },
+            _ => unreachable!("FpqaBackend emits FPQA artifacts"),
         }
-        let compiled = codegen::compile_formula_cached(formula, &self.fpqa_params, &options, cache);
-        let compilation_seconds = start.elapsed().as_secs_f64();
-        let metrics = Metrics {
-            compilation_seconds,
-            execution_micros: compiled.schedule.duration(&self.fpqa_params),
-            eps: weaver_fpqa::eps(&compiled.schedule, &self.fpqa_params, formula.num_vars()),
-            pulses: compiled.schedule.pulse_count(),
-            motion_ops: compiled.schedule.motion_count(),
-            steps: compiled.steps,
-        };
-        FpqaResult { compiled, metrics }
     }
 
     /// Compiles a Max-3SAT formula down the superconducting path (QAOA
-    /// lowering + SABRE transpilation onto `coupling`).
+    /// lowering + SABRE transpilation onto `coupling`). Thin shim over the
+    /// trait-dispatched [`SuperconductingBackend`].
     ///
     /// # Panics
     ///
@@ -150,23 +249,19 @@ impl Weaver {
         formula: &Formula,
         coupling: &CouplingMap,
     ) -> SuperconductingResult {
-        let start = Instant::now();
-        let circuit = qaoa::build_circuit(formula, &self.options.qaoa, self.options.measure);
-        let result =
-            weaver_superconducting::transpile(&circuit, coupling, &self.superconducting_params);
-        let compilation_seconds = start.elapsed().as_secs_f64();
-        let metrics = Metrics {
-            compilation_seconds,
-            execution_micros: result.execution_time,
-            eps: result.eps,
-            pulses: result.circuit.gate_count(),
-            motion_ops: 0,
-            steps: result.steps,
-        };
-        SuperconductingResult {
-            circuit: result.circuit,
-            swap_count: result.swap_count,
-            metrics,
+        let output = SuperconductingBackend::with_coupling(coupling.clone())
+            .compile(self, formula, None)
+            .unwrap_or_else(|e| panic!("{e}"));
+        match output.artifact {
+            CompiledArtifact::Superconducting {
+                circuit,
+                swap_count,
+            } => SuperconductingResult {
+                circuit,
+                swap_count,
+                metrics: output.metrics,
+            },
+            _ => unreachable!("SuperconductingBackend emits routed circuits"),
         }
     }
 
@@ -196,17 +291,23 @@ impl Weaver {
         formula: &Formula,
         cache: Option<&crate::cache::CacheHandle>,
     ) -> CheckReport {
+        self.verify_program(&result.compiled.program, formula, cache)
+    }
+
+    /// Runs the wChecker on any annotated wQasm program claiming to
+    /// implement `formula`'s QAOA circuit (the [`FpqaBackend`] verify hook).
+    pub(crate) fn verify_program(
+        &self,
+        program: &Program,
+        formula: &Formula,
+        cache: Option<&crate::cache::CacheHandle>,
+    ) -> CheckReport {
         let reference = if formula.num_vars() <= weaver_simulator::UnitaryBuilder::MAX_QUBITS {
             Some(qaoa::build_circuit(formula, &self.options.qaoa, false))
         } else {
             None
         };
-        checker::check_with_cache(
-            &result.compiled.program,
-            &self.fpqa_params,
-            reference.as_ref(),
-            cache,
-        )
+        checker::check_with_cache(program, &self.fpqa_params, reference.as_ref(), cache)
     }
 }
 

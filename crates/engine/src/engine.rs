@@ -5,7 +5,6 @@
 use crate::cache::{ArtifactCache, CacheConfig, CacheTierStats};
 use crate::job::{
     Artifact, CacheOutcome, CompileJob, JobError, JobErrorKind, JobResult, JobSource, StageTimings,
-    Target,
 };
 use crate::jsonl::JsonObject;
 use crate::pool;
@@ -15,7 +14,6 @@ use std::time::Instant;
 use weaver_core::cache::CacheStats;
 use weaver_core::{CodegenOptions, Weaver};
 use weaver_sat::{dimacs, qaoa::QaoaParams, Formula};
-use weaver_superconducting::CouplingMap;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -366,8 +364,10 @@ fn load_formula(source: &JobSource) -> Result<Formula, JobError> {
 }
 
 /// Compiles one job (already parsed); returns the artifact and the seconds
-/// spent in the wChecker. Mirrors `weaverc`'s single-shot construction
-/// exactly, so batch output is byte-identical to sequential runs.
+/// spent in the wChecker. Every target dispatches through the shared
+/// [`BackendRegistry`], and the construction mirrors `weaverc`'s
+/// single-shot path exactly, so batch output is byte-identical to
+/// sequential runs.
 fn compile_job(
     job: &CompileJob,
     formula: &Formula,
@@ -384,62 +384,44 @@ fn compile_job(
     let weaver = Weaver::new()
         .with_fpqa_params(job.options.fpqa_params())
         .with_options(options);
-    match job.target {
-        Target::Fpqa => {
-            let result = weaver.compile_fpqa_cached(formula, core_cache);
-            let (check_passed, check_errors, check_seconds) = if job.options.check {
-                let check_start = Instant::now();
-                let report = weaver.verify_cached(&result, formula, core_cache);
+    let output = weaver
+        .compile_target_cached(job.target.name(), formula, core_cache)
+        .map_err(|e| JobError {
+            kind: JobErrorKind::Compile,
+            message: e.message,
+        })?;
+    let (check_passed, check_errors, check_seconds) = if job.options.check {
+        let check_start = Instant::now();
+        match weaver.verify_output(&output, formula, core_cache) {
+            Some(report) => {
                 let seconds = check_start.elapsed().as_secs_f64();
                 let errors = report.errors.iter().map(|e| e.to_string()).collect();
                 (Some(report.passed()), errors, seconds)
-            } else {
-                (None, Vec::new(), 0.0)
-            };
-            Ok((
-                Artifact {
-                    wqasm: weaver_wqasm::print(&result.compiled.program),
-                    metrics: result.metrics,
-                    swap_count: None,
-                    num_colors: Some(result.compiled.coloring.num_colors),
-                    check_passed,
-                    check_errors,
-                },
-                check_seconds,
-            ))
-        }
-        Target::Superconducting => {
-            let coupling = CouplingMap::ibm_washington();
-            if formula.num_vars() > coupling.num_qubits() {
-                return Err(JobError {
-                    kind: JobErrorKind::Compile,
-                    message: format!(
-                        "{} variables exceed the {}-qubit backend",
-                        formula.num_vars(),
-                        coupling.num_qubits()
-                    ),
-                });
             }
-            let result = weaver.compile_superconducting(formula, &coupling);
-            let program = weaver_wqasm::convert::circuit_to_program(&result.circuit);
-            Ok((
-                Artifact {
-                    wqasm: weaver_wqasm::print(&program),
-                    metrics: result.metrics,
-                    swap_count: Some(result.swap_count),
-                    num_colors: None,
-                    check_passed: None,
-                    check_errors: Vec::new(),
-                },
-                0.0,
-            ))
+            // Targets without a checker (superconducting, simulator) record
+            // no verdict rather than a vacuous pass.
+            None => (None, Vec::new(), 0.0),
         }
-    }
+    } else {
+        (None, Vec::new(), 0.0)
+    };
+    Ok((
+        Artifact {
+            wqasm: output.artifact.print_wqasm(),
+            swap_count: output.artifact.swap_count(),
+            num_colors: output.artifact.num_colors(),
+            metrics: output.metrics,
+            check_passed,
+            check_errors,
+        },
+        check_seconds,
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::job::Target;
     use weaver_sat::generator;
 
     fn engine(jobs: usize) -> Engine {
@@ -511,6 +493,48 @@ mod tests {
         let err = report.results[0].artifact.as_ref().unwrap_err();
         assert_eq!(err.kind, JobErrorKind::Compile);
         assert!(err.message.contains("exceed"));
+    }
+
+    #[test]
+    fn oversized_simulator_job_fails_structurally() {
+        let mut job = CompileJob::from_formula("uf50", generator::instance(50, 1));
+        job.target = Target::Simulator;
+        let report = engine(1).run(vec![job]);
+        let err = report.results[0].artifact.as_ref().unwrap_err();
+        assert_eq!(err.kind, JobErrorKind::Compile);
+        assert!(err.message.contains("exceed the 20-qubit backend"), "{err}");
+    }
+
+    #[test]
+    fn one_formula_compiles_for_every_registered_target() {
+        let f = generator::instance(10, 1);
+        let jobs: Vec<CompileJob> = Target::ALL
+            .into_iter()
+            .map(|target| {
+                let mut job = CompileJob::from_formula(format!("uf10@{target}"), f.clone());
+                job.target = target;
+                job
+            })
+            .collect();
+        let report = engine(2).run(jobs);
+        assert_eq!(report.succeeded(), 3);
+        let by_target = |t: Target| {
+            report
+                .results
+                .iter()
+                .find(|r| r.target == t)
+                .and_then(|r| r.artifact.as_ref().ok())
+                .expect("artifact")
+        };
+        let fpqa = by_target(Target::Fpqa);
+        assert!(fpqa.num_colors.is_some() && fpqa.swap_count.is_none());
+        assert!(fpqa.wqasm.contains("@rydberg"));
+        let sc = by_target(Target::Superconducting);
+        assert!(sc.swap_count.is_some() && sc.num_colors.is_none());
+        let sim = by_target(Target::Simulator);
+        assert!(sim.metrics.eps > 0.0 && sim.metrics.eps <= 1.0);
+        assert_eq!(sim.metrics.motion_ops, 0);
+        assert!(!sim.wqasm.contains("@rydberg"), "ideal path has no pulses");
     }
 
     #[test]

@@ -9,33 +9,53 @@ use weaver_core::Metrics;
 use weaver_fpqa::FpqaParams;
 use weaver_sat::Formula;
 
-/// Compilation backend of a job.
+/// Compilation backend of a job. The names and aliases mirror the
+/// [`weaver_core::backend::BackendRegistry`] keys — [`Target::parse`]
+/// resolves names and aliases through the registry. The enum itself stays
+/// closed on purpose: each variant owns a stable artifact-cache tag (see
+/// [`CompileJob::artifact_key`]), so registering a new backend also means
+/// adding a variant here, to [`Target::ALL`], [`Target::name`], and the
+/// key tag — the non-exhaustive matches below make the compiler walk you
+/// through every site.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Target {
     /// The FPQA path (wOptimizer + wChecker).
     Fpqa,
     /// The superconducting path (QAOA + SABRE on IBM Washington).
     Superconducting,
+    /// The ideal state-vector simulator (noiseless EPS reference).
+    Simulator,
 }
 
 impl Target {
-    /// CLI / JSONL name.
+    /// Every batchable target, in registry order.
+    pub const ALL: [Target; 3] = [Target::Fpqa, Target::Superconducting, Target::Simulator];
+
+    /// CLI / JSONL name (the registry's primary key).
     pub fn name(self) -> &'static str {
         match self {
             Target::Fpqa => "fpqa",
             Target::Superconducting => "superconducting",
+            Target::Simulator => "simulator",
         }
     }
 
-    /// Parses a CLI / manifest target name.
+    /// Parses a CLI / manifest target name or alias via the backend
+    /// registry.
     pub fn parse(s: &str) -> Result<Self, String> {
-        match s {
-            "fpqa" => Ok(Target::Fpqa),
-            "superconducting" | "sc" => Ok(Target::Superconducting),
-            other => Err(format!(
-                "unknown target `{other}` (use fpqa or superconducting)"
-            )),
-        }
+        let registry = weaver_core::BackendRegistry::global();
+        let resolved = registry.get(s).map(|b| b.info().name);
+        Target::ALL
+            .into_iter()
+            .find(|t| Some(t.name()) == resolved)
+            .ok_or_else(|| {
+                // List the batchable set, not the registry's, so a backend
+                // this enum does not cover yet is never advertised here.
+                format!(
+                    "unknown target `{s}` (known targets: {})",
+                    Target::ALL.map(Target::name).join(", ")
+                )
+            })
     }
 }
 
@@ -163,6 +183,7 @@ impl CompileJob {
         fp.tag(match self.target {
             Target::Fpqa => 1,
             Target::Superconducting => 2,
+            Target::Simulator => 3,
         });
         fingerprint_fpqa_params(&mut fp, &self.options.fpqa_params());
         fp.bool(self.options.compression)
@@ -359,6 +380,27 @@ mod tests {
     fn target_parses_cli_names() {
         assert_eq!(Target::parse("fpqa").unwrap(), Target::Fpqa);
         assert_eq!(Target::parse("sc").unwrap(), Target::Superconducting);
-        assert!(Target::parse("ion-trap").is_err());
+        assert_eq!(
+            Target::parse("superconducting").unwrap(),
+            Target::Superconducting
+        );
+        assert_eq!(Target::parse("simulator").unwrap(), Target::Simulator);
+        assert_eq!(Target::parse("sim").unwrap(), Target::Simulator);
+        let err = Target::parse("ion-trap").unwrap_err();
+        assert!(
+            err.contains("known targets: fpqa, superconducting, simulator"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn artifact_key_separates_all_targets() {
+        let f = generator::instance(10, 1);
+        let mut keys = std::collections::HashSet::new();
+        for target in Target::ALL {
+            let mut job = CompileJob::from_formula("t", f.clone());
+            job.target = target;
+            assert!(keys.insert(job.artifact_key(&f)), "{target} key collides");
+        }
     }
 }

@@ -7,10 +7,12 @@
 //! # one job per line: <path> [key=value ...]
 //! uf20-01.cnf
 //! uf20-02.cnf target=superconducting
+//! uf20-03.cnf target=simulator
 //! hard/uf50-01.cnf check=true compression=false gamma=0.9 beta=0.2
 //! ```
 //!
-//! Recognized keys: `target` (`fpqa`/`superconducting`/`sc`), `check`,
+//! Recognized keys: `target` (any backend-registry name or alias —
+//! `fpqa`, `superconducting`/`sc`, `simulator`/`sim`), `check`,
 //! `compression`, `parallel-shuttling`, `dsatur` (booleans), `gamma`,
 //! `beta`, `ccz-fidelity` (floats). Unset keys inherit the batch defaults
 //! passed on the command line. Relative paths resolve against the
@@ -160,17 +162,19 @@ mod tests {
             "# suite\n\
              one.cnf\n\
              two.cnf target=sc check=true gamma=0.9\n\
-             sub/three.cnf compression=false ccz-fidelity=0.95\n",
+             sub/three.cnf compression=false ccz-fidelity=0.95\n\
+             four.cnf target=sim\n",
         )
         .unwrap();
         let jobs = discover_jobs(&manifest, Target::Fpqa, &JobOptions::default()).unwrap();
-        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs.len(), 4);
         assert_eq!(jobs[0].target, Target::Fpqa);
         assert_eq!(jobs[1].target, Target::Superconducting);
         assert!(jobs[1].options.check);
         assert_eq!(jobs[1].options.gamma, 0.9);
         assert!(!jobs[2].options.compression);
         assert_eq!(jobs[2].options.ccz_fidelity, Some(0.95));
+        assert_eq!(jobs[3].target, Target::Simulator);
         assert!(matches!(
             &jobs[2].source,
             JobSource::Path(p) if p.ends_with("sub/three.cnf")

@@ -2,8 +2,8 @@
 //!
 //! [`State::apply`](crate::State::apply) and
 //! [`UnitaryBuilder::apply`](crate::UnitaryBuilder::apply) both funnel into
-//! [`apply_gate`], which classifies the gate matrix once per application and
-//! dispatches to an allocation-free closed-form kernel:
+//! the crate-internal `apply_gate`, which classifies the gate matrix once
+//! per application and dispatches to an allocation-free closed-form kernel:
 //!
 //! * **1-qubit** gates run a butterfly over amplitude pairs `(i, i + 2^b)`,
 //! * **2-qubit** gates run a 4-way butterfly over the four strided indices of

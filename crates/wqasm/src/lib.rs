@@ -14,7 +14,7 @@
 //! | `@raman global\|local …` | single-qubit rotation pulses |
 //! | `@rydberg` | global entangling pulse (CZ/CCZ) |
 //!
-//! The crate provides the [`lexer`], [`parser`](parse), [`printer`](print),
+//! The crate provides the [`lexer`], [`parser`](parse), [`printer`](print()),
 //! [`ast`], static [`semantics`] validation of the Table-1 pre-conditions,
 //! and [`convert`] to/from the `weaver-circuit` IR.
 //!

@@ -43,6 +43,23 @@ fn main() {
         }
     );
 
+    // The ideal simulator target, reached like any other registered
+    // backend — by name through the registry-dispatched pipeline.
+    match weaver.compile_target("simulator", &formula) {
+        Ok(ideal) => {
+            print_row("Simulator", &ideal.metrics);
+            if let CompiledArtifact::Simulator(run) = &ideal.artifact {
+                println!(
+                    "    (ideal: {} of 2^{} basis states satisfy {} clauses)",
+                    run.num_optimal,
+                    formula.num_vars(),
+                    run.max_satisfied
+                );
+            }
+        }
+        Err(e) => println!("{:<16} {}", "Simulator", e),
+    }
+
     // Baselines.
     let params = FpqaParams::default();
     let baselines: Vec<Box<dyn FpqaCompiler>> = vec![

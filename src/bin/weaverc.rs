@@ -1,33 +1,37 @@
 //! `weaverc` — command-line front end for the Weaver retargetable compiler.
 //!
 //! ```text
-//! weaverc <input.cnf> [--target fpqa|superconducting] [--out file.qasm]
+//! weaverc <input.cnf> [--target fpqa|superconducting|simulator] [--out file.qasm]
 //!         [--no-compression] [--no-parallel-shuttling] [--greedy-coloring]
 //!         [--ccz-fidelity F] [--gamma G --beta B] [--check] [--metrics]
 //!
-//! weaverc batch <dir|manifest> [--jobs N] [--target fpqa|superconducting]
-//!         [--check] [--jsonl file] [--out-dir dir] [--cache-dir dir]
+//! weaverc batch <dir|manifest> [--jobs N] [--target <name>] [--check]
+//!         [--jsonl file] [--out-dir dir] [--cache-dir dir]
 //!         [--no-cache] [shared option flags as above]
+//!
+//! weaverc targets
 //! ```
 //!
 //! Single-shot mode reads one DIMACS CNF Max-3SAT instance (SATLIB format),
-//! compiles it for the chosen backend, prints metrics, and optionally
+//! compiles it for the chosen backend (dispatched through the
+//! `weaver_core::backend::BackendRegistry`), prints metrics, and optionally
 //! writes the compiled wQasm program and runs the wChecker. Batch mode
 //! compiles a whole fixture directory or manifest through `weaver-engine`:
 //! jobs run on a work-stealing pool, finished artifacts land in a
-//! content-addressed cache, and results stream as JSONL. Failures exit
-//! nonzero with a one-line structured `weaverc: error: <kind>: <message>`
-//! diagnostic instead of panicking mid-batch.
+//! content-addressed cache, and results stream as JSONL. `weaverc targets`
+//! lists the registered backends. Failures exit nonzero with a one-line
+//! structured `weaverc: error: <kind>: <message>` diagnostic instead of
+//! panicking mid-batch; a bad `--target` value is `unknown-target`.
 
 use std::io::Write as _;
 use std::process::ExitCode;
+use weaver::core::backend::{BackendErrorKind, BackendRegistry, CompiledArtifact};
 use weaver::core::{CodegenOptions, Weaver};
 use weaver::engine::{
     discover_jobs, job_record, CacheConfig, Engine, EngineConfig, JobOptions, Target,
 };
 use weaver::fpqa::FpqaParams;
 use weaver::sat::{dimacs, qaoa::QaoaParams};
-use weaver::superconducting::CouplingMap;
 
 struct Args {
     input: String,
@@ -50,12 +54,13 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: weaverc <input.cnf> [--target fpqa|superconducting] [--out file.qasm]\n\
+    "usage: weaverc <input.cnf> [--target fpqa|superconducting|simulator] [--out file.qasm]\n\
      \x20              [--no-compression] [--no-parallel-shuttling] [--greedy-coloring]\n\
      \x20              [--ccz-fidelity F] [--gamma G] [--beta B] [--check]\n\
-     \x20      weaverc batch <dir|manifest> [--jobs N] [--target fpqa|superconducting]\n\
+     \x20      weaverc batch <dir|manifest> [--jobs N] [--target <name>]\n\
      \x20              [--check] [--jsonl file] [--out-dir dir] [--cache-dir dir]\n\
-     \x20              [--no-cache] [shared option flags]"
+     \x20              [--no-cache] [shared option flags]\n\
+     \x20      weaverc targets"
 }
 
 /// Prints the one-line structured diagnostic every failure path uses.
@@ -87,6 +92,18 @@ fn parse_args() -> Result<Args, String> {
     if it.peek().map(String::as_str) == Some("batch") {
         args.batch = true;
         it.next();
+    }
+    // `weaverc batch targets` keeps treating `targets` as a path.
+    if !args.batch && it.peek().map(String::as_str) == Some("targets") {
+        it.next();
+        if let Some(extra) = it.next() {
+            return Err(format!(
+                "`weaverc targets` takes no arguments (got `{extra}`)\n{}",
+                usage()
+            ));
+        }
+        args.input = "targets".to_string();
+        return Ok(args);
     }
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
         it.next().ok_or(format!("missing value for {flag}"))
@@ -139,11 +156,41 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if args.batch {
+    if args.input == "targets" && !args.batch {
+        run_targets()
+    } else if args.batch {
         run_batch(&args)
     } else {
         run_single(&args)
     }
+}
+
+/// `weaverc targets` — lists the backend registry (name, aliases,
+/// description, capacity).
+fn run_targets() -> ExitCode {
+    let registry = BackendRegistry::global();
+    println!("registered targets:");
+    for backend in registry.backends() {
+        let info = backend.info();
+        let aliases = if info.aliases.is_empty() {
+            String::new()
+        } else {
+            format!(" (alias {})", info.aliases.join(", "))
+        };
+        let capacity = match info.max_qubits {
+            Some(n) => format!("up to {n} qubits"),
+            None => "unbounded".to_string(),
+        };
+        println!(
+            "  {:<16} {}{} — {} [passes: {}]",
+            info.name,
+            capacity,
+            aliases,
+            info.description,
+            backend.passes().join(" → "),
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 // ---------------------------------------------------------------------------
@@ -153,7 +200,7 @@ fn main() -> ExitCode {
 fn run_batch(args: &Args) -> ExitCode {
     let target = match Target::parse(&args.target) {
         Ok(t) => t,
-        Err(e) => return error_line("usage", &e),
+        Err(e) => return error_line("unknown-target", &e),
     };
     let defaults = JobOptions {
         compression: args.compression,
@@ -209,25 +256,16 @@ fn run_batch(args: &Args) -> ExitCode {
         None => None,
     };
     let stdout = std::sync::Mutex::new(std::io::stdout());
-    let report = engine.run_streaming(jobs, &|result| {
-        let line = job_record(result);
-        match &sink_file {
-            Some(file) => {
-                let _ = writeln!(file.lock().unwrap(), "{line}");
-            }
-            None => {
-                let _ = writeln!(stdout.lock().unwrap(), "{line}");
-            }
-        }
-    });
-    match &sink_file {
+    let emit_record = |line: &str| match &sink_file {
         Some(file) => {
-            let _ = writeln!(file.lock().unwrap(), "{}", report.batch_record());
+            let _ = writeln!(file.lock().unwrap(), "{line}");
         }
         None => {
-            let _ = writeln!(stdout.lock().unwrap(), "{}", report.batch_record());
+            let _ = writeln!(stdout.lock().unwrap(), "{line}");
         }
-    }
+    };
+    let report = engine.run_streaming(jobs, &|result| emit_record(&job_record(result)));
+    emit_record(&report.batch_record());
 
     // Optionally materialize artifacts next to their job names. Stems can
     // collide (same file name in two directories, or one file listed twice
@@ -320,76 +358,85 @@ fn run_single(args: &Args) -> ExitCode {
     };
     let weaver = Weaver::new().with_fpqa_params(params).with_options(options);
 
-    match args.target.as_str() {
-        "fpqa" => {
-            let result = weaver.compile_fpqa(&formula);
+    // One dispatch site: the backend registry resolves the target name (or
+    // alias) and compiles; per-target reporting reads the artifact variant.
+    let output = match weaver.compile_target(&args.target, &formula) {
+        Ok(output) => output,
+        Err(e) if e.kind == BackendErrorKind::UnknownTarget => {
+            return error_line("unknown-target", &e.message)
+        }
+        Err(e) => return error_line("compile", &e.message),
+    };
+    match &output.artifact {
+        CompiledArtifact::Fpqa(compiled) => {
             eprintln!(
                 "weaverc: compiled in {:.4} s — {} pulses, {} motion ops, {} colors",
-                result.metrics.compilation_seconds,
-                result.metrics.pulses,
-                result.metrics.motion_ops,
-                result.compiled.coloring.num_colors,
+                output.metrics.compilation_seconds,
+                output.metrics.pulses,
+                output.metrics.motion_ops,
+                compiled.coloring.num_colors,
             );
             eprintln!(
                 "weaverc: estimated execution {:.4} s, EPS {:.3e}",
-                result.metrics.execution_micros * 1e-6,
-                result.metrics.eps
+                output.metrics.execution_micros * 1e-6,
+                output.metrics.eps
             );
-            if args.check {
-                let report = weaver.verify(&result, &formula);
-                if report.passed() {
-                    eprintln!(
-                        "weaverc: wChecker PASS ({} pulses, {} motions checked)",
-                        report.pulses_checked, report.motions_checked
-                    );
-                } else {
-                    for e in &report.errors {
-                        eprintln!("weaverc:   {e}");
-                    }
-                    return error_line(
-                        "check",
-                        &format!(
-                            "wChecker FAIL with {} finding{} ({})",
-                            report.errors.len(),
-                            if report.errors.len() == 1 { "" } else { "s" },
-                            args.input
-                        ),
-                    );
-                }
-            }
-            let qasm = weaver::wqasm::print(&result.compiled.program);
-            write_output(&args.out, &qasm)
         }
-        "superconducting" | "sc" => {
-            let coupling = CouplingMap::ibm_washington();
-            if formula.num_vars() > coupling.num_qubits() {
+        CompiledArtifact::Superconducting { swap_count, .. } => {
+            eprintln!(
+                "weaverc: compiled in {:.4} s — {} gates, {} SWAPs inserted",
+                output.metrics.compilation_seconds, output.metrics.pulses, swap_count
+            );
+            eprintln!(
+                "weaverc: estimated execution {:.4} s, EPS {:.3e}",
+                output.metrics.execution_micros * 1e-6,
+                output.metrics.eps
+            );
+        }
+        CompiledArtifact::Simulator(run) => {
+            eprintln!(
+                "weaverc: compiled in {:.4} s — {} native gates, ideal state-vector run",
+                output.metrics.compilation_seconds, output.metrics.pulses,
+            );
+            eprintln!(
+                "weaverc: ideal EPS {:.3e} ({} of 2^{} basis states satisfy {} clauses)",
+                run.optimal_probability,
+                run.num_optimal,
+                formula.num_vars(),
+                run.max_satisfied,
+            );
+        }
+    }
+    if args.check {
+        match weaver.verify_output(&output, &formula, None) {
+            Some(report) if report.passed() => {
+                eprintln!(
+                    "weaverc: wChecker PASS ({} pulses, {} motions checked)",
+                    report.pulses_checked, report.motions_checked
+                );
+            }
+            Some(report) => {
+                for e in &report.errors {
+                    eprintln!("weaverc:   {e}");
+                }
                 return error_line(
-                    "compile",
+                    "check",
                     &format!(
-                        "{} variables exceed the 127-qubit backend",
-                        formula.num_vars()
+                        "wChecker FAIL with {} finding{} ({})",
+                        report.errors.len(),
+                        if report.errors.len() == 1 { "" } else { "s" },
+                        args.input
                     ),
                 );
             }
-            let result = weaver.compile_superconducting(&formula, &coupling);
-            eprintln!(
-                "weaverc: compiled in {:.4} s — {} gates, {} SWAPs inserted",
-                result.metrics.compilation_seconds, result.metrics.pulses, result.swap_count
-            );
-            eprintln!(
-                "weaverc: estimated execution {:.4} s, EPS {:.3e}",
-                result.metrics.execution_micros * 1e-6,
-                result.metrics.eps
-            );
-            let program = weaver::wqasm::convert::circuit_to_program(&result.circuit);
-            let qasm = weaver::wqasm::print(&program);
-            write_output(&args.out, &qasm)
+            None => eprintln!(
+                "weaverc: no checker for target `{}` — skipping --check",
+                args.target
+            ),
         }
-        other => error_line(
-            "usage",
-            &format!("unknown target `{other}` (use fpqa or superconducting)"),
-        ),
     }
+    let qasm = output.artifact.print_wqasm();
+    write_output(&args.out, &qasm)
 }
 
 fn write_output(out: &Option<String>, qasm: &str) -> ExitCode {

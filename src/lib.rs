@@ -54,7 +54,10 @@ pub use weaver_wqasm as wqasm;
 pub mod prelude {
     pub use weaver_baselines::{Atomique, BaselineOutput, Dpqa, FpqaCompiler, Geyser, Timeout};
     pub use weaver_circuit::{Circuit, Gate, NativeBasis};
-    pub use weaver_core::{CacheHandle, CheckReport, CodegenOptions, FpqaResult, Metrics, Weaver};
+    pub use weaver_core::{
+        Backend, BackendRegistry, CacheHandle, CheckReport, CodegenOptions, CompileOutput,
+        CompiledArtifact, FpqaResult, Metrics, Weaver,
+    };
     pub use weaver_engine::{CompileJob, Engine, EngineConfig};
     pub use weaver_fpqa::{FpqaDevice, FpqaParams, PulseOp, PulseSchedule};
     pub use weaver_sat::{generator, qaoa::QaoaParams, Formula};

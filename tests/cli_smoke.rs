@@ -57,6 +57,70 @@ fn superconducting_target_emits_plain_qasm() {
 }
 
 #[test]
+fn simulator_target_reports_ideal_eps() {
+    let cnf = write_cnf();
+    let out = weaverc()
+        .args([cnf.as_str(), "--target", "simulator"])
+        .output()
+        .expect("run weaverc");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let program = weaver::wqasm::parse(&stdout).expect("reparse CLI output");
+    assert_eq!(program.pulse_count(), 0, "ideal path emits no pulses");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("ideal EPS"), "{stderr}");
+    // The alias reaches the same backend.
+    let aliased = weaverc()
+        .args([cnf.as_str(), "--target", "sim"])
+        .output()
+        .unwrap();
+    assert!(aliased.status.success());
+    assert_eq!(aliased.stdout, out.stdout);
+}
+
+#[test]
+fn targets_subcommand_lists_the_registry() {
+    let out = weaverc().arg("targets").output().expect("run weaverc");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["fpqa", "superconducting", "simulator"] {
+        assert!(stdout.contains(name), "{stdout}");
+    }
+    assert!(stdout.contains("alias sc"), "{stdout}");
+    assert!(stdout.contains("up to 127 qubits"), "{stdout}");
+    assert!(stdout.contains("passes:"), "{stdout}");
+    // Stray arguments are rejected instead of silently ignored.
+    let out = weaverc().args(["targets", "--jobs"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("takes no arguments"));
+}
+
+#[test]
+fn unknown_target_is_a_structured_diagnostic() {
+    let cnf = write_cnf();
+    for args in [
+        vec![cnf.as_str(), "--target", "ion-trap"],
+        vec!["batch", cnf.as_str(), "--target", "ion-trap"],
+    ] {
+        let out = weaverc().args(&args).output().unwrap();
+        assert!(!out.status.success());
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("weaverc: error: unknown-target: unknown target `ion-trap`"),
+            "{stderr}"
+        );
+        assert!(
+            stderr.contains("known targets: fpqa, superconducting, simulator"),
+            "{stderr}"
+        );
+    }
+}
+
+#[test]
 fn bad_input_fails_cleanly() {
     let out = weaverc().args(["/nonexistent.cnf"]).output().unwrap();
     assert!(!out.status.success());
@@ -143,6 +207,49 @@ fn batch_wqasm_matches_single_shot_output() {
         from_batch, single.stdout,
         "batch artifact must be byte-identical to the single-shot run"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_compiles_a_mixed_target_manifest() {
+    // Miniature of tests/fixtures/mixed-targets.manifest (which CI runs
+    // with the release binary): one small workload fanned across all three
+    // registered targets in a single batch.
+    let dir = std::env::temp_dir().join(format!("weaverc_batch_mixed_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("uf10.cnf"),
+        weaver::sat::dimacs::to_string(&weaver::sat::generator::instance(10, 1)),
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("suite.manifest"),
+        "uf10.cnf check=true\nuf10.cnf target=sc\nuf10.cnf target=simulator\n",
+    )
+    .unwrap();
+    let out = weaverc()
+        .args([
+            "batch",
+            dir.join("suite.manifest").to_str().unwrap(),
+            "--jobs",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for target in ["fpqa", "superconducting", "simulator"] {
+        assert!(
+            stdout.contains(&format!("\"target\":\"{target}\"")),
+            "{stdout}"
+        );
+    }
+    assert!(String::from_utf8_lossy(&out.stderr).contains("3/3 succeeded"));
     let _ = std::fs::remove_dir_all(&dir);
 }
 

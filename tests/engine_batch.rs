@@ -146,6 +146,67 @@ fn warm_cache_throughput_exceeds_cold_5x() {
     );
 }
 
+#[test]
+fn mixed_target_batch_is_deterministic_and_ordered() {
+    // ISSUE 4: one manifest mixing all three registered targets must
+    // compile in one batch with deterministic submission-order results.
+    let formulas: Vec<Formula> = (1..=3).map(|v| generator::instance(10, v)).collect();
+    let jobs: Vec<CompileJob> = formulas
+        .iter()
+        .enumerate()
+        .flat_map(|(i, f)| {
+            Target::ALL.into_iter().map(move |target| {
+                let mut job =
+                    CompileJob::from_formula(format!("uf10-{:02}@{target}", i + 1), f.clone());
+                job.target = target;
+                job
+            })
+        })
+        .collect();
+    let submitted: Vec<(String, Target)> = jobs.iter().map(|j| (j.name(), j.target)).collect();
+
+    let engine = engine_with(3);
+    let cold = engine.run(jobs.clone());
+    assert_eq!(cold.succeeded(), jobs.len());
+    // Results come back in submission order regardless of worker count.
+    let received: Vec<(String, Target)> = cold
+        .results
+        .iter()
+        .map(|r| (r.name.clone(), r.target))
+        .collect();
+    assert_eq!(received, submitted);
+
+    for result in &cold.results {
+        let artifact = result.artifact.as_ref().expect("artifact");
+        match result.target {
+            Target::Fpqa => {
+                assert!(artifact.num_colors.is_some());
+                assert!(artifact.wqasm.contains("@rydberg"));
+            }
+            Target::Superconducting => {
+                assert!(artifact.swap_count.is_some());
+                assert!(!artifact.wqasm.contains("@rydberg"));
+            }
+            Target::Simulator => {
+                assert!(artifact.metrics.eps > 0.0 && artifact.metrics.eps <= 1.0);
+                assert_eq!(artifact.metrics.motion_ops, 0);
+                assert_eq!(artifact.metrics.execution_micros, 0.0);
+            }
+        }
+    }
+
+    // A single-worker rerun on a fresh engine agrees byte for byte, and a
+    // warm rerun on the same engine hits the cache for every target.
+    let sequential = engine_with(1).run(jobs.clone());
+    for (a, b) in cold.results.iter().zip(&sequential.results) {
+        let (aa, ba) = (a.artifact.as_ref().unwrap(), b.artifact.as_ref().unwrap());
+        assert_eq!(aa.wqasm, ba.wqasm, "{}", a.name);
+        assert_eq!(stable_metrics(&aa.metrics), stable_metrics(&ba.metrics));
+    }
+    let warm = engine.run(jobs.clone());
+    assert_eq!(warm.cache_hits(), jobs.len());
+}
+
 /// A compact random Max-3SAT workload for the determinism property.
 fn arb_formula() -> impl Strategy<Value = Formula> {
     (4usize..10, 1usize..500).prop_map(|(vars, variant)| generator::instance(vars, variant))
