@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures as text tables.
 //!
 //! ```text
-//! figures [--quick] [fig8a|fig8b|fig10a|fig10b|fig10c|fig11a|fig11b|fig12a|fig12b|table2|ablation|all]
+//! figures [--quick] [fig8a|fig8b|fig10a|fig10b|fig10c|fig11a|fig11b|fig12a|fig12b|table2|devices|ablation|all]
 //! figures [--quick] bench-sim      # kernel baseline  -> BENCH_simulator.json
 //! figures [--quick] bench-engine   # batch baseline   -> BENCH_engine.json
 //! ```
@@ -57,6 +57,9 @@ fn main() {
 
     if has("table2") {
         println!("{}", figures::table2());
+    }
+    if has("devices") {
+        println!("{}", figures::devices(&suite));
     }
     if has("fig8a") {
         println!("{}", figures::fig8a(&suite));

@@ -4,9 +4,10 @@
 //! rows/series match the paper's plots; the `figures` binary prints them.
 
 use crate::harness::{run_compiler, CompilerId, RunOutcome, Suite};
-use weaver_core::{compress, Weaver};
+use weaver_core::{compress, BackendRegistry, CompiledArtifact, Weaver};
 use weaver_fpqa::FpqaParams;
 use weaver_sat::generator;
+use weaver_superconducting::DeviceSpec;
 
 fn render_table(title: &str, header: Vec<String>, rows: Vec<Vec<String>>) -> String {
     let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
@@ -278,6 +279,77 @@ pub fn fig10c(suite: &Suite) -> String {
         None => "Weaver did not overtake every baseline within the sweep\n".to_string(),
     });
     out
+}
+
+/// Device-family comparison: the same 20-variable workloads routed onto
+/// every `sc:*` device, reporting mean SWAP count, routed depth, 2-qubit
+/// gate count, and EPS per device — how much each topology pays for its
+/// connectivity under the identical QAOA lowering.
+pub fn devices(suite: &Suite) -> String {
+    let registry = BackendRegistry::global();
+    let weaver = Weaver::new();
+    let mut rows = Vec::new();
+    for spec in DeviceSpec::builtin() {
+        let backend = registry
+            .resolve(&spec.full_name())
+            .expect("built-in devices are registered");
+        let (mut swaps, mut depth, mut gates2q, mut eps_ln) = (0usize, 0usize, 0usize, 0.0f64);
+        let mut done = 0usize;
+        for variant in 1..=suite.variants {
+            let f = generator::instance(20, variant);
+            let out = match backend.compile(&weaver, &f, None) {
+                Ok(out) => out,
+                Err(_) => continue,
+            };
+            if let CompiledArtifact::Superconducting {
+                circuit,
+                swap_count,
+            } = &out.artifact
+            {
+                swaps += swap_count;
+                depth += circuit.depth();
+                gates2q += circuit.two_qubit_count();
+                eps_ln += out.metrics.eps.max(1e-300).ln();
+                done += 1;
+            }
+        }
+        let mean = |acc: usize| {
+            if done == 0 {
+                "—".to_string()
+            } else {
+                format!("{:.1}", acc as f64 / done as f64)
+            }
+        };
+        rows.push(vec![
+            spec.full_name(),
+            spec.num_qubits().to_string(),
+            spec.native_two_qubit.name().to_string(),
+            mean(swaps),
+            mean(depth),
+            mean(gates2q),
+            if done == 0 {
+                "—".to_string()
+            } else {
+                sci((eps_ln / done as f64).exp())
+            },
+        ]);
+    }
+    render_table(
+        &format!(
+            "Device family: uf20 x {} routed per sc:* device (means)",
+            suite.variants
+        ),
+        vec![
+            "device".into(),
+            "qubits".into(),
+            "2q gate".into(),
+            "SWAPs".into(),
+            "depth".into(),
+            "2q count".into(),
+            "EPS".into(),
+        ],
+        rows,
+    )
 }
 
 /// Table 2 — compilation complexity classes (static, from the paper).

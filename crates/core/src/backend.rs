@@ -10,12 +10,18 @@
 //! the benchmark harness — goes through one table instead of hard-coded
 //! `match` arms.
 //!
-//! Three targets ship in the default registry:
+//! Three core targets ship in the default registry:
 //!
 //! * `fpqa` — the wOptimizer path (coloring → shuttle planning → wQasm),
 //! * `superconducting` (alias `sc`) — QAOA lowering + SABRE routing,
 //! * `simulator` (alias `sim`) — ideal state-vector execution, reporting the
-//!   noiseless probability of measuring a Max-3SAT-optimal assignment.
+//!   noiseless probability of measuring a Max-3SAT-optimal assignment —
+//!
+//! plus the `sc:*` device family: one [`SuperconductingBackend`] per
+//! declarative [`DeviceSpec`] (`sc:line`, `sc:grid`, `sc:eagle`,
+//! `sc:heron`), with arbitrary rectangular lattices minted on demand by
+//! [`BackendRegistry::resolve`] from parameterized names like
+//! `sc:grid:<w>x<h>`.
 //!
 //! # Adding a target
 //!
@@ -35,9 +41,9 @@
 //! impl Backend for CountingBackend {
 //!     fn info(&self) -> BackendInfo {
 //!         BackendInfo {
-//!             name: "counting",
-//!             aliases: &[],
-//!             description: "counts clauses instead of compiling",
+//!             name: "counting".to_string(),
+//!             aliases: Vec::new(),
+//!             description: "counts clauses instead of compiling".to_string(),
 //!             max_qubits: None,
 //!         }
 //!     }
@@ -54,7 +60,7 @@
 //!     ) -> Result<CompileOutput, BackendError> {
 //!         let circuit = weaver_sat::qaoa::build_circuit(formula, &weaver.options.qaoa, false);
 //!         Ok(CompileOutput {
-//!             backend: "counting",
+//!             backend: "counting".to_string(),
 //!             artifact: CompiledArtifact::Superconducting {
 //!                 circuit,
 //!                 swap_count: 0,
@@ -92,7 +98,9 @@ use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 use weaver_circuit::{native, Circuit, NativeBasis};
 use weaver_sat::{qaoa, Formula};
-use weaver_superconducting::{transpile, CouplingMap, TranspileResult};
+use weaver_superconducting::{
+    device, transpile, CouplingMap, DeviceSpec, RouteError, TranspileResult,
+};
 use weaver_wqasm::Program;
 
 // ---------------------------------------------------------------------------
@@ -260,7 +268,9 @@ pub struct CompileOutput {
     /// Primary name of the backend that produced this output, so dispatch
     /// sites (e.g. [`Weaver::verify_output`]) can route back to the
     /// producing backend's hooks without re-deriving it from the artifact.
-    pub backend: &'static str,
+    /// Owned because device-family backends (`sc:grid:3x4`) are minted at
+    /// resolution time.
+    pub backend: String,
     /// The target-specific compiled artifact.
     pub artifact: CompiledArtifact,
     /// Evaluation metrics (paper §8.1), identical in meaning across targets.
@@ -302,6 +312,17 @@ impl BackendError {
     }
 }
 
+impl From<RouteError> for BackendError {
+    /// Routing failures are workload-vs-device mismatches, not lookup
+    /// failures.
+    fn from(e: RouteError) -> Self {
+        BackendError {
+            kind: BackendErrorKind::Unsupported,
+            message: e.to_string(),
+        }
+    }
+}
+
 impl fmt::Display for BackendError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.message)
@@ -314,15 +335,17 @@ impl std::error::Error for BackendError {}
 // The Backend trait
 // ---------------------------------------------------------------------------
 
-/// Static facts about a backend, surfaced by `weaverc targets`.
-#[derive(Clone, Copy, Debug)]
+/// Facts about a backend, surfaced by `weaverc targets`. Owned data: the
+/// `sc:*` device family derives names and descriptions from declarative
+/// [`DeviceSpec`]s (including parameterized ones like `sc:grid:3x4`).
+#[derive(Clone, Debug)]
 pub struct BackendInfo {
     /// Primary registry key (the `Target` string).
-    pub name: &'static str,
+    pub name: String,
     /// Alternate registry keys (e.g. `sc`).
-    pub aliases: &'static [&'static str],
+    pub aliases: Vec<String>,
     /// One-line description.
-    pub description: &'static str,
+    pub description: String,
     /// Largest register the target accepts; `None` means unbounded.
     pub max_qubits: Option<usize>,
 }
@@ -441,9 +464,10 @@ impl FpqaBackend {
 impl Backend for FpqaBackend {
     fn info(&self) -> BackendInfo {
         BackendInfo {
-            name: "fpqa",
-            aliases: &[],
-            description: "wOptimizer + wChecker on a neutral-atom FPQA (the paper's path)",
+            name: "fpqa".to_string(),
+            aliases: Vec::new(),
+            description: "wOptimizer + wChecker on a neutral-atom FPQA (the paper's path)"
+                .to_string(),
             max_qubits: None,
         }
     }
@@ -507,29 +531,71 @@ impl Backend for FpqaBackend {
 // ---------------------------------------------------------------------------
 
 /// The superconducting path: QAOA lowering + SABRE routing onto a coupling
-/// map (IBM Washington by default).
+/// map (IBM Washington by default). One instance per registry name — the
+/// legacy `superconducting` target and every member of the `sc:*` device
+/// family ([`SuperconductingBackend::for_device`]) share this type, so the
+/// family's lowering is provably the same code path.
 #[derive(Clone, Debug)]
 pub struct SuperconductingBackend {
+    info: BackendInfo,
     coupling: CouplingMap,
 }
 
 struct ScLowering {
     coupling: CouplingMap,
     circuit: Option<Circuit>,
-    result: Option<TranspileResult>,
+    result: Option<Result<TranspileResult, RouteError>>,
 }
 
 impl SuperconductingBackend {
     /// The default target: SABRE onto the 127-qubit IBM Washington map.
     pub fn new() -> Self {
+        SuperconductingBackend::named(
+            "superconducting",
+            &["sc"],
+            "QAOA lowering + SABRE routing onto the IBM Washington heavy-hex map",
+            CouplingMap::ibm_washington(),
+        )
+    }
+
+    /// A backend routing onto a custom coupling map, under the legacy
+    /// `superconducting` registry name.
+    pub fn with_coupling(coupling: CouplingMap) -> Self {
+        SuperconductingBackend::named(
+            "superconducting",
+            &["sc"],
+            "QAOA lowering + SABRE routing onto a custom coupling map",
+            coupling,
+        )
+    }
+
+    /// The `sc:<device>` target of a declarative [`DeviceSpec`]: same
+    /// lowering pipeline, device-specific coupling map and registry name.
+    pub fn for_device(spec: &DeviceSpec) -> Self {
         SuperconductingBackend {
-            coupling: CouplingMap::ibm_washington(),
+            info: BackendInfo {
+                name: spec.full_name(),
+                aliases: spec.full_aliases(),
+                description: format!(
+                    "{} — native 2q gate {}, SABRE-routed",
+                    spec.description, spec.native_two_qubit
+                ),
+                max_qubits: Some(spec.num_qubits()),
+            },
+            coupling: spec.coupling(),
         }
     }
 
-    /// A backend routing onto a custom coupling map.
-    pub fn with_coupling(coupling: CouplingMap) -> Self {
-        SuperconductingBackend { coupling }
+    fn named(name: &str, aliases: &[&str], description: &str, coupling: CouplingMap) -> Self {
+        SuperconductingBackend {
+            info: BackendInfo {
+                name: name.to_string(),
+                aliases: aliases.iter().map(|a| a.to_string()).collect(),
+                description: description.to_string(),
+                max_qubits: Some(coupling.num_qubits()),
+            },
+            coupling,
+        }
     }
 
     fn manager() -> PassManager<ScLowering> {
@@ -549,7 +615,7 @@ impl SuperconductingBackend {
                     &state.coupling,
                     &ctx.weaver.superconducting_params,
                 );
-                let steps = result.steps;
+                let steps = result.as_ref().map_or(0, |r| r.steps);
                 state.result = Some(result);
                 steps
             })
@@ -564,12 +630,7 @@ impl Default for SuperconductingBackend {
 
 impl Backend for SuperconductingBackend {
     fn info(&self) -> BackendInfo {
-        BackendInfo {
-            name: "superconducting",
-            aliases: &["sc"],
-            description: "QAOA lowering + SABRE routing onto the IBM Washington heavy-hex map",
-            max_qubits: Some(self.coupling.num_qubits()),
-        }
+        self.info.clone()
     }
 
     fn passes(&self) -> Vec<&'static str> {
@@ -600,10 +661,10 @@ impl Backend for SuperconductingBackend {
             result: None,
         };
         let passes = SuperconductingBackend::manager().run(&mut state, &ctx);
-        let result = state.result.expect("sabre-transpile ran");
+        let result = state.result.expect("sabre-transpile ran")?;
         let metrics = Metrics::for_transpiled(&result, start.elapsed().as_secs_f64());
         Ok(CompileOutput {
-            backend: self.info().name,
+            backend: self.info.name.clone(),
             artifact: CompiledArtifact::Superconducting {
                 circuit: result.circuit,
                 swap_count: result.swap_count,
@@ -689,9 +750,9 @@ struct SimLowering {
 impl Backend for SimulatorBackend {
     fn info(&self) -> BackendInfo {
         BackendInfo {
-            name: "simulator",
-            aliases: &["sim"],
-            description: "ideal state-vector execution (noiseless EPS reference)",
+            name: "simulator".to_string(),
+            aliases: vec!["sim".to_string()],
+            description: "ideal state-vector execution (noiseless EPS reference)".to_string(),
             max_qubits: Some(SimulatorBackend::MAX_QUBITS),
         }
     }
@@ -756,7 +817,9 @@ impl Backend for SimulatorBackend {
 // ---------------------------------------------------------------------------
 
 /// A name → [`Backend`] table: the single place a target plugs into the
-/// compiler. Lookups match the primary name or any alias.
+/// compiler. Lookups match the primary name or any alias;
+/// [`BackendRegistry::resolve`] additionally mints `sc:*` device-family
+/// backends from parameterized names (`sc:grid:<w>x<h>`).
 ///
 /// # Examples
 ///
@@ -766,13 +829,17 @@ impl Backend for SimulatorBackend {
 /// use weaver_sat::generator;
 ///
 /// let registry = BackendRegistry::with_default_targets();
-/// assert_eq!(registry.names(), vec!["fpqa", "superconducting", "simulator"]);
+/// assert_eq!(
+///     registry.names(),
+///     vec!["fpqa", "superconducting", "simulator", "sc:line", "sc:grid", "sc:eagle", "sc:heron"]
+/// );
 ///
 /// // Aliases resolve to the same backend.
 /// let by_alias = registry.get("sc").unwrap();
 /// assert_eq!(by_alias.info().name, "superconducting");
+/// assert_eq!(registry.get("sc:washington").unwrap().info().name, "sc:eagle");
 ///
-/// // Retarget one workload by string.
+/// // Retarget one workload by string — including a device minted on demand.
 /// let formula = generator::instance(10, 1);
 /// let weaver = Weaver::new();
 /// let ideal = registry
@@ -781,6 +848,8 @@ impl Backend for SimulatorBackend {
 ///     .compile(&weaver, &formula, None)
 ///     .unwrap();
 /// assert!(ideal.metrics.eps > 0.0 && ideal.metrics.eps <= 1.0);
+/// let grid = registry.resolve("sc:grid:4x5").unwrap();
+/// assert_eq!(grid.info().max_qubits, Some(20));
 /// ```
 pub struct BackendRegistry {
     backends: Vec<Arc<dyn Backend>>,
@@ -794,13 +863,17 @@ impl BackendRegistry {
         }
     }
 
-    /// The registry with the three built-in targets: `fpqa`,
-    /// `superconducting` (alias `sc`), and `simulator` (alias `sim`).
+    /// The registry with the three core targets — `fpqa`,
+    /// `superconducting` (alias `sc`), `simulator` (alias `sim`) — followed
+    /// by the built-in `sc:*` device family ([`DeviceSpec::builtin`]).
     pub fn with_default_targets() -> Self {
         let mut registry = BackendRegistry::new();
         registry.register(Arc::new(FpqaBackend));
         registry.register(Arc::new(SuperconductingBackend::new()));
         registry.register(Arc::new(SimulatorBackend));
+        for spec in DeviceSpec::builtin() {
+            registry.register(Arc::new(SuperconductingBackend::for_device(&spec)));
+        }
         registry
     }
 
@@ -819,15 +892,40 @@ impl BackendRegistry {
         self.backends.push(backend);
     }
 
-    /// Looks up a backend by primary name or alias.
+    /// Looks up a registered backend by primary name or alias.
     pub fn get(&self, name: &str) -> Option<&dyn Backend> {
-        self.backends
-            .iter()
-            .find(|b| {
-                let info = b.info();
-                info.name == name || info.aliases.contains(&name)
-            })
-            .map(|b| b.as_ref())
+        self.entry(name).map(|b| b.as_ref())
+    }
+
+    fn entry(&self, name: &str) -> Option<&Arc<dyn Backend>> {
+        self.backends.iter().find(|b| {
+            let info = b.info();
+            info.name == name || info.aliases.iter().any(|a| a == name)
+        })
+    }
+
+    /// Resolves a target name to a backend: a registered name or alias
+    /// first, then the parameterized `sc:*` namespace — `sc:grid:<w>x<h>`
+    /// mints a [`SuperconductingBackend`] for that lattice on demand, so
+    /// the device family is an open-ended axis rather than a fixed table.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendErrorKind::UnknownTarget`], carrying the device-family
+    /// diagnostic (unknown device, malformed or oversized grid dims) for
+    /// `sc:*` names and the registry's known-target list otherwise.
+    pub fn resolve(&self, name: &str) -> Result<Arc<dyn Backend>, BackendError> {
+        if let Some(backend) = self.entry(name) {
+            return Ok(backend.clone());
+        }
+        if name.starts_with(device::FAMILY_PREFIX) {
+            let spec = DeviceSpec::resolve(name).map_err(|message| BackendError {
+                kind: BackendErrorKind::UnknownTarget,
+                message,
+            })?;
+            return Ok(Arc::new(SuperconductingBackend::for_device(&spec)));
+        }
+        Err(self.unknown_target(name))
     }
 
     /// Registered backends, in registration order.
@@ -836,7 +934,7 @@ impl BackendRegistry {
     }
 
     /// Primary names, in registration order.
-    pub fn names(&self) -> Vec<&'static str> {
+    pub fn names(&self) -> Vec<String> {
         self.backends.iter().map(|b| b.info().name).collect()
     }
 
@@ -845,7 +943,7 @@ impl BackendRegistry {
         BackendError {
             kind: BackendErrorKind::UnknownTarget,
             message: format!(
-                "unknown target `{name}` (known targets: {})",
+                "unknown target `{name}` (known targets: {}; arbitrary grids via sc:grid:<w>x<h>)",
                 self.names().join(", ")
             ),
         }
@@ -882,6 +980,12 @@ mod tests {
             ("sc", "superconducting"),
             ("simulator", "simulator"),
             ("sim", "simulator"),
+            ("sc:line", "sc:line"),
+            ("sc:grid", "sc:grid"),
+            ("sc:eagle", "sc:eagle"),
+            ("sc:washington", "sc:eagle"),
+            ("sc:heron", "sc:heron"),
+            ("sc:torino", "sc:heron"),
         ] {
             assert_eq!(registry.get(key).unwrap().info().name, name);
         }
@@ -889,6 +993,44 @@ mod tests {
         let err = registry.unknown_target("ion-trap");
         assert_eq!(err.kind, BackendErrorKind::UnknownTarget);
         assert!(err.message.contains("fpqa, superconducting, simulator"));
+        assert!(err.message.contains("sc:line, sc:grid, sc:eagle, sc:heron"));
+    }
+
+    #[test]
+    fn resolve_mints_parameterized_grid_devices() {
+        let registry = BackendRegistry::with_default_targets();
+        let grid = registry.resolve("sc:grid:4x5").unwrap();
+        assert_eq!(grid.info().name, "sc:grid:4x5");
+        assert_eq!(grid.info().max_qubits, Some(20));
+        // Not registered — minted per resolution, equal across calls.
+        assert!(registry.get("sc:grid:4x5").is_none());
+        let again = registry.resolve("sc:grid:4x5").unwrap();
+        assert_eq!(again.info().name, grid.info().name);
+        // Malformed and oversized grids are structured errors.
+        for bad in ["sc:grid:0x4", "sc:grid:axb", "sc:grid:100x100"] {
+            let err = registry.resolve(bad).err().expect("must fail");
+            assert_eq!(err.kind, BackendErrorKind::UnknownTarget, "{bad}");
+        }
+        let err = registry.resolve("sc:osprey").err().expect("must fail");
+        assert!(err.message.contains("known devices"), "{}", err.message);
+    }
+
+    #[test]
+    fn device_family_routes_within_capacity() {
+        let registry = BackendRegistry::with_default_targets();
+        let weaver = Weaver::new();
+        let f = generator::instance(10, 1);
+        for name in ["sc:line", "sc:grid", "sc:eagle", "sc:heron", "sc:grid:3x4"] {
+            let backend = registry.resolve(name).unwrap();
+            let out = backend.compile(&weaver, &f, None).unwrap();
+            assert_eq!(out.backend, backend.info().name, "{name}");
+            assert!(out.artifact.swap_count().is_some(), "{name}");
+        }
+        // A workload wider than the device is a typed error, not a panic.
+        let tiny = registry.resolve("sc:grid:2x2").unwrap();
+        let err = tiny.compile(&weaver, &f, None).unwrap_err();
+        assert_eq!(err.kind, BackendErrorKind::Unsupported);
+        assert!(err.message.contains("exceed the 4-qubit backend"), "{err}");
     }
 
     #[test]

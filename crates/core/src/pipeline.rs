@@ -142,12 +142,14 @@ impl Weaver {
         self
     }
 
-    /// Compiles a Max-3SAT formula for the target registered under `name`
-    /// (or an alias) in the [global registry](BackendRegistry::global) —
-    /// `fpqa`, `superconducting`/`sc`, or `simulator`/`sim`. To dispatch to
-    /// a custom backend, build your own [`BackendRegistry`], `register` it,
-    /// and call [`crate::backend::Backend::compile`] on the looked-up entry
-    /// (see the module example in [`crate::backend`]).
+    /// Compiles a Max-3SAT formula for the target resolved from `name` by
+    /// the [global registry](BackendRegistry::global) — a registered name
+    /// or alias (`fpqa`, `superconducting`/`sc`, `simulator`/`sim`, the
+    /// `sc:*` device family) or a parameterized device like
+    /// `sc:grid:<w>x<h>`, minted on demand. To dispatch to a custom
+    /// backend, build your own [`BackendRegistry`], `register` it, and call
+    /// [`crate::backend::Backend::compile`] on the looked-up entry (see the
+    /// module example in [`crate::backend`]).
     ///
     /// # Errors
     ///
@@ -162,7 +164,7 @@ impl Weaver {
     ///
     /// let formula = generator::instance(10, 1);
     /// let weaver = Weaver::new();
-    /// for target in ["fpqa", "sc", "simulator"] {
+    /// for target in ["fpqa", "sc", "simulator", "sc:eagle", "sc:grid:3x4"] {
     ///     let out = weaver.compile_target(target, &formula).unwrap();
     ///     assert!(out.metrics.eps > 0.0, "{target}");
     /// }
@@ -186,17 +188,18 @@ impl Weaver {
         formula: &Formula,
         cache: Option<&crate::cache::CacheHandle>,
     ) -> Result<CompileOutput, BackendError> {
-        let registry = BackendRegistry::global();
-        let backend = registry
-            .get(name)
-            .ok_or_else(|| registry.unknown_target(name))?;
+        let backend = BackendRegistry::global().resolve(name)?;
         backend.compile(self, formula, cache)
     }
 
     /// Runs the producing backend's verify hook on a [`CompileOutput`]
     /// (dispatched by [`CompileOutput::backend`] through the global
     /// registry): `Some(report)` on the FPQA path (the wChecker), `None`
-    /// for targets without a checker. For a backend living only in a local
+    /// for targets without a checker. Parameterized `sc:*` devices are
+    /// deliberately *not* re-minted here: the only mintable backend kind
+    /// ([`SuperconductingBackend`]) has no verify hook, and minting one
+    /// eagerly rebuilds the coupling map's all-pairs distance table just
+    /// to call the default `None`. For a backend living only in a local
     /// registry, call [`crate::backend::Backend::verify`] on it directly.
     pub fn verify_output(
         &self,
@@ -205,7 +208,7 @@ impl Weaver {
         cache: Option<&crate::cache::CacheHandle>,
     ) -> Option<CheckReport> {
         BackendRegistry::global()
-            .get(output.backend)
+            .get(&output.backend)
             .and_then(|backend| backend.verify(self, output, formula, cache))
     }
 

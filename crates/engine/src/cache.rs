@@ -203,10 +203,12 @@ fn opt_bool(v: Option<bool>) -> String {
     v.map_or("-".to_string(), |b| b.to_string())
 }
 
-/// Renders an artifact in the on-disk format (`weaver-artifact 1`).
+/// Renders an artifact in the on-disk format (`weaver-artifact 2`; version
+/// 2 added the per-pass timing trace — version-1 entries parse as misses
+/// and recompile).
 pub(crate) fn render_artifact(a: &Artifact) -> String {
     let mut out = String::new();
-    out.push_str("weaver-artifact 1\n");
+    out.push_str("weaver-artifact 2\n");
     let m = &a.metrics;
     // `{}` on f64 prints the shortest round-tripping decimal, so parsing
     // recovers the exact bits.
@@ -219,6 +221,12 @@ pub(crate) fn render_artifact(a: &Artifact) -> String {
     let _ = writeln!(out, "swap_count {}", opt_usize(a.swap_count));
     let _ = writeln!(out, "num_colors {}", opt_usize(a.num_colors));
     let _ = writeln!(out, "check_passed {}", opt_bool(a.check_passed));
+    let _ = writeln!(out, "passes {}", a.passes.len());
+    for p in &a.passes {
+        // Pass names are identifiers (no spaces), so `name seconds steps`
+        // splits unambiguously from the right.
+        let _ = writeln!(out, "{} {} {}", escape_line(&p.name), p.seconds, p.steps);
+    }
     let _ = writeln!(out, "check_errors {}", a.check_errors.len());
     for e in &a.check_errors {
         let _ = writeln!(out, "{}", escape_line(e));
@@ -252,7 +260,7 @@ pub(crate) fn parse_artifact(text: &str) -> Option<Artifact> {
     }
 
     let mut cur = Cursor { rest: text };
-    if cur.line()? != "weaver-artifact 1" {
+    if cur.line()? != "weaver-artifact 2" {
         return None;
     }
     let metrics = Metrics {
@@ -271,6 +279,21 @@ pub(crate) fn parse_artifact(text: &str) -> Option<Artifact> {
         "false" => Some(false),
         _ => return None,
     };
+    let pass_count: usize = cur.field("passes")?.parse().ok()?;
+    let mut passes = Vec::with_capacity(pass_count.min(64));
+    for _ in 0..pass_count {
+        // `name seconds steps`, split from the right so escaped names keep
+        // their content intact.
+        let mut fields = cur.line()?.rsplitn(3, ' ');
+        let steps: u64 = fields.next()?.parse().ok()?;
+        let seconds: f64 = fields.next()?.parse().ok()?;
+        let name = unescape_line(fields.next()?);
+        passes.push(crate::job::PassTiming {
+            name,
+            seconds,
+            steps,
+        });
+    }
     let error_count: usize = cur.field("check_errors")?.parse().ok()?;
     let mut check_errors = Vec::with_capacity(error_count.min(1024));
     for _ in 0..error_count {
@@ -283,6 +306,7 @@ pub(crate) fn parse_artifact(text: &str) -> Option<Artifact> {
     Some(Artifact {
         wqasm: cur.rest.to_string(),
         metrics,
+        passes,
         swap_count,
         num_colors,
         check_passed,
@@ -306,6 +330,18 @@ mod tests {
                 motion_ops: 3,
                 steps: 99,
             },
+            passes: vec![
+                crate::job::PassTiming {
+                    name: "qaoa-lower".to_string(),
+                    seconds: 0.25 + tag as f64,
+                    steps: 0,
+                },
+                crate::job::PassTiming {
+                    name: "sabre-transpile".to_string(),
+                    seconds: 1.0 / 7.0,
+                    steps: 42,
+                },
+            ],
             swap_count: None,
             num_colors: Some(2),
             check_passed: Some(true),
@@ -330,6 +366,8 @@ mod tests {
     fn malformed_disk_entries_are_misses() {
         assert!(parse_artifact("").is_none());
         assert!(parse_artifact("weaver-artifact 2\n").is_none());
+        // Version-1 entries (no pass trace) are stale and must miss.
+        assert!(parse_artifact("weaver-artifact 1\n").is_none());
         let truncated = &render_artifact(&sample_artifact(1))[..40];
         assert!(parse_artifact(truncated).is_none());
     }

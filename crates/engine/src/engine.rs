@@ -120,7 +120,9 @@ impl BatchReport {
 }
 
 /// Renders one job result as a JSONL `job` record (also used for live
-/// streaming as jobs finish).
+/// streaming as jobs finish). Successful records carry the producing
+/// compile's per-pass timing trace as a `passes` array (name, seconds,
+/// steps per lowering pass, in execution order).
 pub fn job_record(r: &JobResult) -> String {
     let timings = JsonObject::new()
         .f64("parse_seconds", r.timings.parse_seconds)
@@ -147,9 +149,21 @@ pub fn job_record(r: &JobResult) -> String {
                 .u64("motion_ops", m.motion_ops as u64)
                 .u64("steps", m.steps)
                 .finish();
+            let passes: Vec<String> = a
+                .passes
+                .iter()
+                .map(|p| {
+                    JsonObject::new()
+                        .str("name", &p.name)
+                        .f64("seconds", p.seconds)
+                        .u64("steps", p.steps)
+                        .finish()
+                })
+                .collect();
             record = record
                 .str("status", if r.succeeded() { "ok" } else { "check_failed" })
-                .raw("metrics", &metrics);
+                .raw("metrics", &metrics)
+                .raw("passes", &format!("[{}]", passes.join(",")));
             if let Some(c) = a.num_colors {
                 record = record.u64("num_colors", c as u64);
             }
@@ -251,7 +265,7 @@ impl Engine {
     fn run_job(&self, index: usize, job: CompileJob) -> JobResult {
         let total_start = Instant::now();
         let name = job.name();
-        let target = job.target;
+        let target = job.target.clone();
         let mut timings = StageTimings::default();
 
         let formula = match load_formula(&job.source) {
@@ -411,6 +425,7 @@ fn compile_job(
             swap_count: output.artifact.swap_count(),
             num_colors: output.artifact.num_colors(),
             metrics: output.metrics,
+            passes: output.passes.iter().map(Into::into).collect(),
             check_passed,
             check_errors,
         },
@@ -512,7 +527,7 @@ mod tests {
             .into_iter()
             .map(|target| {
                 let mut job = CompileJob::from_formula(format!("uf10@{target}"), f.clone());
-                job.target = target;
+                job.target = target.clone();
                 job
             })
             .collect();

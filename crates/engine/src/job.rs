@@ -11,13 +11,16 @@ use weaver_sat::Formula;
 
 /// Compilation backend of a job. The names and aliases mirror the
 /// [`weaver_core::backend::BackendRegistry`] keys — [`Target::parse`]
-/// resolves names and aliases through the registry. The enum itself stays
-/// closed on purpose: each variant owns a stable artifact-cache tag (see
-/// [`CompileJob::artifact_key`]), so registering a new backend also means
-/// adding a variant here, to [`Target::ALL`], [`Target::name`], and the
-/// key tag — the non-exhaustive matches below make the compiler walk you
-/// through every site.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+/// resolves names and aliases through the registry, including the whole
+/// `sc:*` device family (built-in devices and parameterized
+/// `sc:grid:<w>x<h>` lattices), which lands in [`Target::ScDevice`] with
+/// its canonical registry name. The enum stays closed on purpose: each
+/// variant owns a stable artifact-cache tag (see
+/// [`CompileJob::artifact_key`]), so registering a new *core* backend also
+/// means adding a variant here, to [`Target::ALL`], [`Target::name`], and
+/// the key tag — the non-exhaustive matches below make the compiler walk
+/// you through every site.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Target {
     /// The FPQA path (wOptimizer + wChecker).
     Fpqa,
@@ -25,35 +28,65 @@ pub enum Target {
     Superconducting,
     /// The ideal state-vector simulator (noiseless EPS reference).
     Simulator,
+    /// A member of the `sc:*` superconducting device family, by canonical
+    /// registry name (`sc:eagle`, `sc:grid:4x5`, …). The name is the whole
+    /// device identity: it selects the coupling map deterministically, and
+    /// it participates in the artifact key so two devices never share a
+    /// cache entry.
+    ScDevice(String),
 }
 
 impl Target {
-    /// Every batchable target, in registry order.
+    /// The core batchable targets, in registry order. Device-family
+    /// targets are open-ended (`sc:grid:<w>x<h>`) and therefore not
+    /// enumerable here; see [`Target::builtin_devices`].
     pub const ALL: [Target; 3] = [Target::Fpqa, Target::Superconducting, Target::Simulator];
 
+    /// The built-in `sc:*` device-family targets, in registry order.
+    pub fn builtin_devices() -> Vec<Target> {
+        weaver_superconducting::DeviceSpec::builtin()
+            .into_iter()
+            .map(|d| Target::ScDevice(d.full_name()))
+            .collect()
+    }
+
     /// CLI / JSONL name (the registry's primary key).
-    pub fn name(self) -> &'static str {
+    pub fn name(&self) -> &str {
         match self {
             Target::Fpqa => "fpqa",
             Target::Superconducting => "superconducting",
             Target::Simulator => "simulator",
+            Target::ScDevice(name) => name,
         }
     }
 
     /// Parses a CLI / manifest target name or alias via the backend
-    /// registry.
+    /// registry; `sc:*` names (aliases like `sc:washington` included, and
+    /// parameterized grids) canonicalize into [`Target::ScDevice`].
     pub fn parse(s: &str) -> Result<Self, String> {
+        if s.starts_with(weaver_superconducting::device::FAMILY_PREFIX) {
+            // Canonicalize via the declarative spec alone — resolving
+            // through the registry would mint a whole backend (whose
+            // constructor eagerly builds the coupling map's all-pairs
+            // distance table) just to read its name.
+            let spec = weaver_superconducting::DeviceSpec::resolve(s)?;
+            return Ok(Target::ScDevice(spec.full_name()));
+        }
         let registry = weaver_core::BackendRegistry::global();
-        let resolved = registry.get(s).map(|b| b.info().name);
+        let canonical = registry
+            .get(s)
+            .ok_or_else(|| registry.unknown_target(s).message)?
+            .info()
+            .name;
         Target::ALL
             .into_iter()
-            .find(|t| Some(t.name()) == resolved)
+            .find(|t| t.name() == canonical)
             .ok_or_else(|| {
-                // List the batchable set, not the registry's, so a backend
-                // this enum does not cover yet is never advertised here.
+                // A backend registered outside the batchable set (e.g. a
+                // custom target in a local registry) is never advertised.
                 format!(
-                    "unknown target `{s}` (known targets: {})",
-                    Target::ALL.map(Target::name).join(", ")
+                    "target `{canonical}` is not batchable (batchable targets: {}, sc:*)",
+                    Target::ALL.map(|t| t.name().to_string()).join(", ")
                 )
             })
     }
@@ -174,17 +207,21 @@ impl CompileJob {
     /// Content-addressed artifact key of this job for `formula`: BLAKE2s-256
     /// over the canonicalized formula, the target and its parameters, every
     /// option that can influence the artifact, and the compiler version.
-    /// The workload *source* (file path vs inline) deliberately does not
-    /// participate — identical content hits regardless of origin.
+    /// Device-family targets additionally hash their canonical device name
+    /// (which encodes the topology, `sc:grid:4x5` included), so `sc:eagle`
+    /// and `sc:heron` can never collide. The workload *source* (file path
+    /// vs inline) deliberately does not participate — identical content
+    /// hits regardless of origin.
     pub fn artifact_key(&self, formula: &Formula) -> Digest {
         let mut fp = Fingerprint::new();
         fp.tag(0xA7).str(COMPILER_VERSION);
         fp.bytes(&formula.canonical_bytes());
-        fp.tag(match self.target {
-            Target::Fpqa => 1,
-            Target::Superconducting => 2,
-            Target::Simulator => 3,
-        });
+        match &self.target {
+            Target::Fpqa => fp.tag(1),
+            Target::Superconducting => fp.tag(2),
+            Target::Simulator => fp.tag(3),
+            Target::ScDevice(name) => fp.tag(4).str(name),
+        };
         fingerprint_fpqa_params(&mut fp, &self.options.fpqa_params());
         fp.bool(self.options.compression)
             .bool(self.options.parallel_shuttling)
@@ -239,6 +276,30 @@ pub struct StageTimings {
     pub total_seconds: f64,
 }
 
+/// One lowering pass of the producing compile, with its wall-clock time and
+/// work-step count — an owned mirror of
+/// [`weaver_core::backend::PassStat`] so cached artifacts round-trip
+/// through the disk tier.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PassTiming {
+    /// Pass name, unique within the producing backend's pipeline.
+    pub name: String,
+    /// Wall-clock seconds the pass took in the producing compile.
+    pub seconds: f64,
+    /// Work steps the pass reported (0 when uninstrumented).
+    pub steps: u64,
+}
+
+impl From<&weaver_core::backend::PassStat> for PassTiming {
+    fn from(stat: &weaver_core::backend::PassStat) -> Self {
+        PassTiming {
+            name: stat.name.to_string(),
+            seconds: stat.seconds,
+            steps: stat.steps,
+        }
+    }
+}
+
 /// The cacheable output of one successful job. Wall-clock metrics inside
 /// refer to the compile that produced the artifact, not to the lookup that
 /// may have served it.
@@ -248,6 +309,9 @@ pub struct Artifact {
     pub wqasm: String,
     /// Evaluation metrics of the producing compile.
     pub metrics: Metrics,
+    /// Per-pass timing of the producing compile, in execution order (the
+    /// `CompileOutput::passes` trace; preserved verbatim on cache hits).
+    pub passes: Vec<PassTiming>,
     /// SWAPs inserted (superconducting only).
     pub swap_count: Option<usize>,
     /// Colors used by the clause coloring (FPQA only).
@@ -394,12 +458,48 @@ mod tests {
     }
 
     #[test]
+    fn target_parses_device_family_names() {
+        for (input, canonical) in [
+            ("sc:line", "sc:line"),
+            ("sc:grid", "sc:grid"),
+            ("sc:eagle", "sc:eagle"),
+            ("sc:washington", "sc:eagle"),
+            ("sc:heron", "sc:heron"),
+            ("sc:grid:4x5", "sc:grid:4x5"),
+        ] {
+            let target = Target::parse(input).unwrap();
+            assert_eq!(target, Target::ScDevice(canonical.to_string()), "{input}");
+            assert_eq!(target.name(), canonical);
+        }
+        assert_eq!(Target::builtin_devices().len(), 4);
+        for bad in ["sc:osprey", "sc:grid:0x4", "sc:grid:"] {
+            let err = Target::parse(bad).unwrap_err();
+            assert!(err.contains(bad), "{err}");
+        }
+    }
+
+    #[test]
+    fn artifact_key_separates_every_device() {
+        let f = generator::instance(10, 1);
+        let mut keys = std::collections::HashSet::new();
+        let mut targets = Target::builtin_devices();
+        targets.push(Target::ScDevice("sc:grid:4x5".to_string()));
+        targets.push(Target::ScDevice("sc:grid:5x4".to_string()));
+        targets.push(Target::Superconducting);
+        for target in targets {
+            let mut job = CompileJob::from_formula("t", f.clone());
+            job.target = target.clone();
+            assert!(keys.insert(job.artifact_key(&f)), "{target} key collides");
+        }
+    }
+
+    #[test]
     fn artifact_key_separates_all_targets() {
         let f = generator::instance(10, 1);
         let mut keys = std::collections::HashSet::new();
         for target in Target::ALL {
             let mut job = CompileJob::from_formula("t", f.clone());
-            job.target = target;
+            job.target = target.clone();
             assert!(keys.insert(job.artifact_key(&f)), "{target} key collides");
         }
     }

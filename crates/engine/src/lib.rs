@@ -49,6 +49,6 @@ pub use cache::{ArtifactCache, CacheConfig, CacheTierStats};
 pub use engine::{job_record, BatchReport, Engine, EngineConfig};
 pub use job::{
     Artifact, CacheOutcome, CompileJob, JobError, JobErrorKind, JobOptions, JobResult, JobSource,
-    StageTimings, Target,
+    PassTiming, StageTimings, Target,
 };
 pub use manifest::discover_jobs;

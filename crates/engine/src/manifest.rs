@@ -61,7 +61,7 @@ fn discover_dir(
         .into_iter()
         .map(|p| CompileJob {
             source: JobSource::Path(p),
-            target,
+            target: target.clone(),
             options: defaults.clone(),
         })
         .collect())
@@ -84,7 +84,7 @@ fn parse_manifest(
         let at = |msg: String| format!("{} line {}: {msg}", manifest.display(), lineno + 1);
         let mut fields = line.split_whitespace();
         let file = fields.next().expect("non-empty line has a first token");
-        let mut target = default_target;
+        let mut target = default_target.clone();
         let mut options = defaults.clone();
         for field in fields {
             let (key, value) = field

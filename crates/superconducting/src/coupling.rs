@@ -157,34 +157,64 @@ impl CouplingMap {
         CouplingMap::new(next_id, &edges)
     }
 
+    /// A heavy-hex lattice of unit-cell distance `d`, padded or trimmed to
+    /// exactly `target` qubits, connected for every target size. Padding
+    /// extends the qubit count with leaf chains (degree-safe); trimming
+    /// drops the highest-numbered qubits — which are bridge qubits, so a
+    /// deep trim can orphan whole rows — and then re-joins any orphaned
+    /// region with a chain edge to its numeric predecessor.
+    pub fn heavy_hex_sized(d: usize, target: usize) -> Self {
+        assert!(target >= 1, "heavy-hex sizing needs ≥ 1 qubit");
+        let base = CouplingMap::heavy_hex(d);
+        let n = base.num_qubits();
+        if n == target {
+            return base;
+        }
+        let mut edges = base.edges();
+        let mut num = n;
+        while num < target {
+            // Chain new leaves off successive existing qubits (degree-safe).
+            edges.push((num - 1, num));
+            num += 1;
+        }
+        if num > target {
+            // Trim: rebuild keeping only qubits < target (drops excess
+            // bridge/leaf qubits, which carry the highest ids).
+            let mut edges: Vec<(usize, usize)> = edges
+                .into_iter()
+                .filter(|&(a, b)| a < target && b < target)
+                .collect();
+            let mut map = CouplingMap::new(target, &edges);
+            // A deep trim can drop every bridge of a row gap; chain-join
+            // each unreachable region to its predecessor until connected.
+            // Chain qubits are numbered row-major, so (u-1, u) stitches an
+            // orphaned row onto the end of the previous one.
+            while !map.is_connected() {
+                let u = (1..target)
+                    .find(|&q| map.distance(0, q) == usize::MAX)
+                    .expect("a disconnected map has an unreachable qubit");
+                edges.push((u - 1, u));
+                map = CouplingMap::new(target, &edges);
+            }
+            return map;
+        }
+        CouplingMap::new(num, &edges)
+    }
+
     /// The 127-qubit IBM Washington model used as the paper's
     /// superconducting backend (§8.1). Heavy-hex family; qubit count is
     /// padded to exactly 127 with a final chain extension if the generator
     /// lands below.
     pub fn ibm_washington() -> Self {
-        // heavy_hex(7): 7 rows × 15 + bridges. Compute and then pad/trim to
-        // 127 by extending the last row chain with leaf qubits.
-        let base = CouplingMap::heavy_hex(7);
-        let n = base.num_qubits();
-        if n == 127 {
-            return base;
-        }
-        let mut edges = base.edges();
-        let mut num = n;
-        while num < 127 {
-            // Chain new leaves off successive existing qubits (degree-safe).
-            edges.push((num - 1, num));
-            num += 1;
-        }
-        if num > 127 {
-            // Trim: rebuild keeping only qubits < 127 (drops excess leaves).
-            let edges: Vec<(usize, usize)> = edges
-                .into_iter()
-                .filter(|&(a, b)| a < 127 && b < 127)
-                .collect();
-            return CouplingMap::new(127, &edges);
-        }
-        CouplingMap::new(num, &edges)
+        // heavy_hex(7): 7 rows × 15 + bridges, sized to exactly 127.
+        CouplingMap::heavy_hex_sized(7, 127)
+    }
+
+    /// The 133-qubit IBM Heron model (Torino-class devices): the same
+    /// distance-7 heavy-hex family as Washington, at the generator's
+    /// natural 133-qubit count.
+    pub fn ibm_heron() -> Self {
+        CouplingMap::heavy_hex_sized(7, 133)
     }
 }
 
@@ -250,6 +280,43 @@ mod tests {
         assert!(max_degree <= 4);
         // Sparse like the real chip: ~144 edges on 127 qubits.
         assert!(m.edges().len() < 160);
+    }
+
+    #[test]
+    fn heron_has_133_qubits() {
+        let m = CouplingMap::ibm_heron();
+        assert_eq!(m.num_qubits(), 133);
+        assert!(m.is_connected());
+        let max_degree = (0..133).map(|q| m.neighbors(q).len()).max().unwrap();
+        assert!(max_degree <= 3, "heron is pure heavy-hex, degree ≤ 3");
+        // A strict superset of the Washington trim: same chains, all
+        // bridges kept.
+        assert!(m.edges().len() > CouplingMap::ibm_washington().edges().len());
+    }
+
+    #[test]
+    fn heavy_hex_sized_pads_and_trims() {
+        // heavy_hex(3) has 7-qubit rows; pad up and trim down around it.
+        let natural = CouplingMap::heavy_hex(3).num_qubits();
+        let padded = CouplingMap::heavy_hex_sized(3, natural + 5);
+        assert_eq!(padded.num_qubits(), natural + 5);
+        assert!(padded.is_connected());
+        let trimmed = CouplingMap::heavy_hex_sized(3, natural - 2);
+        assert_eq!(trimmed.num_qubits(), natural - 2);
+        assert!(trimmed.is_connected());
+    }
+
+    #[test]
+    fn heavy_hex_sized_stays_connected_at_every_trim_depth() {
+        // Deep trims drop whole rows' bridges (e.g. 110 of heavy_hex(7)
+        // used to orphan rows 2..6); the chain-join repair must keep every
+        // size connected.
+        for target in (1..=CouplingMap::heavy_hex(7).num_qubits()).step_by(7) {
+            let m = CouplingMap::heavy_hex_sized(7, target);
+            assert_eq!(m.num_qubits(), target);
+            assert!(m.is_connected(), "size {target} disconnected");
+        }
+        assert!(CouplingMap::heavy_hex_sized(7, 110).is_connected());
     }
 
     #[test]

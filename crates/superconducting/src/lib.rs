@@ -3,6 +3,7 @@
 //!
 //! * [`CouplingMap`] — device topologies (line, grid, heavy-hex, and the
 //!   127-qubit [`CouplingMap::ibm_washington`] model),
+//! * [`device`] — the declarative `sc:*` device family ([`DeviceSpec`]),
 //! * [`sabre`] — SABRE-style layout and routing (the `O(N³)` baseline of
 //!   Table 2),
 //! * [`transpile`] — the full pipeline with execution-time and EPS metrics.
@@ -15,15 +16,19 @@
 //!
 //! let mut c = Circuit::new(3);
 //! c.h(0).cz(0, 2).measure_all();
-//! let result = transpile(&c, &CouplingMap::line(4), &SuperconductingParams::default());
+//! let result =
+//!     transpile(&c, &CouplingMap::line(4), &SuperconductingParams::default()).unwrap();
 //! assert!(result.eps > 0.0 && result.eps <= 1.0);
 //! ```
 
 #![warn(missing_docs)]
 
 mod coupling;
+pub mod device;
 pub mod sabre;
 mod transpile;
 
 pub use coupling::CouplingMap;
+pub use device::{DeviceSpec, DeviceTopology, NativeTwoQubit};
+pub use sabre::RouteError;
 pub use transpile::{eps, execution_time, transpile, SuperconductingParams, TranspileResult};

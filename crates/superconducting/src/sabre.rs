@@ -5,7 +5,49 @@
 
 use crate::CouplingMap;
 use std::collections::HashMap;
+use std::fmt;
 use weaver_circuit::{Circuit, DependencyDag, Gate, Operation};
+
+/// Why a circuit cannot be routed onto a coupling map. These used to be
+/// `assert!`s inside [`route`]; as typed errors they surface as structured
+/// `weaverc: error: compile: …` diagnostics instead of panics, and the
+/// batch engine reports them per job instead of poisoning a worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteError {
+    /// The circuit needs more qubits than the device has.
+    TooManyQubits {
+        /// Qubits the circuit uses.
+        needed: usize,
+        /// Physical qubits the device offers.
+        available: usize,
+    },
+    /// The coupling graph is disconnected, so some pairs can never interact.
+    Disconnected,
+    /// The circuit contains a gate of arity > 2 (decompose first).
+    UnsupportedArity {
+        /// The offending gate's qubit count.
+        arity: usize,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::TooManyQubits { needed, available } => {
+                write!(f, "circuit needs {needed} qubits, device has {available}")
+            }
+            RouteError::Disconnected => {
+                f.write_str("coupling graph is disconnected; routing cannot reach every qubit")
+            }
+            RouteError::UnsupportedArity { arity } => write!(
+                f,
+                "routing requires ≤ 2-qubit gates, found a {arity}-qubit gate; decompose first"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
 
 /// Result of routing a circuit onto a coupling map.
 #[derive(Clone, Debug)]
@@ -62,12 +104,27 @@ impl Layout {
 /// swap count — exactly what production SABRE pipelines do (and the reason
 /// the baseline's compile time carries a large constant).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the circuit needs more qubits than the device has, if a gate
-/// has arity > 2, or if the coupling graph is disconnected.
-pub fn route(circuit: &Circuit, coupling: &CouplingMap) -> RoutedCircuit {
+/// [`RouteError::TooManyQubits`] when the circuit is wider than the device,
+/// [`RouteError::Disconnected`] when the coupling graph is disconnected,
+/// and [`RouteError::UnsupportedArity`] for gates of arity > 2.
+pub fn route(circuit: &Circuit, coupling: &CouplingMap) -> Result<RoutedCircuit, RouteError> {
     const TRIALS: u64 = 5;
+    if circuit.num_qubits() > coupling.num_qubits() {
+        return Err(RouteError::TooManyQubits {
+            needed: circuit.num_qubits(),
+            available: coupling.num_qubits(),
+        });
+    }
+    if coupling.num_qubits() > 0 && !coupling.is_connected() {
+        return Err(RouteError::Disconnected);
+    }
+    if let Some(wide) = circuit.instructions().find(|i| i.qubits.len() > 2) {
+        return Err(RouteError::UnsupportedArity {
+            arity: wide.qubits.len(),
+        });
+    }
     let mut best: Option<RoutedCircuit> = None;
     let mut total_steps = 0u64;
     for trial in 0..TRIALS {
@@ -83,27 +140,14 @@ pub fn route(circuit: &Circuit, coupling: &CouplingMap) -> RoutedCircuit {
     }
     let mut best = best.expect("at least one trial ran");
     best.steps = total_steps;
-    best
+    Ok(best)
 }
 
 /// One SABRE routing pass with a seeded initial layout (`seed = 0` is the
-/// trivial layout; other seeds shuffle deterministically).
+/// trivial layout; other seeds shuffle deterministically). Preconditions
+/// (width, connectivity, arity) are checked by [`route`].
 fn route_once(circuit: &Circuit, coupling: &CouplingMap, seed: u64) -> RoutedCircuit {
-    assert!(
-        circuit.num_qubits() <= coupling.num_qubits(),
-        "circuit needs {} qubits, device has {}",
-        circuit.num_qubits(),
-        coupling.num_qubits()
-    );
-    assert!(coupling.is_connected(), "coupling graph must be connected");
-
     let dag = DependencyDag::from_circuit(circuit);
-    for id in 0..dag.len() {
-        assert!(
-            dag.instruction(id).qubits.len() <= 2,
-            "route() requires ≤ 2-qubit gates; decompose first"
-        );
-    }
 
     let mut layout = Layout::trivial(circuit.num_qubits(), coupling.num_qubits());
     // Deterministic Fisher–Yates-style shuffle of the initial placement for
@@ -334,7 +378,7 @@ mod tests {
     fn already_routable_circuit_needs_no_swaps() {
         let mut c = Circuit::new(3);
         c.h(0).cz(0, 1).cz(1, 2);
-        let r = route(&c, &CouplingMap::line(3));
+        let r = route(&c, &CouplingMap::line(3)).unwrap();
         assert_eq!(r.swap_count, 0);
         assert!(respects_coupling(&r.circuit, &CouplingMap::line(3)));
     }
@@ -346,7 +390,7 @@ mod tests {
         let mut c = Circuit::new(4);
         c.cz(0, 3).cz(0, 1).cz(1, 2).cz(2, 3).cz(0, 2).cz(1, 3);
         let coupling = CouplingMap::line(4);
-        let r = route(&c, &coupling);
+        let r = route(&c, &coupling).unwrap();
         assert!(
             r.swap_count >= 1,
             "a 4-clique on a line cannot be swap-free"
@@ -361,7 +405,7 @@ mod tests {
         let mut c = Circuit::new(4);
         c.h(0).cz(0, 3).cx(1, 2).rz(0.4, 3).cz(0, 2);
         let coupling = CouplingMap::line(4);
-        let r = route(&c, &coupling);
+        let r = route(&c, &coupling).unwrap();
         let recovered = unroute(&r, 4);
         let e = equiv::compare(&c.unitary(), &recovered.unitary(), 1e-9);
         assert!(e.is_equivalent(), "{e:?}");
@@ -376,7 +420,7 @@ mod tests {
             }
         }
         let coupling = CouplingMap::grid(3, 3);
-        let r = route(&c, &coupling);
+        let r = route(&c, &coupling).unwrap();
         assert!(respects_coupling(&r.circuit, &coupling));
         assert_eq!(r.circuit.num_qubits(), 9);
     }
@@ -392,7 +436,7 @@ mod tests {
         let full = CouplingMap::new(5, &edges);
         let mut c = Circuit::new(5);
         c.cz(0, 4).cz(1, 3).cz(2, 4);
-        let r = route(&c, &full);
+        let r = route(&c, &full).unwrap();
         assert_eq!(r.swap_count, 0);
     }
 
@@ -408,8 +452,8 @@ mod tests {
             large.cz(i, i + 1);
             large.cz(0, i + 1);
         }
-        let rs = route(&small, &coupling);
-        let rl = route(&large, &coupling);
+        let rs = route(&small, &coupling).unwrap();
+        let rl = route(&large, &coupling).unwrap();
         assert!(rl.steps > rs.steps);
     }
 
@@ -417,7 +461,7 @@ mod tests {
     fn measurements_survive_routing() {
         let mut c = Circuit::new(3);
         c.cz(0, 2).measure_all();
-        let r = route(&c, &CouplingMap::line(3));
+        let r = route(&c, &CouplingMap::line(3)).unwrap();
         let measures = r
             .circuit
             .operations()
@@ -428,13 +472,46 @@ mod tests {
     }
 
     #[test]
+    fn oversized_circuit_is_a_typed_error() {
+        let mut c = Circuit::new(5);
+        c.cz(0, 4);
+        let err = route(&c, &CouplingMap::line(3)).unwrap_err();
+        assert_eq!(
+            err,
+            RouteError::TooManyQubits {
+                needed: 5,
+                available: 3
+            }
+        );
+        assert!(err.to_string().contains("needs 5 qubits"), "{err}");
+    }
+
+    #[test]
+    fn disconnected_coupling_is_a_typed_error() {
+        let mut c = Circuit::new(4);
+        c.cz(0, 3);
+        let coupling = CouplingMap::new(4, &[(0, 1), (2, 3)]);
+        assert_eq!(route(&c, &coupling).unwrap_err(), RouteError::Disconnected);
+    }
+
+    #[test]
+    fn wide_gates_are_a_typed_error() {
+        let mut c = Circuit::new(3);
+        c.ccz(0, 1, 2);
+        assert_eq!(
+            route(&c, &CouplingMap::line(3)).unwrap_err(),
+            RouteError::UnsupportedArity { arity: 3 }
+        );
+    }
+
+    #[test]
     fn washington_routes_100_variable_chain() {
         let mut c = Circuit::new(100);
         for i in 0..99 {
             c.cz(i, i + 1);
         }
         let coupling = CouplingMap::ibm_washington();
-        let r = route(&c, &coupling);
+        let r = route(&c, &coupling).unwrap();
         assert!(respects_coupling(&r.circuit, &coupling));
     }
 }

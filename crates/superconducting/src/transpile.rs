@@ -2,6 +2,7 @@
 //! Fig. 3): nativize → decompose multi-qubit gates → SABRE layout/routing →
 //! schedule and score. Plays the role of the Qiskit transpiler baseline.
 
+use crate::sabre::RouteError;
 use crate::{sabre, CouplingMap};
 use weaver_circuit::{native, Circuit, NativeBasis, Operation};
 
@@ -66,18 +67,19 @@ pub struct TranspileResult {
 
 /// Runs the full superconducting pipeline on an input circuit.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the circuit is wider than the device.
+/// A [`RouteError`] when the circuit is wider than the device or the
+/// coupling graph is disconnected (see [`sabre::route`]).
 pub fn transpile(
     circuit: &Circuit,
     coupling: &CouplingMap,
     params: &SuperconductingParams,
-) -> TranspileResult {
+) -> Result<TranspileResult, RouteError> {
     // 1. Native synthesis to {U3, CZ}: superconducting path keeps no CCZ.
     let native = native::nativize(circuit, NativeBasis::U3Cz);
     // 2. Route with SABRE.
-    let routed = sabre::route(&native, coupling);
+    let routed = sabre::route(&native, coupling)?;
     // 3. Decompose the inserted SWAPs and re-nativize (fuses the H layers
     //    the SWAP→CX→CZ lowering introduces).
     let physical = native::nativize(&routed.circuit, NativeBasis::U3Cz);
@@ -86,14 +88,14 @@ pub fn transpile(
     let execution_time = execution_time(&physical, params);
     let eps = eps(&physical, params, circuit.num_qubits(), execution_time);
 
-    TranspileResult {
+    Ok(TranspileResult {
         circuit: physical,
         swap_count: routed.swap_count,
         two_qubit_gates,
         execution_time,
         eps,
         steps: routed.steps,
-    }
+    })
 }
 
 /// ASAP-scheduled execution time: per-wire clocks advance by gate duration;
@@ -169,7 +171,7 @@ mod tests {
     fn transpile_produces_native_routed_circuit() {
         let mut c = Circuit::new(4);
         c.h(0).ccz(0, 1, 3).cx(0, 2);
-        let r = transpile(&c, &line_device(), &SuperconductingParams::default());
+        let r = transpile(&c, &line_device(), &SuperconductingParams::default()).unwrap();
         assert!(sabre::respects_coupling(&r.circuit, &line_device()));
         assert!(r.two_qubit_gates >= 6, "CCZ costs ≥ 6 CZ after lowering");
         assert!(r.eps > 0.0 && r.eps <= 1.0);
@@ -190,8 +192,8 @@ mod tests {
             }
         }
         let p = SuperconductingParams::default();
-        let rn = transpile(&near, &line_device(), &p);
-        let rf = transpile(&far, &line_device(), &p);
+        let rn = transpile(&near, &line_device(), &p).unwrap();
+        let rf = transpile(&far, &line_device(), &p).unwrap();
         assert_eq!(rn.swap_count, 0, "chain fits a line layout");
         assert!(rf.swap_count > 0, "clique needs routing");
         assert!(rf.eps < rn.eps);
@@ -229,7 +231,7 @@ mod tests {
         for _ in 0..2000 {
             c.cz(0, 1);
         }
-        let r = transpile(&c, &line_device(), &p);
+        let r = transpile(&c, &line_device(), &p).unwrap();
         assert!(r.eps < 1e-6, "2000 CZs at 0.99 each must crush EPS");
     }
 }

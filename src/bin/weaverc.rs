@@ -1,7 +1,8 @@
 //! `weaverc` — command-line front end for the Weaver retargetable compiler.
 //!
 //! ```text
-//! weaverc <input.cnf> [--target fpqa|superconducting|simulator] [--out file.qasm]
+//! weaverc <input.cnf> [--target fpqa|superconducting|simulator|sc:<device>]
+//!         [--out file.qasm]
 //!         [--no-compression] [--no-parallel-shuttling] [--greedy-coloring]
 //!         [--ccz-fidelity F] [--gamma G --beta B] [--check] [--metrics]
 //!
@@ -15,13 +16,18 @@
 //! Single-shot mode reads one DIMACS CNF Max-3SAT instance (SATLIB format),
 //! compiles it for the chosen backend (dispatched through the
 //! `weaver_core::backend::BackendRegistry`), prints metrics, and optionally
-//! writes the compiled wQasm program and runs the wChecker. Batch mode
-//! compiles a whole fixture directory or manifest through `weaver-engine`:
-//! jobs run on a work-stealing pool, finished artifacts land in a
-//! content-addressed cache, and results stream as JSONL. `weaverc targets`
-//! lists the registered backends. Failures exit nonzero with a one-line
-//! structured `weaverc: error: <kind>: <message>` diagnostic instead of
-//! panicking mid-batch; a bad `--target` value is `unknown-target`.
+//! writes the compiled wQasm program and runs the wChecker. `--target`
+//! accepts any registered name or alias — including the `sc:*`
+//! superconducting device family (`sc:line`, `sc:grid`, `sc:eagle`,
+//! `sc:heron`) and parameterized lattices like `sc:grid:4x5`, minted on
+//! demand. Batch mode compiles a whole fixture directory or manifest
+//! through `weaver-engine`: jobs run on a work-stealing pool, finished
+//! artifacts land in a content-addressed cache, and results stream as
+//! JSONL (each successful record carrying the per-pass timing trace).
+//! `weaverc targets` lists the registered backends. Failures exit nonzero
+//! with a one-line structured `weaverc: error: <kind>: <message>`
+//! diagnostic instead of panicking mid-batch; a bad `--target` value is
+//! `unknown-target`.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -54,7 +60,7 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: weaverc <input.cnf> [--target fpqa|superconducting|simulator] [--out file.qasm]\n\
+    "usage: weaverc <input.cnf> [--target fpqa|superconducting|simulator|sc:<device>] [--out file.qasm]\n\
      \x20              [--no-compression] [--no-parallel-shuttling] [--greedy-coloring]\n\
      \x20              [--ccz-fidelity F] [--gamma G] [--beta B] [--check]\n\
      \x20      weaverc batch <dir|manifest> [--jobs N] [--target <name>]\n\

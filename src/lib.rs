@@ -61,5 +61,5 @@ pub mod prelude {
     pub use weaver_engine::{CompileJob, Engine, EngineConfig};
     pub use weaver_fpqa::{FpqaDevice, FpqaParams, PulseOp, PulseSchedule};
     pub use weaver_sat::{generator, qaoa::QaoaParams, Formula};
-    pub use weaver_superconducting::{CouplingMap, SuperconductingParams};
+    pub use weaver_superconducting::{CouplingMap, DeviceSpec, SuperconductingParams};
 }

@@ -51,7 +51,8 @@ fn direct_superconducting(weaver: &Weaver, formula: &Formula) -> (String, usize,
         &circuit,
         &CouplingMap::ibm_washington(),
         &weaver.superconducting_params,
-    );
+    )
+    .expect("washington holds the uf20 workloads");
     let program = weaver::wqasm::convert::circuit_to_program(&result.circuit);
     let metrics = Metrics::for_transpiled(&result, 0.0);
     (weaver::wqasm::print(&program), result.swap_count, metrics)

@@ -87,11 +87,22 @@ fn targets_subcommand_lists_the_registry() {
     let out = weaverc().arg("targets").output().expect("run weaverc");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for name in ["fpqa", "superconducting", "simulator"] {
-        assert!(stdout.contains(name), "{stdout}");
+    for name in [
+        "fpqa",
+        "superconducting",
+        "simulator",
+        "sc:line",
+        "sc:grid",
+        "sc:eagle",
+        "sc:heron",
+    ] {
+        assert!(stdout.contains(name), "{name} missing from:\n{stdout}");
     }
     assert!(stdout.contains("alias sc"), "{stdout}");
+    assert!(stdout.contains("alias sc:washington"), "{stdout}");
+    assert!(stdout.contains("alias sc:torino"), "{stdout}");
     assert!(stdout.contains("up to 127 qubits"), "{stdout}");
+    assert!(stdout.contains("up to 133 qubits"), "{stdout}");
     assert!(stdout.contains("passes:"), "{stdout}");
     // Stray arguments are rejected instead of silently ignored.
     let out = weaverc().args(["targets", "--jobs"]).output().unwrap();
@@ -118,6 +129,111 @@ fn unknown_target_is_a_structured_diagnostic() {
             "{stderr}"
         );
     }
+}
+
+#[test]
+fn device_family_targets_compile_single_shot() {
+    let cnf = write_cnf();
+    // sc:eagle models the same chip as the legacy `superconducting` target:
+    // identical coupling map, so identical bytes out.
+    let legacy = weaverc()
+        .args([cnf.as_str(), "--target", "superconducting"])
+        .output()
+        .unwrap();
+    assert!(legacy.status.success());
+    for device in ["sc:eagle", "sc:washington"] {
+        let out = weaverc()
+            .args([cnf.as_str(), "--target", device])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{device}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            out.stdout, legacy.stdout,
+            "{device} must be byte-identical to the legacy superconducting target"
+        );
+        assert!(String::from_utf8_lossy(&out.stderr).contains("SWAPs"));
+    }
+    // A parameterized grid minted from the name compiles too.
+    let grid = weaverc()
+        .args([cnf.as_str(), "--target", "sc:grid:3x4"])
+        .output()
+        .unwrap();
+    assert!(
+        grid.status.success(),
+        "{}",
+        String::from_utf8_lossy(&grid.stderr)
+    );
+    // And one too small for the workload is a structured compile error.
+    let tiny = weaverc()
+        .args([cnf.as_str(), "--target", "sc:grid:2x2"])
+        .output()
+        .unwrap();
+    assert!(!tiny.status.success());
+    let stderr = String::from_utf8_lossy(&tiny.stderr);
+    assert!(
+        stderr.contains("weaverc: error: compile:") && stderr.contains("exceed"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn bad_device_names_are_structured_diagnostics() {
+    let cnf = write_cnf();
+    for (target, needle) in [
+        ("sc:osprey", "unknown device `sc:osprey`"),
+        ("sc:grid:0x4", "grid dimensions"),
+        ("sc:grid:999x999", "exceeds"),
+    ] {
+        for args in [
+            vec![cnf.as_str(), "--target", target],
+            vec!["batch", cnf.as_str(), "--target", target],
+        ] {
+            let out = weaverc().args(&args).output().unwrap();
+            assert!(!out.status.success(), "{args:?}");
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert!(
+                stderr.contains("weaverc: error: unknown-target:") && stderr.contains(needle),
+                "{args:?}: {stderr}"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_compiles_the_devices_manifest() {
+    let manifest = format!("{}/devices.manifest", fixtures_dir());
+    let out = weaverc()
+        .args(["batch", manifest.as_str(), "--jobs", "2"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for target in [
+        "sc:eagle",
+        "sc:heron",
+        "sc:line",
+        "sc:grid:4x5",
+        "simulator",
+    ] {
+        assert!(
+            stdout.contains(&format!("\"target\":\"{target}\"")),
+            "{target} missing from:\n{stdout}"
+        );
+    }
+    // Per-pass timing flows into the JSONL stream.
+    assert!(
+        stdout.contains("\"passes\":[{\"name\":\"qaoa-lower\""),
+        "{stdout}"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("6/6 succeeded"));
 }
 
 #[test]

@@ -163,7 +163,8 @@ fn mixed_target_batch_is_deterministic_and_ordered() {
             })
         })
         .collect();
-    let submitted: Vec<(String, Target)> = jobs.iter().map(|j| (j.name(), j.target)).collect();
+    let submitted: Vec<(String, Target)> =
+        jobs.iter().map(|j| (j.name(), j.target.clone())).collect();
 
     let engine = engine_with(3);
     let cold = engine.run(jobs.clone());
@@ -172,13 +173,13 @@ fn mixed_target_batch_is_deterministic_and_ordered() {
     let received: Vec<(String, Target)> = cold
         .results
         .iter()
-        .map(|r| (r.name.clone(), r.target))
+        .map(|r| (r.name.clone(), r.target.clone()))
         .collect();
     assert_eq!(received, submitted);
 
     for result in &cold.results {
         let artifact = result.artifact.as_ref().expect("artifact");
-        match result.target {
+        match &result.target {
             Target::Fpqa => {
                 assert!(artifact.num_colors.is_some());
                 assert!(artifact.wqasm.contains("@rydberg"));
@@ -192,6 +193,7 @@ fn mixed_target_batch_is_deterministic_and_ordered() {
                 assert_eq!(artifact.metrics.motion_ops, 0);
                 assert_eq!(artifact.metrics.execution_micros, 0.0);
             }
+            Target::ScDevice(name) => unreachable!("no {name} job was submitted"),
         }
     }
 
@@ -205,6 +207,91 @@ fn mixed_target_batch_is_deterministic_and_ordered() {
     }
     let warm = engine.run(jobs.clone());
     assert_eq!(warm.cache_hits(), jobs.len());
+}
+
+#[test]
+fn devices_manifest_batch_covers_the_family() {
+    // ISSUE 5 satellite: tests/fixtures/devices.manifest mixes built-in
+    // devices, a parameterized grid, an alias, and the simulator.
+    let manifest = fixtures_dir().join("devices.manifest");
+    let jobs = discover_jobs(&manifest, Target::Fpqa, &JobOptions::default()).expect("manifest");
+    let targets: Vec<&str> = jobs.iter().map(|j| j.target.name()).collect();
+    assert_eq!(
+        targets,
+        vec![
+            "sc:eagle",
+            "sc:heron",
+            "simulator",
+            "sc:line",
+            "sc:grid:4x5",
+            "sc:eagle", // sc:washington canonicalizes
+        ]
+    );
+    let engine = engine_with(2);
+    let report = engine.run(jobs.clone());
+    assert_eq!(report.succeeded(), jobs.len(), "{:?}", report.results);
+    for result in &report.results {
+        let artifact = result.artifact.as_ref().unwrap();
+        match &result.target {
+            Target::ScDevice(_) => assert!(artifact.swap_count.is_some(), "{}", result.name),
+            Target::Simulator => assert_eq!(artifact.metrics.motion_ops, 0),
+            other => panic!("unexpected target {other} in devices.manifest"),
+        }
+    }
+    // sc:eagle and sc:heron on *different* workloads obviously differ; the
+    // key property is that the same workload keys differently per device —
+    // uf20-01 on eagle (index 0) vs uf20-01 on eagle again via the
+    // sc:washington alias (index 5) must share a key and hit the cache.
+    assert_eq!(report.results[0].key, report.results[5].key);
+    let warm = engine.run(jobs);
+    assert_eq!(warm.cache_hits(), warm.results.len());
+}
+
+#[test]
+fn jsonl_records_carry_per_pass_timings_for_every_target_family() {
+    // ISSUE 5 satellite: `CompileOutput.passes` flows into the engine's
+    // JSONL records; pass names match each backend's declared pipeline and
+    // durations are non-negative for every target-family member.
+    let f = generator::instance(10, 4);
+    let mut targets = vec![Target::Fpqa, Target::Superconducting, Target::Simulator];
+    targets.extend(Target::builtin_devices());
+    targets.push(Target::ScDevice("sc:grid:4x5".to_string()));
+    let jobs: Vec<CompileJob> = targets
+        .iter()
+        .map(|target| {
+            let mut job = CompileJob::from_formula(format!("uf10@{target}"), f.clone());
+            job.target = target.clone();
+            job
+        })
+        .collect();
+    let report = engine_with(2).run(jobs);
+    assert_eq!(report.succeeded(), targets.len());
+    let registry = weaver::core::BackendRegistry::global();
+    for result in &report.results {
+        let declared = registry
+            .resolve(result.target.name())
+            .expect("every batch target resolves")
+            .passes();
+        let artifact = result.artifact.as_ref().unwrap();
+        let ran: Vec<&str> = artifact.passes.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(ran, declared, "{}", result.name);
+        assert!(
+            artifact.passes.iter().all(|p| p.seconds >= 0.0),
+            "{}: pass durations must be non-negative",
+            result.name
+        );
+        assert!(
+            artifact.passes.iter().any(|p| p.steps > 0),
+            "{}: at least one pass reports steps",
+            result.name
+        );
+        // The JSONL record carries the same trace.
+        let record = weaver::engine::job_record(result);
+        assert!(record.contains("\"passes\":[{\"name\":"), "{record}");
+        for name in &declared {
+            assert!(record.contains(&format!("\"name\":\"{name}\"")), "{record}");
+        }
+    }
 }
 
 /// A compact random Max-3SAT workload for the determinism property.
