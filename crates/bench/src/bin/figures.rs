@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures as text tables.
 //!
 //! ```text
-//! figures [--quick] [fig8a|fig8b|fig10a|fig10b|fig10c|fig11a|fig11b|fig12a|fig12b|table2|devices|ablation|all]
+//! figures [--quick] [fig8a|fig8b|fig10a|fig10b|fig10c|fig11a|fig11b|fig12a|fig12b|table2|devices|weighted|graphs|ablation|all]
 //! figures [--quick] bench-sim      # kernel baseline  -> BENCH_simulator.json
 //! figures [--quick] bench-engine   # batch baseline   -> BENCH_engine.json
 //! ```
@@ -9,6 +9,10 @@
 //! `--quick` restricts the size sweep to {20, 50, 75} with 3 variants so a
 //! full run finishes in minutes; without it the paper's full methodology
 //! ({20..250} × 10 variants) is used.
+//!
+//! Beyond the paper's figures, `weighted` reruns the 20-variable suite with
+//! per-clause weights (the WCNF front-end path) and `graphs` sweeps random
+//! MaxCut graphs through the `maxcut` lowering.
 //!
 //! `bench-sim` (never part of `all`) times the simulator's specialized
 //! kernels against the seed gather/scatter path and writes the tracked
@@ -87,6 +91,12 @@ fn main() {
     }
     if has("fig12b") {
         println!("{}", figures::fig12b(&suite));
+    }
+    if has("weighted") {
+        println!("{}", figures::weighted(&suite));
+    }
+    if has("graphs") {
+        println!("{}", figures::graphs(&suite));
     }
     if has("ablation") {
         println!("{}", figures::ablation(&suite));

@@ -6,7 +6,7 @@
 use crate::harness::{run_compiler, CompilerId, RunOutcome, Suite};
 use weaver_core::{compress, BackendRegistry, CompiledArtifact, Weaver};
 use weaver_fpqa::FpqaParams;
-use weaver_sat::generator;
+use weaver_sat::{generator, Formula};
 use weaver_superconducting::DeviceSpec;
 
 fn render_table(title: &str, header: Vec<String>, rows: Vec<Vec<String>>) -> String {
@@ -352,6 +352,89 @@ pub fn devices(suite: &Suite) -> String {
     )
 }
 
+/// Weighted-instance mode (`figures weighted`): the 20-variable suite with
+/// deterministic per-clause weights from [`generator::weighted_instance`].
+/// The clause structure matches the unweighted uf20 instances exactly, so
+/// every EPS shift relative to Fig. 12(a) is attributable to the
+/// weight-scaled QAOA phase polynomial — the wQasm front-end path that
+/// WCNF inputs take.
+pub fn weighted(suite: &Suite) -> String {
+    let systems = [CompilerId::Atomique, CompilerId::Weaver, CompilerId::Dpqa];
+    let mut rows = Vec::new();
+    for variant in 1..=suite.variants {
+        let f = generator::weighted_instance(20, variant);
+        let soft: u64 = f.clauses().iter().map(|c| c.weight()).sum();
+        let mut row = vec![
+            format!("w{}", generator::instance_name(20, variant)),
+            soft.to_string(),
+        ];
+        for id in systems {
+            let out = run_compiler(id, &f, &suite.params);
+            row.push(out.cell(|m| sci(m.eps)));
+        }
+        let out = run_compiler(CompilerId::Weaver, &f, &suite.params);
+        row.push(out.cell(|m| m.pulses.to_string()));
+        rows.push(row);
+    }
+    let header = ["benchmark", "Σ weight"]
+        .iter()
+        .map(|s| s.to_string())
+        .chain(systems.iter().map(|c| c.name().to_string()))
+        .chain(std::iter::once("Weaver pulses".to_string()))
+        .collect();
+    render_table(
+        "Weighted mode: EPS on weighted uf20 instances (frontend: wcnf)",
+        header,
+        rows,
+    )
+}
+
+/// Random-graph MaxCut mode (`figures graphs`): sparse random graphs from
+/// [`generator::random_graph`], lowered through [`Formula::max_cut`] — the
+/// exact encoding the `maxcut` frontend applies to `.mc` edge lists — and
+/// swept over the suite's sizes on the systems that scale past 20
+/// variables. One vertex per variable; each size uses `2N` edges (capped
+/// at the number of distinct pairs), geometric-mean EPS over the suite's
+/// variants as the seeds.
+pub fn graphs(suite: &Suite) -> String {
+    let systems = [
+        CompilerId::Superconducting,
+        CompilerId::Atomique,
+        CompilerId::Weaver,
+    ];
+    let mut rows = Vec::new();
+    for &size in &suite.sizes {
+        let num_edges = (2 * size).min(size * (size - 1) / 2);
+        let mut row = vec![format!("G({size}, {num_edges})")];
+        for id in systems {
+            let mut acc = 0.0f64;
+            let mut done = 0usize;
+            for variant in 1..=suite.variants {
+                let edges = generator::random_graph(size, num_edges, variant as u64);
+                let f = Formula::max_cut(size, &edges);
+                if let RunOutcome::Done(m) = run_compiler(id, &f, &suite.params) {
+                    acc += m.eps.max(1e-300).ln();
+                    done += 1;
+                }
+            }
+            row.push(if done == 0 {
+                "—".to_string()
+            } else {
+                sci((acc / done as f64).exp())
+            });
+        }
+        rows.push(row);
+    }
+    let header = std::iter::once("graph".to_string())
+        .chain(systems.iter().map(|c| c.name().to_string()))
+        .collect();
+    render_table(
+        "Random-graph MaxCut: EPS vs graph size (frontend: maxcut)",
+        header,
+        rows,
+    )
+}
+
 /// Table 2 — compilation complexity classes (static, from the paper).
 pub fn table2() -> String {
     render_table(
@@ -499,6 +582,33 @@ mod tests {
         let text = fig10b(&tiny_suite());
         assert!(text.contains("pulses"));
         assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn weighted_mode_renders_every_variant() {
+        let s = Suite {
+            sizes: vec![20],
+            variants: 2,
+            params: FpqaParams::default(),
+        };
+        let text = weighted(&s);
+        assert!(text.contains("wuf20-01"), "{text}");
+        assert!(text.contains("wuf20-02"), "{text}");
+        assert!(text.contains("Σ weight"), "{text}");
+        assert!(!text.contains('✗'), "weighted uf20 must compile:\n{text}");
+    }
+
+    #[test]
+    fn graphs_mode_sweeps_sizes() {
+        let s = Suite {
+            sizes: vec![8, 12],
+            variants: 2,
+            params: FpqaParams::default(),
+        };
+        let text = graphs(&s);
+        assert!(text.contains("G(8, 16)"), "{text}");
+        assert!(text.contains("G(12, 24)"), "{text}");
+        assert!(text.contains("Weaver"), "{text}");
     }
 
     #[test]

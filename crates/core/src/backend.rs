@@ -92,6 +92,7 @@ use crate::cache::CacheHandle;
 use crate::checker::CheckReport;
 use crate::codegen::{self, CompiledFpqa};
 use crate::coloring::ClauseColoring;
+use crate::frontend::Workload;
 use crate::pipeline::{Metrics, Weaver};
 use std::fmt;
 use std::sync::{Arc, OnceLock};
@@ -252,12 +253,15 @@ impl CompiledArtifact {
 pub struct SimulatorRun {
     /// The native `{U3, CZ}` circuit that was simulated.
     pub native: Circuit,
-    /// Probability of measuring an assignment that satisfies
-    /// [`SimulatorRun::max_satisfied`] clauses — the ideal (noiseless) EPS.
+    /// Probability of measuring an optimal outcome — the ideal (noiseless)
+    /// EPS. For formula workloads, an assignment achieving
+    /// [`SimulatorRun::max_satisfied`]; for circuit workloads, the most
+    /// likely basis state.
     pub optimal_probability: f64,
-    /// The Max-3SAT optimum: the largest number of simultaneously
-    /// satisfiable clauses.
-    pub max_satisfied: usize,
+    /// The MAX-SAT optimum: the largest simultaneously satisfiable
+    /// *effective weight* (= clause count for unweighted formulas; 0 for
+    /// circuit workloads, which have no formula objective).
+    pub max_satisfied: u64,
     /// How many of the `2^n` basis states achieve the optimum.
     pub num_optimal: usize,
 }
@@ -290,6 +294,9 @@ pub enum BackendErrorKind {
     UnknownTarget,
     /// The workload does not fit the target (e.g. register too wide).
     Unsupported,
+    /// The workload *kind* does not enter this target (e.g. a circuit
+    /// workload on a backend without circuit support).
+    UnsupportedWorkload,
 }
 
 /// A structured backend failure.
@@ -308,6 +315,19 @@ impl BackendError {
         BackendError {
             kind: BackendErrorKind::Unsupported,
             message: format!("{num_vars} variables exceed the {max_qubits}-qubit backend"),
+        }
+    }
+
+    /// The [`BackendErrorKind::UnsupportedWorkload`] rejection of a circuit
+    /// workload by a target without circuit support, in the engine's
+    /// canonical wording.
+    pub fn circuit_unsupported(target: &str) -> Self {
+        BackendError {
+            kind: BackendErrorKind::UnsupportedWorkload,
+            message: format!(
+                "target `{target}` does not accept circuit workloads \
+                 (circuit-capable targets: simulator, superconducting, sc:*)"
+            ),
         }
     }
 }
@@ -392,6 +412,52 @@ pub trait Backend: Send + Sync {
         formula: &Formula,
         cache: Option<&CacheHandle>,
     ) -> Result<CompileOutput, BackendError>;
+
+    /// Whether this target accepts direct circuit workloads (front ends
+    /// like `wqasm` that enter at the circuit IR). Targets whose lowering
+    /// starts from a formula — like the FPQA clause-coloring path — say
+    /// `false` and reject circuits with a structured diagnostic.
+    fn supports_circuits(&self) -> bool {
+        false
+    }
+
+    /// Compiles a circuit workload for this target. The default rejects it
+    /// with [`BackendErrorKind::UnsupportedWorkload`].
+    ///
+    /// # Errors
+    ///
+    /// [`BackendErrorKind::UnsupportedWorkload`] when
+    /// [`Backend::supports_circuits`] is false;
+    /// [`BackendErrorKind::Unsupported`] when the circuit does not fit the
+    /// target.
+    fn compile_circuit(
+        &self,
+        weaver: &Weaver,
+        program: &Program,
+        cache: Option<&CacheHandle>,
+    ) -> Result<CompileOutput, BackendError> {
+        let _ = (weaver, program, cache);
+        Err(BackendError::circuit_unsupported(&self.info().name))
+    }
+
+    /// Dispatches a unified [`Workload`] to the matching entry point:
+    /// formulas to [`Backend::compile`], circuits to
+    /// [`Backend::compile_circuit`].
+    ///
+    /// # Errors
+    ///
+    /// Whatever the dispatched entry point returns.
+    fn compile_workload(
+        &self,
+        weaver: &Weaver,
+        workload: &Workload,
+        cache: Option<&CacheHandle>,
+    ) -> Result<CompileOutput, BackendError> {
+        match workload {
+            Workload::MaxSat(formula) => self.compile(weaver, formula, cache),
+            Workload::Circuit(program) => self.compile_circuit(weaver, program, cache),
+        }
+    }
 
     /// Verifies a compilation produced by this backend, if the target has a
     /// checker. The default has none and returns `None`.
@@ -673,6 +739,54 @@ impl Backend for SuperconductingBackend {
             passes,
         })
     }
+
+    fn supports_circuits(&self) -> bool {
+        true
+    }
+
+    fn compile_circuit(
+        &self,
+        weaver: &Weaver,
+        program: &Program,
+        cache: Option<&CacheHandle>,
+    ) -> Result<CompileOutput, BackendError> {
+        let _ = cache;
+        let start = Instant::now();
+        let ingest_start = Instant::now();
+        let circuit =
+            weaver_wqasm::convert::program_to_circuit(program).map_err(|e| BackendError {
+                kind: BackendErrorKind::Unsupported,
+                message: e.to_string(),
+            })?;
+        let ingest = PassStat {
+            name: "ingest-circuit",
+            seconds: ingest_start.elapsed().as_secs_f64(),
+            steps: circuit.gate_count() as u64,
+        };
+        if circuit.num_qubits() > self.coupling.num_qubits() {
+            return Err(BackendError::too_many_qubits(
+                circuit.num_qubits(),
+                self.coupling.num_qubits(),
+            ));
+        }
+        let route_start = Instant::now();
+        let result = transpile(&circuit, &self.coupling, &weaver.superconducting_params)?;
+        let route = PassStat {
+            name: "sabre-transpile",
+            seconds: route_start.elapsed().as_secs_f64(),
+            steps: result.steps,
+        };
+        let metrics = Metrics::for_transpiled(&result, start.elapsed().as_secs_f64());
+        Ok(CompileOutput {
+            backend: self.info.name.clone(),
+            artifact: CompiledArtifact::Superconducting {
+                circuit: result.circuit,
+                swap_count: result.swap_count,
+            },
+            metrics,
+            passes: vec![ingest, route],
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -719,11 +833,23 @@ impl SimulatorBackend {
             .pass("ideal-eps", |state, ctx| {
                 let vector = state.state.take().expect("statevector ran");
                 let formula = ctx.formula;
-                let mut max_satisfied = 0usize;
+                // Weighted formulas score basis states by effective weight;
+                // unweighted ones keep the satisfied-clause count (same
+                // scan, same floating-point accumulation order → identical
+                // EPS bytes for every pre-weights workload).
+                let weighted = formula.is_weighted();
+                let score = |index: usize| -> u64 {
+                    if weighted {
+                        formula.weight_satisfied_by_index(index)
+                    } else {
+                        formula.count_satisfied_by_index(index) as u64
+                    }
+                };
+                let mut max_satisfied = 0u64;
                 let mut num_optimal = 0usize;
                 let mut optimal_probability = 0.0f64;
                 for (index, amp) in vector.amplitudes().iter().enumerate() {
-                    let satisfied = formula.count_satisfied_by_index(index);
+                    let satisfied = score(index);
                     if satisfied > max_satisfied {
                         max_satisfied = satisfied;
                         num_optimal = 0;
@@ -744,7 +870,7 @@ struct SimLowering {
     circuit: Option<Circuit>,
     native: Option<Circuit>,
     state: Option<weaver_simulator::State>,
-    outcome: Option<(f64, usize, usize)>,
+    outcome: Option<(f64, u64, usize)>,
 }
 
 impl Backend for SimulatorBackend {
@@ -804,6 +930,93 @@ impl Backend for SimulatorBackend {
                 native,
                 optimal_probability,
                 max_satisfied,
+                num_optimal,
+            }),
+            metrics,
+            passes,
+        })
+    }
+
+    fn supports_circuits(&self) -> bool {
+        true
+    }
+
+    fn compile_circuit(
+        &self,
+        weaver: &Weaver,
+        program: &Program,
+        cache: Option<&CacheHandle>,
+    ) -> Result<CompileOutput, BackendError> {
+        let _ = (weaver, cache);
+        let start = Instant::now();
+        let ingest_start = Instant::now();
+        let circuit =
+            weaver_wqasm::convert::program_to_circuit(program).map_err(|e| BackendError {
+                kind: BackendErrorKind::Unsupported,
+                message: e.to_string(),
+            })?;
+        let ingest = PassStat {
+            name: "ingest-circuit",
+            seconds: ingest_start.elapsed().as_secs_f64(),
+            steps: circuit.gate_count() as u64,
+        };
+        if circuit.num_qubits() > SimulatorBackend::MAX_QUBITS {
+            return Err(BackendError::too_many_qubits(
+                circuit.num_qubits(),
+                SimulatorBackend::MAX_QUBITS,
+            ));
+        }
+        let native_start = Instant::now();
+        let native = native::nativize(&circuit, NativeBasis::U3Cz);
+        let nativize_stat = PassStat {
+            name: "nativize",
+            seconds: native_start.elapsed().as_secs_f64(),
+            steps: native.gate_count() as u64,
+        };
+        let sim_start = Instant::now();
+        let vector = native.statevector();
+        let sim_stat = PassStat {
+            name: "statevector",
+            seconds: sim_start.elapsed().as_secs_f64(),
+            steps: (native.gate_count() as u64) << native.num_qubits(),
+        };
+        // Without a formula objective, "success" is the circuit's most
+        // likely outcome: EPS = peak basis-state probability.
+        let peak_start = Instant::now();
+        let optimal_probability = vector
+            .amplitudes()
+            .iter()
+            .map(|amp| amp.norm_sqr())
+            .fold(0.0f64, f64::max);
+        // Nativization rewrites gates into {U3, CZ}, so probabilities that
+        // are equal in exact arithmetic can differ in the last few ulps;
+        // count peaks up to a relative tolerance rather than bitwise.
+        let tolerance = optimal_probability * 1e-9;
+        let num_optimal = vector
+            .amplitudes()
+            .iter()
+            .filter(|amp| amp.norm_sqr() >= optimal_probability - tolerance)
+            .count();
+        let peak = PassStat {
+            name: "peak-probability",
+            seconds: peak_start.elapsed().as_secs_f64(),
+            steps: 1u64 << native.num_qubits(),
+        };
+        let passes = vec![ingest, nativize_stat, sim_stat, peak];
+        let metrics = Metrics {
+            compilation_seconds: start.elapsed().as_secs_f64(),
+            execution_micros: 0.0,
+            eps: optimal_probability,
+            pulses: native.gate_count(),
+            motion_ops: 0,
+            steps: passes.iter().map(|p| p.steps).sum(),
+        };
+        Ok(CompileOutput {
+            backend: self.info().name,
+            artifact: CompiledArtifact::Simulator(SimulatorRun {
+                native,
+                optimal_probability,
+                max_satisfied: 0,
                 num_optimal,
             }),
             metrics,
@@ -1057,10 +1270,87 @@ mod tests {
         };
         assert!(run.optimal_probability > 0.0 && run.optimal_probability <= 1.0);
         assert_eq!(out.metrics.eps, run.optimal_probability);
-        assert!(run.max_satisfied <= f.num_clauses());
+        assert!(run.max_satisfied <= f.num_clauses() as u64);
         assert!(run.num_optimal >= 1);
         assert_eq!(out.metrics.motion_ops, 0);
         assert!(out.metrics.pulses > 0);
+    }
+
+    #[test]
+    fn weighted_formula_changes_simulator_optimum() {
+        use weaver_sat::{Clause, Lit};
+        // One heavy clause (x0), one light (¬x0): the weighted optimum is
+        // 5 (satisfy the heavy one), not the clause count.
+        let f = Formula::new(
+            1,
+            vec![
+                Clause::weighted(vec![Lit::pos(0)], 5),
+                Clause::weighted(vec![Lit::neg(0)], 2),
+            ],
+        );
+        let out = SimulatorBackend.compile(&Weaver::new(), &f, None).unwrap();
+        let CompiledArtifact::Simulator(run) = &out.artifact else {
+            panic!("simulator artifact expected");
+        };
+        assert_eq!(run.max_satisfied, 5);
+        assert_eq!(run.num_optimal, 1);
+    }
+
+    #[test]
+    fn circuit_workloads_route_by_backend_capability() {
+        let program = weaver_wqasm::parse("qreg q[2];\nh q[0];\ncx q[0], q[1];\n").unwrap();
+        let workload = Workload::Circuit(program.clone());
+        let weaver = Weaver::new();
+
+        // FPQA declares no circuit support and rejects structurally.
+        assert!(!FpqaBackend.supports_circuits());
+        let err = FpqaBackend
+            .compile_workload(&weaver, &workload, None)
+            .unwrap_err();
+        assert_eq!(err.kind, BackendErrorKind::UnsupportedWorkload);
+        assert!(err.message.contains("`fpqa`"), "{err}");
+        assert!(err.message.contains("circuit-capable"), "{err}");
+
+        // The simulator runs it: a Bell pair peaks at p = 0.5 on two states.
+        assert!(SimulatorBackend.supports_circuits());
+        let out = SimulatorBackend
+            .compile_workload(&weaver, &workload, None)
+            .unwrap();
+        let CompiledArtifact::Simulator(run) = &out.artifact else {
+            panic!("simulator artifact expected");
+        };
+        assert!((run.optimal_probability - 0.5).abs() < 1e-9);
+        assert_eq!(run.num_optimal, 2);
+        assert_eq!(run.max_satisfied, 0);
+
+        // Superconducting targets route it and report SWAP counts.
+        let sc = SuperconductingBackend::new();
+        assert!(sc.supports_circuits());
+        let out = sc.compile_workload(&weaver, &workload, None).unwrap();
+        assert!(out.artifact.swap_count().is_some());
+        let ran: Vec<&str> = out.passes.iter().map(|p| p.name).collect();
+        assert_eq!(ran, vec!["ingest-circuit", "sabre-transpile"]);
+
+        // MaxSat workloads dispatch to the formula path unchanged.
+        let f = generator::instance(8, 1);
+        let via_workload = FpqaBackend
+            .compile_workload(&weaver, &Workload::MaxSat(f.clone()), None)
+            .unwrap();
+        let direct = FpqaBackend.compile(&weaver, &f, None).unwrap();
+        assert_eq!(
+            via_workload.artifact.print_wqasm(),
+            direct.artifact.print_wqasm()
+        );
+    }
+
+    #[test]
+    fn oversized_circuits_are_typed_errors() {
+        let program = weaver_wqasm::parse("qreg q[25];\nh q[0];\n").unwrap();
+        let err = SimulatorBackend
+            .compile_circuit(&Weaver::new(), &program, None)
+            .unwrap_err();
+        assert_eq!(err.kind, BackendErrorKind::Unsupported);
+        assert!(err.message.contains("exceed the 20-qubit backend"));
     }
 
     #[test]

@@ -365,7 +365,17 @@ impl<'a> Emitter<'a> {
         for group in groups {
             let execs: Vec<ClauseExec> = group
                 .iter()
-                .map(|&ci| self.plan_clause(&self.formula.clauses()[ci].clone(), gamma))
+                .map(|&ci| {
+                    // Weighted MAX-SAT: a clause of effective weight w
+                    // evolves under w·(its satisfaction polynomial), and the
+                    // fragment builders are linear in gamma — so lowering at
+                    // gamma·w is exact. Weight folds into the memo key via
+                    // gamma, and weight-1 clauses lower byte-identically to
+                    // the unweighted path (gamma · 1 ≡ gamma).
+                    let w = self.formula.effective_weight(ci);
+                    let clause_gamma = if w == 1 { gamma } else { gamma * w as f64 };
+                    self.plan_clause(&self.formula.clauses()[ci].clone(), clause_gamma)
+                })
                 .collect();
             self.emit_color(&execs);
         }

@@ -1,0 +1,848 @@
+//! Front ends: pluggable workload ingestion, mirroring the [`Backend`]
+//! registry on the input side of the compiler.
+//!
+//! A [`Frontend`] parses source text into the unified [`Workload`] IR —
+//! either a (possibly weighted/partial) MAX-SAT [`Formula`] or a wQasm
+//! circuit — and a [`FrontendRegistry`] resolves formats by explicit name,
+//! file extension, or content sniffing. Three front ends ship by default:
+//!
+//! * `dimacs` (aliases `cnf`, `wcnf`) — DIMACS CNF and standard
+//!   weighted-partial WCNF (top-weight = hard clauses),
+//! * `maxcut` (aliases `mc`, `graph`) — edge-list graphs, lowered through
+//!   the u≠v two-clause encoding ([`Formula::max_cut`]),
+//! * `wqasm` (aliases `wq`, `qasm`) — direct circuit ingestion, entering
+//!   the pipeline at the circuit IR (routed only to circuit-capable
+//!   backends).
+//!
+//! [`Backend`]: crate::backend::Backend
+
+use std::fmt;
+use std::path::Path;
+use std::sync::OnceLock;
+use weaver_sat::dimacs::{self, DimacsError};
+use weaver_sat::Formula;
+use weaver_wqasm::{ParseError, Program, Statement};
+
+// ---------------------------------------------------------------------------
+// Workload IR
+// ---------------------------------------------------------------------------
+
+/// The two entry points into the compiler. Front ends produce one of these;
+/// backends declare which kinds they accept.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// A (weighted/partial) MAX-SAT formula, lowered via QAOA.
+    MaxSat,
+    /// A wQasm/OpenQASM circuit, entering at the circuit IR.
+    Circuit,
+}
+
+impl fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadKind::MaxSat => f.write_str("max-sat"),
+            WorkloadKind::Circuit => f.write_str("circuit"),
+        }
+    }
+}
+
+/// The unified workload IR every front end parses into.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Workload {
+    /// A MAX-SAT formula (uniform, weighted, or partial).
+    MaxSat(Formula),
+    /// A circuit, as a parsed wQasm program.
+    Circuit(Program),
+}
+
+impl Workload {
+    /// Which entry point this workload takes.
+    pub fn kind(&self) -> WorkloadKind {
+        match self {
+            Workload::MaxSat(_) => WorkloadKind::MaxSat,
+            Workload::Circuit(_) => WorkloadKind::Circuit,
+        }
+    }
+
+    /// Canonical byte serialization for content addressing, generalizing
+    /// [`Formula::canonical_bytes`]: MAX-SAT workloads serialize to exactly
+    /// the formula's bytes (engine artifact keys are unchanged for every
+    /// existing workload, regardless of which front end parsed it), and
+    /// circuit workloads to a tagged canonical print of the program.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        match self {
+            Workload::MaxSat(formula) => formula.canonical_bytes(),
+            Workload::Circuit(program) => {
+                let mut out = Vec::from(&b"workload:circuit\0"[..]);
+                out.extend(weaver_wqasm::print(program).into_bytes());
+                out
+            }
+        }
+    }
+
+    /// One-line human description, e.g. `20 variables, 91 clauses`.
+    pub fn describe(&self) -> String {
+        match self {
+            Workload::MaxSat(f) => {
+                let weighted = if f.is_weighted() { " (weighted)" } else { "" };
+                format!(
+                    "{} variables, {} clauses{weighted}",
+                    f.num_vars(),
+                    f.num_clauses()
+                )
+            }
+            Workload::Circuit(p) => {
+                let qubits: usize = p
+                    .statements
+                    .iter()
+                    .map(|s| match s {
+                        Statement::QregDecl { size, .. } => *size,
+                        _ => 0,
+                    })
+                    .sum();
+                format!("{} qubits, {} statements", qubits, p.statements.len())
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// A structured parse failure from a front end, carrying the source
+/// position when one is known (0 = unknown/whole input).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrontendError {
+    /// Primary name of the front end that failed.
+    pub frontend: String,
+    /// 1-based source line (0 = whole input).
+    pub line: usize,
+    /// 1-based source column (0 = whole line).
+    pub col: usize,
+    /// One-line description.
+    pub message: String,
+}
+
+impl FrontendError {
+    /// An error at a specific line and column.
+    pub fn at(frontend: &str, line: usize, col: usize, message: String) -> Self {
+        FrontendError {
+            frontend: frontend.to_string(),
+            line,
+            col,
+            message,
+        }
+    }
+
+    /// An error with no usable source position.
+    pub fn whole_input(frontend: &str, message: String) -> Self {
+        FrontendError::at(frontend, 0, 0, message)
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.frontend)?;
+        if self.line > 0 && self.col > 0 {
+            write!(f, "line {}, column {}: ", self.line, self.col)?;
+        } else if self.line > 0 {
+            write!(f, "line {}: ", self.line)?;
+        }
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<DimacsError> for FrontendError {
+    fn from(e: DimacsError) -> Self {
+        FrontendError::at("dimacs", e.line, e.col, e.message)
+    }
+}
+
+impl From<ParseError> for FrontendError {
+    fn from(e: ParseError) -> Self {
+        FrontendError::at("wqasm", e.line, e.col, e.message)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Frontend trait
+// ---------------------------------------------------------------------------
+
+/// Facts about a front end, surfaced by `weaverc frontends`.
+#[derive(Clone, Debug)]
+pub struct FrontendInfo {
+    /// Primary registry key.
+    pub name: String,
+    /// Alternate registry keys.
+    pub aliases: Vec<String>,
+    /// One-line description.
+    pub description: String,
+    /// File extensions (without the dot) this front end claims.
+    pub extensions: Vec<String>,
+    /// The workload kind `parse` produces.
+    pub produces: WorkloadKind,
+}
+
+/// An input format: parses source text into the unified [`Workload`] IR.
+///
+/// # Examples
+///
+/// A front end for a toy format where each line is one always-positive
+/// clause:
+///
+/// ```
+/// use weaver_core::frontend::{Frontend, FrontendError, FrontendInfo, Workload, WorkloadKind};
+/// use weaver_sat::{Clause, Formula, Lit};
+///
+/// struct PositiveLines;
+///
+/// impl Frontend for PositiveLines {
+///     fn info(&self) -> FrontendInfo {
+///         FrontendInfo {
+///             name: "positive-lines".to_string(),
+///             aliases: Vec::new(),
+///             description: "one positive clause per line".to_string(),
+///             extensions: vec!["pos".to_string()],
+///             produces: WorkloadKind::MaxSat,
+///         }
+///     }
+///
+///     fn sniff(&self, _text: &str) -> bool {
+///         false // too ambiguous to claim by content
+///     }
+///
+///     fn parse(&self, text: &str) -> Result<Workload, FrontendError> {
+///         let mut clauses = Vec::new();
+///         let mut num_vars = 0;
+///         for (i, line) in text.lines().enumerate() {
+///             let lits: Result<Vec<usize>, _> =
+///                 line.split_whitespace().map(str::parse).collect();
+///             let lits = lits.map_err(|_| {
+///                 FrontendError::at("positive-lines", i + 1, 1, "bad variable".into())
+///             })?;
+///             num_vars = num_vars.max(lits.iter().max().map_or(0, |&v| v + 1));
+///             clauses.push(Clause::new(lits.into_iter().map(Lit::pos).collect()));
+///         }
+///         Ok(Workload::MaxSat(Formula::new(num_vars, clauses)))
+///     }
+/// }
+///
+/// let w = PositiveLines.parse("0 1\n1 2\n").unwrap();
+/// assert_eq!(w.kind(), WorkloadKind::MaxSat);
+/// ```
+pub trait Frontend: Send + Sync {
+    /// Name, aliases, description, extensions, and produced workload kind.
+    fn info(&self) -> FrontendInfo;
+
+    /// Whether `text` looks like this format — used as a last resort when
+    /// neither an explicit name nor a file extension identifies the format.
+    fn sniff(&self, text: &str) -> bool;
+
+    /// Parses source text into a [`Workload`].
+    ///
+    /// # Errors
+    ///
+    /// [`FrontendError`] with the source position of the first problem.
+    fn parse(&self, text: &str) -> Result<Workload, FrontendError>;
+
+    /// Serializes a workload back to this front end's format, if it can
+    /// represent it — the inverse of [`Frontend::parse`], used by the
+    /// conformance suite's parse→print→parse roundtrips. The default
+    /// cannot print anything.
+    fn print(&self, workload: &Workload) -> Option<String> {
+        let _ = workload;
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DIMACS front end
+// ---------------------------------------------------------------------------
+
+/// DIMACS CNF and weighted-partial WCNF (`p wcnf`, top-weight = hard).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DimacsFrontend;
+
+impl Frontend for DimacsFrontend {
+    fn info(&self) -> FrontendInfo {
+        FrontendInfo {
+            name: "dimacs".to_string(),
+            aliases: vec!["cnf".to_string(), "wcnf".to_string()],
+            description: "DIMACS CNF / weighted-partial WCNF Max-SAT (top-weight = hard)"
+                .to_string(),
+            extensions: vec!["cnf".to_string(), "dimacs".to_string(), "wcnf".to_string()],
+            produces: WorkloadKind::MaxSat,
+        }
+    }
+
+    fn sniff(&self, text: &str) -> bool {
+        first_content_line(text).is_some_and(|l| l.starts_with("p cnf") || l.starts_with("p wcnf"))
+    }
+
+    fn parse(&self, text: &str) -> Result<Workload, FrontendError> {
+        Ok(Workload::MaxSat(dimacs::parse(text)?))
+    }
+
+    fn print(&self, workload: &Workload) -> Option<String> {
+        match workload {
+            Workload::MaxSat(f) => Some(dimacs::to_string(f)),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MaxCut front end
+// ---------------------------------------------------------------------------
+
+/// Edge-list graphs for max-cut, lowered through the u≠v two-clause
+/// encoding ([`Formula::max_cut`]).
+///
+/// Format: an optional `p mc <vertices> <edges>` header, then one edge per
+/// line as `u v [weight]` (1-based vertices, weight defaults to 1; a
+/// leading `e` token is tolerated). `c`/`#` lines are comments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxCutFrontend;
+
+impl Frontend for MaxCutFrontend {
+    fn info(&self) -> FrontendInfo {
+        FrontendInfo {
+            name: "maxcut".to_string(),
+            aliases: vec!["mc".to_string(), "graph".to_string()],
+            description: "edge-list graphs, lowered via the u≠v two-clause cut encoding"
+                .to_string(),
+            extensions: vec!["mc".to_string(), "graph".to_string()],
+            produces: WorkloadKind::MaxSat,
+        }
+    }
+
+    fn sniff(&self, text: &str) -> bool {
+        first_content_line(text).is_some_and(|l| l.starts_with("p mc"))
+    }
+
+    fn parse(&self, text: &str) -> Result<Workload, FrontendError> {
+        let name = "maxcut";
+        let mut declared: Option<(usize, usize)> = None;
+        let mut edges: Vec<(usize, usize, u64)> = Vec::new();
+        let mut max_vertex = 0usize;
+        for (lineno, raw) in text.lines().enumerate() {
+            let lineno = lineno + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('c') || line.starts_with('#') {
+                continue;
+            }
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            if tokens[0] == "p" {
+                if tokens.len() != 4 || tokens[1] != "mc" {
+                    return Err(FrontendError::at(
+                        name,
+                        lineno,
+                        1,
+                        format!("malformed header `{line}` (expected `p mc <vertices> <edges>`)"),
+                    ));
+                }
+                let v: usize = tokens[2].parse().map_err(|_| {
+                    FrontendError::at(name, lineno, 1, format!("bad vertex count `{}`", tokens[2]))
+                })?;
+                let e: usize = tokens[3].parse().map_err(|_| {
+                    FrontendError::at(name, lineno, 1, format!("bad edge count `{}`", tokens[3]))
+                })?;
+                declared = Some((v, e));
+                continue;
+            }
+            let fields: &[&str] = if tokens[0] == "e" {
+                &tokens[1..]
+            } else {
+                &tokens[..]
+            };
+            if fields.len() != 2 && fields.len() != 3 {
+                return Err(FrontendError::at(
+                    name,
+                    lineno,
+                    1,
+                    format!("expected `u v [weight]`, got `{line}`"),
+                ));
+            }
+            let endpoint = |tok: &str| -> Result<usize, FrontendError> {
+                let v: usize = tok.parse().map_err(|_| {
+                    FrontendError::at(name, lineno, 1, format!("bad vertex `{tok}`"))
+                })?;
+                if v == 0 {
+                    return Err(FrontendError::at(
+                        name,
+                        lineno,
+                        1,
+                        "vertices are 1-based".to_string(),
+                    ));
+                }
+                Ok(v - 1)
+            };
+            let u = endpoint(fields[0])?;
+            let v = endpoint(fields[1])?;
+            if u == v {
+                return Err(FrontendError::at(
+                    name,
+                    lineno,
+                    1,
+                    format!("self-loop on vertex {}", u + 1),
+                ));
+            }
+            let w: u64 = match fields.get(2) {
+                Some(tok) => tok.parse().map_err(|_| {
+                    FrontendError::at(name, lineno, 1, format!("bad edge weight `{tok}`"))
+                })?,
+                None => 1,
+            };
+            if w == 0 {
+                return Err(FrontendError::at(
+                    name,
+                    lineno,
+                    1,
+                    "edge weight must be positive".to_string(),
+                ));
+            }
+            if let Some((nv, _)) = declared {
+                if u >= nv || v >= nv {
+                    return Err(FrontendError::at(
+                        name,
+                        lineno,
+                        1,
+                        format!("vertex {} exceeds declared count {nv}", u.max(v) + 1),
+                    ));
+                }
+            }
+            max_vertex = max_vertex.max(u).max(v);
+            edges.push((u, v, w));
+        }
+        if edges.is_empty() {
+            return Err(FrontendError::whole_input(name, "no edges".to_string()));
+        }
+        if let Some((_, ne)) = declared {
+            if edges.len() != ne {
+                return Err(FrontendError::whole_input(
+                    name,
+                    format!("header declares {ne} edges, found {}", edges.len()),
+                ));
+            }
+        }
+        let num_vertices = declared.map_or(max_vertex + 1, |(nv, _)| nv);
+        Ok(Workload::MaxSat(Formula::max_cut(num_vertices, &edges)))
+    }
+
+    fn print(&self, workload: &Workload) -> Option<String> {
+        // A max-cut lowering is a sequence of clause pairs
+        // (u ∨ v), (¬u ∨ ¬v) of equal weight; reconstruct the edge list or
+        // report the workload as unprintable in this format.
+        let Workload::MaxSat(f) = workload else {
+            return None;
+        };
+        if f.num_clauses() % 2 != 0 {
+            return None;
+        }
+        let mut out = format!("p mc {} {}\n", f.num_vars(), f.num_clauses() / 2);
+        for pair in f.clauses().chunks(2) {
+            let (pos, neg) = (&pair[0], &pair[1]);
+            if pos.is_hard() || neg.is_hard() || pos.weight() != neg.weight() {
+                return None;
+            }
+            let [a, b] = pos.lits() else { return None };
+            let [na, nb] = neg.lits() else { return None };
+            if a.negated || b.negated || !na.negated || !nb.negated {
+                return None;
+            }
+            if (a.var, b.var) != (na.var, nb.var) {
+                return None;
+            }
+            out.push_str(&format!("{} {} {}\n", a.var + 1, b.var + 1, pos.weight()));
+        }
+        Some(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// wQasm front end
+// ---------------------------------------------------------------------------
+
+/// Direct wQasm/OpenQASM circuit ingestion: the workload enters at the
+/// circuit IR and is routed only to circuit-capable backends.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WqasmFrontend;
+
+impl Frontend for WqasmFrontend {
+    fn info(&self) -> FrontendInfo {
+        FrontendInfo {
+            name: "wqasm".to_string(),
+            aliases: vec!["wq".to_string(), "qasm".to_string()],
+            description: "direct wQasm/OpenQASM circuit ingestion (circuit-capable targets only)"
+                .to_string(),
+            extensions: vec!["wq".to_string(), "qasm".to_string(), "wqasm".to_string()],
+            produces: WorkloadKind::Circuit,
+        }
+    }
+
+    fn sniff(&self, text: &str) -> bool {
+        text.lines()
+            .take(20)
+            .any(|l| l.trim_start().starts_with("OPENQASM") || l.trim_start().starts_with("qreg"))
+    }
+
+    fn parse(&self, text: &str) -> Result<Workload, FrontendError> {
+        Ok(Workload::Circuit(weaver_wqasm::parse(text)?))
+    }
+
+    fn print(&self, workload: &Workload) -> Option<String> {
+        match workload {
+            Workload::Circuit(p) => Some(weaver_wqasm::print(p)),
+            _ => None,
+        }
+    }
+}
+
+/// The first non-empty, non-comment line (for content sniffing).
+fn first_content_line(text: &str) -> Option<&str> {
+    text.lines().map(str::trim).find(|l| {
+        !l.is_empty() && !l.starts_with('c') && !l.starts_with('#') && !l.starts_with('%')
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// A name → [`Frontend`] table, mirroring
+/// [`BackendRegistry`](crate::backend::BackendRegistry): the single place an
+/// input format plugs into the compiler. Lookups match the primary name or
+/// any alias; [`FrontendRegistry::resolve`] adds extension-based inference
+/// and content sniffing for sources without an explicit format.
+///
+/// # Examples
+///
+/// ```
+/// use weaver_core::frontend::{FrontendRegistry, Workload};
+///
+/// let registry = FrontendRegistry::global();
+/// assert_eq!(registry.names(), vec!["dimacs", "maxcut", "wqasm"]);
+///
+/// // Aliases and extensions resolve to the same front end.
+/// assert_eq!(registry.get("wcnf").unwrap().info().name, "dimacs");
+/// let by_ext = registry.for_path("graphs/k5.mc".as_ref()).unwrap();
+/// assert_eq!(by_ext.info().name, "maxcut");
+///
+/// // One dispatch site, three formats:
+/// let w = registry
+///     .resolve(None, Some("uf3.cnf".as_ref()), "p cnf 3 1\n1 -2 3 0\n")
+///     .unwrap()
+///     .parse("p cnf 3 1\n1 -2 3 0\n")
+///     .unwrap();
+/// let Workload::MaxSat(f) = w else { unreachable!() };
+/// assert_eq!(f.num_clauses(), 1);
+/// ```
+pub struct FrontendRegistry {
+    frontends: Vec<Box<dyn Frontend>>,
+}
+
+impl FrontendRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        FrontendRegistry {
+            frontends: Vec::new(),
+        }
+    }
+
+    /// The registry with the three default front ends: `dimacs`, `maxcut`,
+    /// `wqasm`.
+    pub fn with_default_frontends() -> Self {
+        let mut registry = FrontendRegistry::new();
+        registry.register(Box::new(DimacsFrontend));
+        registry.register(Box::new(MaxCutFrontend));
+        registry.register(Box::new(WqasmFrontend));
+        registry
+    }
+
+    /// The process-wide shared registry of default front ends, used by every
+    /// ingestion site (the batch engine, `weaverc`, the conformance suites).
+    pub fn global() -> &'static FrontendRegistry {
+        static GLOBAL: OnceLock<FrontendRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(FrontendRegistry::with_default_frontends)
+    }
+
+    /// Adds a front end. A duplicate primary name replaces the old entry.
+    pub fn register(&mut self, frontend: Box<dyn Frontend>) {
+        let name = frontend.info().name;
+        self.frontends.retain(|f| f.info().name != name);
+        self.frontends.push(frontend);
+    }
+
+    /// Looks up a registered front end by primary name or alias.
+    pub fn get(&self, name: &str) -> Option<&dyn Frontend> {
+        self.frontends
+            .iter()
+            .find(|f| {
+                let info = f.info();
+                info.name == name || info.aliases.iter().any(|a| a == name)
+            })
+            .map(|f| f.as_ref())
+    }
+
+    /// The front end claiming the path's extension (case-insensitive).
+    pub fn for_path(&self, path: &Path) -> Option<&dyn Frontend> {
+        let ext = path.extension()?.to_str()?.to_ascii_lowercase();
+        self.frontends
+            .iter()
+            .find(|f| f.info().extensions.contains(&ext))
+            .map(|f| f.as_ref())
+    }
+
+    /// The first front end (in registration order) whose sniffer claims the
+    /// text.
+    pub fn detect(&self, text: &str) -> Option<&dyn Frontend> {
+        self.frontends
+            .iter()
+            .find(|f| f.sniff(text))
+            .map(|f| f.as_ref())
+    }
+
+    /// Resolves the front end for a source: an explicit format name wins,
+    /// then the path's extension, then content sniffing.
+    ///
+    /// # Errors
+    ///
+    /// A one-line `unknown format` diagnostic listing the registered front
+    /// ends (for an explicit name that matches nothing) or the claimed
+    /// extensions (when inference fails).
+    pub fn resolve(
+        &self,
+        explicit: Option<&str>,
+        path: Option<&Path>,
+        text: &str,
+    ) -> Result<&dyn Frontend, String> {
+        if let Some(name) = explicit {
+            return self.get(name).ok_or_else(|| self.unknown_format(name));
+        }
+        if let Some(frontend) = path.and_then(|p| self.for_path(p)) {
+            return Ok(frontend);
+        }
+        self.detect(text).ok_or_else(|| {
+            let what = path
+                .map(|p| format!("`{}`", p.display()))
+                .unwrap_or_else(|| "input".to_string());
+            format!(
+                "cannot determine the format of {what} (known extensions: {}; pass an explicit front end)",
+                self.extensions()
+                    .iter()
+                    .map(|e| format!(".{e}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })
+    }
+
+    /// Registered front ends, in registration order.
+    pub fn frontends(&self) -> impl Iterator<Item = &dyn Frontend> {
+        self.frontends.iter().map(|f| f.as_ref())
+    }
+
+    /// Primary names, in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.frontends.iter().map(|f| f.info().name).collect()
+    }
+
+    /// Every claimed extension, in registration order.
+    pub fn extensions(&self) -> Vec<String> {
+        self.frontends
+            .iter()
+            .flat_map(|f| f.info().extensions)
+            .collect()
+    }
+
+    /// Extensions of front ends producing the given workload kind — the
+    /// engine's directory discovery only auto-targets MAX-SAT formats,
+    /// since circuit files are target-constrained.
+    pub fn extensions_for(&self, kind: WorkloadKind) -> Vec<String> {
+        self.frontends
+            .iter()
+            .filter(|f| f.info().produces == kind)
+            .flat_map(|f| f.info().extensions)
+            .collect()
+    }
+
+    /// The canonical `unknown format` diagnostic for `name`.
+    pub fn unknown_format(&self, name: &str) -> String {
+        format!(
+            "unknown front end `{name}` (known front ends: {})",
+            self.names().join(", ")
+        )
+    }
+}
+
+impl Default for FrontendRegistry {
+    fn default() -> Self {
+        FrontendRegistry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weaver_sat::generator;
+
+    #[test]
+    fn registry_resolves_names_aliases_and_extensions() {
+        let registry = FrontendRegistry::with_default_frontends();
+        for (key, name) in [
+            ("dimacs", "dimacs"),
+            ("cnf", "dimacs"),
+            ("wcnf", "dimacs"),
+            ("maxcut", "maxcut"),
+            ("mc", "maxcut"),
+            ("graph", "maxcut"),
+            ("wqasm", "wqasm"),
+            ("wq", "wqasm"),
+            ("qasm", "wqasm"),
+        ] {
+            assert_eq!(registry.get(key).unwrap().info().name, name, "{key}");
+        }
+        assert!(registry.get("smtlib").is_none());
+        for (path, name) in [
+            ("a/b/uf20-01.cnf", "dimacs"),
+            ("x.WCNF", "dimacs"),
+            ("k5.mc", "maxcut"),
+            ("bell.wq", "wqasm"),
+            ("bell.qasm", "wqasm"),
+        ] {
+            assert_eq!(
+                registry.for_path(path.as_ref()).unwrap().info().name,
+                name,
+                "{path}"
+            );
+        }
+        assert!(registry.for_path("noext".as_ref()).is_none());
+    }
+
+    #[test]
+    fn sniffing_detects_each_format() {
+        let registry = FrontendRegistry::with_default_frontends();
+        for (text, name) in [
+            ("c comment\np cnf 2 1\n1 2 0\n", "dimacs"),
+            ("p wcnf 2 1 5\n3 1 2 0\n", "dimacs"),
+            ("# graph\np mc 3 2\n1 2\n2 3\n", "maxcut"),
+            ("OPENQASM 2.0;\nqreg q[2];\nh q[0];\n", "wqasm"),
+            ("qreg q[1];\nx q[0];\n", "wqasm"),
+        ] {
+            assert_eq!(registry.detect(text).unwrap().info().name, name, "{text:?}");
+        }
+        assert!(registry.detect("not a workload").is_none());
+    }
+
+    #[test]
+    fn resolve_prefers_explicit_then_extension_then_content() {
+        let registry = FrontendRegistry::with_default_frontends();
+        let text = "p cnf 2 1\n1 2 0\n";
+        // Explicit wins even against a contradicting extension.
+        let f = registry
+            .resolve(Some("maxcut"), Some("x.cnf".as_ref()), text)
+            .unwrap();
+        assert_eq!(f.info().name, "maxcut");
+        // Extension next.
+        let f = registry.resolve(None, Some("x.mc".as_ref()), text).unwrap();
+        assert_eq!(f.info().name, "maxcut");
+        // Content sniffing last.
+        let f = registry
+            .resolve(None, Some("noext".as_ref()), text)
+            .unwrap();
+        assert_eq!(f.info().name, "dimacs");
+        // Structured failures.
+        let err = registry
+            .resolve(Some("smtlib"), None, text)
+            .map(|f| f.info().name)
+            .unwrap_err();
+        assert!(err.contains("unknown front end `smtlib`"), "{err}");
+        assert!(err.contains("dimacs, maxcut, wqasm"), "{err}");
+        let err = registry
+            .resolve(None, Some("mystery.bin".as_ref()), "???")
+            .map(|f| f.info().name)
+            .unwrap_err();
+        assert!(err.contains("cannot determine the format"), "{err}");
+        assert!(err.contains(".cnf"), "{err}");
+    }
+
+    #[test]
+    fn maxcut_parses_and_lowers() {
+        let text = "# triangle, one heavy edge\np mc 3 3\n1 2\n2 3\ne 1 3 4\n";
+        let Workload::MaxSat(f) = MaxCutFrontend.parse(text).unwrap() else {
+            panic!("maxcut produces formulas");
+        };
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.num_clauses(), 6);
+        assert!(f.is_weighted());
+        assert_eq!(f, Formula::max_cut(3, &[(0, 1, 1), (1, 2, 1), (0, 2, 4)]));
+    }
+
+    #[test]
+    fn maxcut_errors_carry_positions() {
+        for (text, line, needle) in [
+            ("p mc 2 1\n1 1\n", 2, "self-loop"),
+            ("p mc 2 1\n1 5\n", 2, "exceeds"),
+            ("1 2 0 extra\n", 1, "expected"),
+            ("p mc 2 1\n1 2 0\n", 2, "positive"),
+            ("p mc 2 2\n1 2\n", 0, "declares 2 edges"),
+        ] {
+            let err = MaxCutFrontend.parse(text).unwrap_err();
+            assert_eq!(err.line, line, "{text:?}");
+            assert!(err.message.contains(needle), "{text:?}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn maxcut_print_roundtrips_and_rejects_foreign_formulas() {
+        let w = MaxCutFrontend
+            .parse("p mc 4 3\n1 2 2\n2 3 1\n1 4 5\n")
+            .unwrap();
+        let printed = MaxCutFrontend.print(&w).unwrap();
+        assert_eq!(MaxCutFrontend.parse(&printed).unwrap(), w);
+        // A non-cut formula is not printable as a graph.
+        let foreign = Workload::MaxSat(generator::instance(6, 1));
+        assert!(MaxCutFrontend.print(&foreign).is_none());
+    }
+
+    #[test]
+    fn dimacs_and_wqasm_print_roundtrip() {
+        let w = DimacsFrontend
+            .parse("p wcnf 3 2 9\n4 1 -2 0\n9 -1 3 0\n")
+            .unwrap();
+        let printed = DimacsFrontend.print(&w).unwrap();
+        assert_eq!(DimacsFrontend.parse(&printed).unwrap(), w);
+
+        let c = WqasmFrontend
+            .parse("qreg q[2];\nh q[0];\ncz q[0], q[1];\nmeasure q[0];")
+            .unwrap();
+        let printed = WqasmFrontend.print(&c).unwrap();
+        assert_eq!(WqasmFrontend.parse(&printed).unwrap(), c);
+        // Cross-kind printing declines.
+        assert!(WqasmFrontend.print(&w).is_none());
+        assert!(DimacsFrontend.print(&c).is_none());
+    }
+
+    #[test]
+    fn workload_canonical_bytes_generalize_formula_bytes() {
+        let f = generator::instance(10, 1);
+        let w = Workload::MaxSat(f.clone());
+        assert_eq!(w.canonical_bytes(), f.canonical_bytes());
+        let c = WqasmFrontend.parse("qreg q[1];\nh q[0];\n").unwrap();
+        assert_ne!(c.canonical_bytes(), w.canonical_bytes());
+        assert!(c.canonical_bytes().starts_with(b"workload:circuit\0"));
+    }
+
+    #[test]
+    fn frontend_error_positions_flow_from_parsers() {
+        let err = DimacsFrontend.parse("p cnf 2 1\n1 zz 0\n").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 3));
+        assert!(err.to_string().starts_with("dimacs: line 2, column 3:"));
+        let err = WqasmFrontend.parse("qreg q[2];\nh q[;\n").unwrap_err();
+        assert_eq!(err.frontend, "wqasm");
+        assert!(err.line > 0);
+    }
+}

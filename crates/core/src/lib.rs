@@ -4,6 +4,9 @@
 //!
 //! * [`backend`] — the retargetable [`Backend`] trait, the per-target pass
 //!   manager, and the [`BackendRegistry`] every dispatch site goes through,
+//! * [`frontend`] — the mirror-image [`Frontend`] trait and
+//!   [`FrontendRegistry`]: pluggable workload ingestion (DIMACS/WCNF,
+//!   max-cut edge lists, direct wQasm) into the unified [`Workload`] IR,
 //! * [`cache`] — content hashing (BLAKE2s) and the shared compilation
 //!   memo store threaded through codegen and the checker,
 //! * [`coloring`] — clause coloring via DSatur (§5.2, Algorithm 1),
@@ -41,6 +44,7 @@ pub mod checker;
 pub mod codegen;
 pub mod coloring;
 pub mod compress;
+pub mod frontend;
 pub mod pipeline;
 pub mod plan;
 
@@ -50,4 +54,7 @@ pub use backend::{
 pub use cache::{CacheHandle, CacheStats, Digest, Fingerprint};
 pub use checker::{check, check_with_cache, CheckReport};
 pub use codegen::{CodegenOptions, CompiledFpqa};
+pub use frontend::{
+    Frontend, FrontendError, FrontendInfo, FrontendRegistry, Workload, WorkloadKind,
+};
 pub use pipeline::{FpqaResult, Metrics, SuperconductingResult, Weaver};

@@ -212,6 +212,74 @@ impl Weaver {
             .and_then(|backend| backend.verify(self, output, formula, cache))
     }
 
+    /// Compiles any frontend-produced [`Workload`](crate::frontend::Workload)
+    /// for the target resolved
+    /// from `name` by the [global registry](BackendRegistry::global).
+    /// Formula workloads take exactly the [`Weaver::compile_target`] path;
+    /// circuit workloads dispatch through
+    /// [`Backend::compile_circuit`](crate::backend::Backend::compile_circuit)
+    /// and are rejected with a typed
+    /// [`UnsupportedWorkload`](crate::backend::BackendErrorKind::UnsupportedWorkload)
+    /// error by targets that only accept formulas (the FPQA wOptimizer).
+    ///
+    /// # Errors
+    ///
+    /// An unknown target name, a register the target cannot hold, or a
+    /// circuit workload sent to a formula-only target.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use weaver_core::{FrontendRegistry, Weaver, Workload};
+    ///
+    /// let registry = FrontendRegistry::global();
+    /// let workload = registry
+    ///     .get("dimacs")
+    ///     .unwrap()
+    ///     .parse("p cnf 2 2\n1 2 0\n-1 -2 0\n")
+    ///     .unwrap();
+    /// let weaver = Weaver::new();
+    /// let out = weaver.compile_workload("simulator", &workload).unwrap();
+    /// assert!(out.metrics.eps > 0.0);
+    /// ```
+    pub fn compile_workload(
+        &self,
+        name: &str,
+        workload: &crate::frontend::Workload,
+    ) -> Result<CompileOutput, BackendError> {
+        self.compile_workload_cached(name, workload, None)
+    }
+
+    /// Like [`Weaver::compile_workload`], threading a shared compilation
+    /// cache through the backend's passes.
+    pub fn compile_workload_cached(
+        &self,
+        name: &str,
+        workload: &crate::frontend::Workload,
+        cache: Option<&crate::cache::CacheHandle>,
+    ) -> Result<CompileOutput, BackendError> {
+        let backend = BackendRegistry::global().resolve(name)?;
+        backend.compile_workload(self, workload, cache)
+    }
+
+    /// Workload-aware twin of [`Weaver::verify_output`]: formula workloads
+    /// run the producing backend's verify hook (the wChecker on the FPQA
+    /// path), circuit workloads have no formula-level checker and return
+    /// `None`.
+    pub fn verify_workload(
+        &self,
+        output: &CompileOutput,
+        workload: &crate::frontend::Workload,
+        cache: Option<&crate::cache::CacheHandle>,
+    ) -> Option<CheckReport> {
+        match workload {
+            crate::frontend::Workload::MaxSat(formula) => {
+                self.verify_output(output, formula, cache)
+            }
+            crate::frontend::Workload::Circuit(_) => None,
+        }
+    }
+
     /// Compiles a Max-3SAT formula down the FPQA path (wOptimizer). Thin
     /// shim over the trait-dispatched [`FpqaBackend`]; output is
     /// byte-identical to pre-registry releases.

@@ -12,8 +12,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 use weaver_core::cache::CacheStats;
-use weaver_core::{CodegenOptions, Weaver};
-use weaver_sat::{dimacs, qaoa::QaoaParams, Formula};
+use weaver_core::{CodegenOptions, FrontendRegistry, Weaver, Workload};
+use weaver_sat::qaoa::QaoaParams;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -268,8 +268,8 @@ impl Engine {
         let target = job.target.clone();
         let mut timings = StageTimings::default();
 
-        let formula = match load_formula(&job.source) {
-            Ok(f) => f,
+        let workload = match load_workload(&job.source, job.frontend.as_deref()) {
+            Ok(w) => w,
             Err(e) => {
                 timings.parse_seconds = total_start.elapsed().as_secs_f64();
                 timings.total_seconds = timings.parse_seconds;
@@ -286,7 +286,7 @@ impl Engine {
         };
         timings.parse_seconds = total_start.elapsed().as_secs_f64();
 
-        let key = job.artifact_key(&formula);
+        let key = job.artifact_key(&workload);
         if self.config.use_cache {
             if let Some((artifact, outcome)) = self.cache.lookup(&key) {
                 timings.total_seconds = total_start.elapsed().as_secs_f64();
@@ -306,7 +306,7 @@ impl Engine {
         let compiled = catch_unwind(AssertUnwindSafe(|| {
             compile_job(
                 &job,
-                &formula,
+                &workload,
                 self.config.use_cache.then(|| self.cache.core_handle()),
             )
         }));
@@ -359,19 +359,30 @@ fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn load_formula(source: &JobSource) -> Result<Formula, JobError> {
-    let (name, text) = match source {
-        JobSource::Formula { formula, .. } => return Ok(formula.clone()),
-        JobSource::Inline { name, text } => (name.clone(), text.clone()),
+/// Loads a job's workload: in-memory sources pass through, file/inline
+/// text resolves its frontend through the global [`FrontendRegistry`]
+/// (explicit `frontend` name first, then the path's extension, then
+/// content sniffing) and parses under it.
+fn load_workload(source: &JobSource, frontend: Option<&str>) -> Result<Workload, JobError> {
+    let (name, path, text) = match source {
+        JobSource::Formula { formula, .. } => return Ok(Workload::MaxSat(formula.clone())),
+        JobSource::Workload { workload, .. } => return Ok(workload.clone()),
+        JobSource::Inline { name, text } => (name.clone(), None, text.clone()),
         JobSource::Path(path) => {
             let text = std::fs::read_to_string(path).map_err(|e| JobError {
                 kind: JobErrorKind::Io,
                 message: format!("cannot read {}: {e}", path.display()),
             })?;
-            (path.display().to_string(), text)
+            (path.display().to_string(), Some(path.as_path()), text)
         }
     };
-    dimacs::parse(&text).map_err(|e| JobError {
+    let front = FrontendRegistry::global()
+        .resolve(frontend, path, &text)
+        .map_err(|message| JobError {
+            kind: JobErrorKind::UnknownFormat,
+            message: format!("{name}: {message}"),
+        })?;
+    front.parse(&text).map_err(|e| JobError {
         kind: JobErrorKind::Parse,
         message: format!("{name}: {e}"),
     })
@@ -384,7 +395,7 @@ fn load_formula(source: &JobSource) -> Result<Formula, JobError> {
 /// sequential runs.
 fn compile_job(
     job: &CompileJob,
-    formula: &Formula,
+    workload: &Workload,
     core_cache: Option<&weaver_core::cache::CacheHandle>,
 ) -> Result<(Artifact, f64), JobError> {
     let options = CodegenOptions {
@@ -399,14 +410,19 @@ fn compile_job(
         .with_fpqa_params(job.options.fpqa_params())
         .with_options(options);
     let output = weaver
-        .compile_target_cached(job.target.name(), formula, core_cache)
+        .compile_workload_cached(job.target.name(), workload, core_cache)
         .map_err(|e| JobError {
-            kind: JobErrorKind::Compile,
+            kind: match e.kind {
+                weaver_core::backend::BackendErrorKind::UnsupportedWorkload => {
+                    JobErrorKind::UnsupportedWorkload
+                }
+                _ => JobErrorKind::Compile,
+            },
             message: e.message,
         })?;
     let (check_passed, check_errors, check_seconds) = if job.options.check {
         let check_start = Instant::now();
-        match weaver.verify_output(&output, formula, core_cache) {
+        match weaver.verify_workload(&output, workload, core_cache) {
             Some(report) => {
                 let seconds = check_start.elapsed().as_secs_f64();
                 let errors = report.errors.iter().map(|e| e.to_string()).collect();

@@ -5,7 +5,7 @@
 use std::fmt;
 use std::path::PathBuf;
 use weaver_core::cache::{fingerprint_fpqa_params, Digest, Fingerprint, COMPILER_VERSION};
-use weaver_core::Metrics;
+use weaver_core::{Metrics, Workload};
 use weaver_fpqa::FpqaParams;
 use weaver_sat::Formula;
 
@@ -142,16 +142,19 @@ impl JobOptions {
     }
 }
 
-/// Where a job's Max-3SAT workload comes from.
+/// Where a job's workload comes from.
 #[derive(Clone, Debug, PartialEq)]
 pub enum JobSource {
-    /// A DIMACS CNF file on disk.
+    /// A workload file on disk, in any registered frontend format
+    /// (`.cnf`/`.wcnf` DIMACS, `.mc` edge lists, `.wq` circuits, …).
     Path(PathBuf),
-    /// An in-memory DIMACS text (name is for reporting only).
+    /// An in-memory workload text (name is for reporting only). The format
+    /// is resolved like a file's: [`CompileJob::frontend`] first, then
+    /// content sniffing.
     Inline {
         /// Display name.
         name: String,
-        /// DIMACS CNF text.
+        /// Workload text in any registered frontend format.
         text: String,
     },
     /// An already parsed formula (name is for reporting only).
@@ -161,6 +164,13 @@ pub enum JobSource {
         /// The workload.
         formula: Formula,
     },
+    /// An already parsed frontend workload (name is for reporting only).
+    Workload {
+        /// Display name.
+        name: String,
+        /// The workload.
+        workload: Workload,
+    },
 }
 
 /// One unit of batch work: workload source × target × options.
@@ -168,6 +178,10 @@ pub enum JobSource {
 pub struct CompileJob {
     /// The workload.
     pub source: JobSource,
+    /// Frontend to parse [`JobSource::Path`]/[`JobSource::Inline`] text
+    /// with — a [`weaver_core::FrontendRegistry`] name or alias. `None`
+    /// infers the format from the file extension, then content sniffing.
+    pub frontend: Option<String>,
     /// The backend.
     pub target: Target,
     /// Compiler options.
@@ -175,10 +189,11 @@ pub struct CompileJob {
 }
 
 impl CompileJob {
-    /// An FPQA job for a DIMACS file with default options.
+    /// An FPQA job for a workload file with default options.
     pub fn from_path(path: impl Into<PathBuf>) -> Self {
         CompileJob {
             source: JobSource::Path(path.into()),
+            frontend: None,
             target: Target::Fpqa,
             options: JobOptions::default(),
         }
@@ -191,6 +206,22 @@ impl CompileJob {
                 name: name.into(),
                 formula,
             },
+            frontend: None,
+            target: Target::Fpqa,
+            options: JobOptions::default(),
+        }
+    }
+
+    /// An FPQA job for an already parsed frontend workload with default
+    /// options (circuit workloads additionally need a circuit-capable
+    /// [`Target`]).
+    pub fn from_workload(name: impl Into<String>, workload: Workload) -> Self {
+        CompileJob {
+            source: JobSource::Workload {
+                name: name.into(),
+                workload,
+            },
+            frontend: None,
             target: Target::Fpqa,
             options: JobOptions::default(),
         }
@@ -200,22 +231,26 @@ impl CompileJob {
     pub fn name(&self) -> String {
         match &self.source {
             JobSource::Path(p) => p.display().to_string(),
-            JobSource::Inline { name, .. } | JobSource::Formula { name, .. } => name.clone(),
+            JobSource::Inline { name, .. }
+            | JobSource::Formula { name, .. }
+            | JobSource::Workload { name, .. } => name.clone(),
         }
     }
 
-    /// Content-addressed artifact key of this job for `formula`: BLAKE2s-256
-    /// over the canonicalized formula, the target and its parameters, every
-    /// option that can influence the artifact, and the compiler version.
-    /// Device-family targets additionally hash their canonical device name
-    /// (which encodes the topology, `sc:grid:4x5` included), so `sc:eagle`
-    /// and `sc:heron` can never collide. The workload *source* (file path
-    /// vs inline) deliberately does not participate — identical content
-    /// hits regardless of origin.
-    pub fn artifact_key(&self, formula: &Formula) -> Digest {
+    /// Content-addressed artifact key of this job for `workload`:
+    /// BLAKE2s-256 over the canonicalized workload, the target and its
+    /// parameters, every option that can influence the artifact, and the
+    /// compiler version. Device-family targets additionally hash their
+    /// canonical device name (which encodes the topology, `sc:grid:4x5`
+    /// included), so `sc:eagle` and `sc:heron` can never collide. The
+    /// workload *source* (file path vs inline) and the *frontend* that
+    /// parsed it deliberately do not participate — identical content hits
+    /// regardless of origin or format (a formula fed as `.cnf` and the
+    /// same formula fed programmatically share one artifact).
+    pub fn artifact_key(&self, workload: &Workload) -> Digest {
         let mut fp = Fingerprint::new();
         fp.tag(0xA7).str(COMPILER_VERSION);
-        fp.bytes(&formula.canonical_bytes());
+        fp.bytes(&workload.canonical_bytes());
         match &self.target {
             Target::Fpqa => fp.tag(1),
             Target::Superconducting => fp.tag(2),
@@ -330,8 +365,14 @@ pub struct Artifact {
 pub enum JobErrorKind {
     /// The workload file could not be read.
     Io,
-    /// The DIMACS text did not parse.
+    /// No registered frontend claims the workload (unknown `frontend=`
+    /// name, unrecognized extension, and content sniffing failed).
+    UnknownFormat,
+    /// The workload text did not parse under its resolved frontend.
     Parse,
+    /// The workload kind is one the target structurally rejects (a circuit
+    /// sent to a formula-only backend like the FPQA wOptimizer).
+    UnsupportedWorkload,
     /// Compilation failed (including internal panics, which the engine
     /// contains instead of aborting the batch).
     Compile,
@@ -342,7 +383,9 @@ impl JobErrorKind {
     pub fn name(self) -> &'static str {
         match self {
             JobErrorKind::Io => "io",
+            JobErrorKind::UnknownFormat => "unknown-format",
             JobErrorKind::Parse => "parse",
+            JobErrorKind::UnsupportedWorkload => "unsupported-workload",
             JobErrorKind::Compile => "compile",
         }
     }
@@ -404,6 +447,7 @@ mod tests {
     #[test]
     fn artifact_key_is_content_addressed() {
         let f = generator::instance(20, 1);
+        let w = Workload::MaxSat(f.clone());
         let by_formula = CompileJob::from_formula("a", f.clone());
         let by_inline = CompileJob {
             source: JobSource::Inline {
@@ -413,31 +457,51 @@ mod tests {
             ..by_formula.clone()
         };
         assert_eq!(
-            by_formula.artifact_key(&f),
-            by_inline.artifact_key(&f),
+            by_formula.artifact_key(&w),
+            by_inline.artifact_key(&w),
             "source origin must not affect the key"
+        );
+        let mut explicit = by_formula.clone();
+        explicit.frontend = Some("dimacs".into());
+        assert_eq!(
+            by_formula.artifact_key(&w),
+            explicit.artifact_key(&w),
+            "the parsing frontend must not affect the key"
         );
     }
 
     #[test]
     fn artifact_key_separates_every_input() {
         let f = generator::instance(20, 1);
+        let w = Workload::MaxSat(f.clone());
         let base = CompileJob::from_formula("a", f.clone());
-        let key = base.artifact_key(&f);
-        let other_formula = generator::instance(20, 2);
-        assert_ne!(key, base.artifact_key(&other_formula));
+        let key = base.artifact_key(&w);
+        let other = Workload::MaxSat(generator::instance(20, 2));
+        assert_ne!(key, base.artifact_key(&other));
         let mut sc = base.clone();
         sc.target = Target::Superconducting;
-        assert_ne!(key, sc.artifact_key(&f));
+        assert_ne!(key, sc.artifact_key(&w));
         let mut opts = base.clone();
         opts.options.gamma += 1e-12;
-        assert_ne!(key, opts.artifact_key(&f));
+        assert_ne!(key, opts.artifact_key(&w));
         let mut ccz = base.clone();
         ccz.options.ccz_fidelity = Some(0.97);
-        assert_ne!(key, ccz.artifact_key(&f));
+        assert_ne!(key, ccz.artifact_key(&w));
         let mut check = base.clone();
         check.options.check = true;
-        assert_ne!(key, check.artifact_key(&f));
+        assert_ne!(key, check.artifact_key(&w));
+    }
+
+    #[test]
+    fn artifact_key_separates_workload_kinds() {
+        // A circuit and a formula can never share an artifact, even if
+        // their canonical texts were to coincide byte-for-byte upstream.
+        let f = generator::instance(10, 1);
+        let job = CompileJob::from_formula("k", f.clone());
+        let formula_key = job.artifact_key(&Workload::MaxSat(f));
+        let program = weaver_wqasm::parse("qreg q[2];\nh q[0];\ncx q[0], q[1];\n").unwrap();
+        let circuit_key = job.artifact_key(&Workload::Circuit(program));
+        assert_ne!(formula_key, circuit_key);
     }
 
     #[test]
@@ -481,6 +545,7 @@ mod tests {
     #[test]
     fn artifact_key_separates_every_device() {
         let f = generator::instance(10, 1);
+        let w = Workload::MaxSat(f.clone());
         let mut keys = std::collections::HashSet::new();
         let mut targets = Target::builtin_devices();
         targets.push(Target::ScDevice("sc:grid:4x5".to_string()));
@@ -489,18 +554,19 @@ mod tests {
         for target in targets {
             let mut job = CompileJob::from_formula("t", f.clone());
             job.target = target.clone();
-            assert!(keys.insert(job.artifact_key(&f)), "{target} key collides");
+            assert!(keys.insert(job.artifact_key(&w)), "{target} key collides");
         }
     }
 
     #[test]
     fn artifact_key_separates_all_targets() {
         let f = generator::instance(10, 1);
+        let w = Workload::MaxSat(f.clone());
         let mut keys = std::collections::HashSet::new();
         for target in Target::ALL {
             let mut job = CompileJob::from_formula("t", f.clone());
             job.target = target.clone();
-            assert!(keys.insert(job.artifact_key(&f)), "{target} key collides");
+            assert!(keys.insert(job.artifact_key(&w)), "{target} key collides");
         }
     }
 }

@@ -1,5 +1,5 @@
-//! Batch-job discovery: a fixture directory of `.cnf` files, or a manifest
-//! file describing one job per line.
+//! Batch-job discovery: a fixture directory of workload files, or a
+//! manifest file describing one job per line.
 //!
 //! # Manifest format
 //!
@@ -7,23 +7,36 @@
 //! # one job per line: <path> [key=value ...]
 //! uf20-01.cnf
 //! uf20-02.cnf target=superconducting
-//! uf20-03.cnf target=simulator
+//! weighted.wcnf target=simulator
+//! triangle.mc frontend=maxcut
+//! bell.wq target=sc
 //! hard/uf50-01.cnf check=true compression=false gamma=0.9 beta=0.2
 //! ```
 //!
 //! Recognized keys: `target` (any backend-registry name or alias —
-//! `fpqa`, `superconducting`/`sc`, `simulator`/`sim`), `check`,
-//! `compression`, `parallel-shuttling`, `dsatur` (booleans), `gamma`,
-//! `beta`, `ccz-fidelity` (floats). Unset keys inherit the batch defaults
-//! passed on the command line. Relative paths resolve against the
+//! `fpqa`, `superconducting`/`sc`, `simulator`/`sim`), `frontend` (any
+//! frontend-registry name or alias — `dimacs`/`wcnf`, `maxcut`/`mc`,
+//! `wqasm`/`wq`; unset infers from the file extension, then content),
+//! `check`, `compression`, `parallel-shuttling`, `dsatur` (booleans),
+//! `gamma`, `beta`, `ccz-fidelity` (floats). Unset keys inherit the batch
+//! defaults passed on the command line. Relative paths resolve against the
 //! manifest's directory; blank lines and `#` comments are skipped.
 
 use crate::job::{CompileJob, JobOptions, JobSource, Target};
 use std::path::Path;
+use weaver_core::{FrontendRegistry, WorkloadKind};
 
-/// Expands `path` into jobs: every `*.cnf` / `*.dimacs` file (sorted by
-/// name) when `path` is a directory, or one job per manifest line when it
-/// is a file. `default_target` and `defaults` seed every job's settings.
+/// Expands `path` into jobs: every formula-format workload file (sorted by
+/// name; the extensions every MAX-SAT-producing frontend registers —
+/// `.cnf`, `.dimacs`, `.wcnf`, `.mc`, `.graph`) when `path` is a
+/// directory, or one job per manifest line when it is a file.
+/// `default_target` and `defaults` seed every job's settings.
+///
+/// Circuit files (`.wq`) are deliberately excluded from directory
+/// discovery: a circuit is only compilable on circuit-capable targets, so
+/// sweeping one up under a formula-only default target (`fpqa`) would fail
+/// the batch. Circuits join batches through explicit manifest lines with a
+/// matching `target=`.
 pub fn discover_jobs(
     path: &Path,
     default_target: Target,
@@ -43,6 +56,7 @@ fn discover_dir(
     target: Target,
     defaults: &JobOptions,
 ) -> Result<Vec<CompileJob>, String> {
+    let extensions = FrontendRegistry::global().extensions_for(WorkloadKind::MaxSat);
     let entries =
         std::fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
     let mut paths: Vec<_> = entries
@@ -50,17 +64,26 @@ fn discover_dir(
         .filter(|p| {
             p.extension()
                 .and_then(|x| x.to_str())
-                .is_some_and(|x| x == "cnf" || x == "dimacs")
+                .is_some_and(|x| extensions.iter().any(|e| e == &x.to_ascii_lowercase()))
         })
         .collect();
     paths.sort();
     if paths.is_empty() {
-        return Err(format!("{}: no .cnf or .dimacs files found", dir.display()));
+        return Err(format!(
+            "{}: no workload files found (recognized extensions: {})",
+            dir.display(),
+            extensions
+                .iter()
+                .map(|e| format!(".{e}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
     }
     Ok(paths
         .into_iter()
         .map(|p| CompileJob {
             source: JobSource::Path(p),
+            frontend: None,
             target: target.clone(),
             options: defaults.clone(),
         })
@@ -85,6 +108,7 @@ fn parse_manifest(
         let mut fields = line.split_whitespace();
         let file = fields.next().expect("non-empty line has a first token");
         let mut target = default_target.clone();
+        let mut frontend = None;
         let mut options = defaults.clone();
         for field in fields {
             let (key, value) = field
@@ -100,6 +124,15 @@ fn parse_manifest(
             };
             match key {
                 "target" => target = Target::parse(value).map_err(at)?,
+                "frontend" => {
+                    // Validate the name at manifest-parse time (with a line
+                    // number) instead of deep inside the batch run.
+                    let registry = FrontendRegistry::global();
+                    let front = registry
+                        .get(value)
+                        .ok_or_else(|| at(registry.unknown_format(value)))?;
+                    frontend = Some(front.info().name);
+                }
                 "check" => options.check = parse_bool(value)?,
                 "compression" => options.compression = parse_bool(value)?,
                 "parallel-shuttling" => options.parallel_shuttling = parse_bool(value)?,
@@ -113,6 +146,7 @@ fn parse_manifest(
         let path = base.join(file);
         jobs.push(CompileJob {
             source: JobSource::Path(path),
+            frontend,
             target,
             options,
         });
@@ -179,6 +213,51 @@ mod tests {
             &jobs[2].source,
             JobSource::Path(p) if p.ends_with("sub/three.cnf")
         ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn directory_discovery_includes_all_formula_formats() {
+        let dir = scratch_dir("formats");
+        std::fs::write(dir.join("a.cnf"), "p cnf 1 1\n1 0\n").unwrap();
+        std::fs::write(dir.join("b.wcnf"), "p wcnf 1 1 3\n2 1 0\n").unwrap();
+        std::fs::write(dir.join("c.mc"), "1 2\n").unwrap();
+        std::fs::write(dir.join("d.wq"), "qreg q[1];\nh q[0];\n").unwrap();
+        let jobs = discover_jobs(&dir, Target::Fpqa, &JobOptions::default()).unwrap();
+        let names: Vec<String> = jobs
+            .iter()
+            .map(|j| match &j.source {
+                JobSource::Path(p) => p.file_name().unwrap().to_string_lossy().into_owned(),
+                _ => unreachable!(),
+            })
+            .collect();
+        // Every formula format is swept up; the circuit file is not.
+        assert_eq!(names, vec!["a.cnf", "b.wcnf", "c.mc"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_frontend_key_canonicalizes_and_validates() {
+        let dir = scratch_dir("frontendkey");
+        let manifest = dir.join("suite.manifest");
+        std::fs::write(
+            &manifest,
+            "one.cnf\ntwo.mc frontend=mc\nthree.wq frontend=wqasm target=sim\n",
+        )
+        .unwrap();
+        let jobs = discover_jobs(&manifest, Target::Fpqa, &JobOptions::default()).unwrap();
+        assert_eq!(jobs[0].frontend, None);
+        assert_eq!(
+            jobs[1].frontend,
+            Some("maxcut".into()),
+            "aliases canonicalize"
+        );
+        assert_eq!(jobs[2].frontend, Some("wqasm".into()));
+
+        std::fs::write(&manifest, "one.cnf\ntwo.cnf frontend=smtlib\n").unwrap();
+        let err = discover_jobs(&manifest, Target::Fpqa, &JobOptions::default()).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("unknown front end `smtlib`"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,35 +1,91 @@
-//! DIMACS CNF parsing and serialization — the on-disk format of the SATLIB
-//! benchmark suite the paper evaluates on (§8.1).
+//! DIMACS CNF/WCNF parsing and serialization — the on-disk formats of the
+//! SATLIB benchmark suite the paper evaluates on (§8.1) and of the standard
+//! weighted/partial MAX-SAT evaluations (`p wcnf`, top-weight = hard).
 
 use crate::{Clause, Formula, Lit};
 use std::fmt;
 
-/// Error parsing a DIMACS file.
+/// Error parsing a DIMACS file, with a token-accurate source position.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DimacsError {
-    /// 1-based line where the problem was found.
+    /// 1-based line where the problem was found (0 = end of input).
     pub line: usize,
+    /// 1-based column of the offending token (0 = whole line/file).
+    pub col: usize,
     /// Description.
     pub message: String,
 }
 
+impl DimacsError {
+    fn at(line: usize, col: usize, message: String) -> Self {
+        DimacsError { line, col, message }
+    }
+
+    fn on_line(line: usize, message: String) -> Self {
+        DimacsError {
+            line,
+            col: 0,
+            message,
+        }
+    }
+}
+
 impl fmt::Display for DimacsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "DIMACS error on line {}: {}", self.line, self.message)
+        if self.col > 0 {
+            write!(
+                f,
+                "DIMACS error on line {}, column {}: {}",
+                self.line, self.col, self.message
+            )
+        } else {
+            write!(f, "DIMACS error on line {}: {}", self.line, self.message)
+        }
     }
 }
 
 impl std::error::Error for DimacsError {}
 
-/// Parses DIMACS CNF text into a [`Formula`].
+/// Splits a line into whitespace-separated tokens, each tagged with its
+/// 1-based character column — the source of the `col` field on errors.
+fn split_tokens(raw: &str) -> Vec<(usize, &str)> {
+    let mut tokens = Vec::new();
+    let mut start: Option<(usize, usize)> = None; // (char col, byte index)
+    let mut col = 0usize;
+    let mut byte = 0usize;
+    for ch in raw.chars() {
+        col += 1;
+        if ch.is_whitespace() {
+            if let Some((c, b)) = start.take() {
+                tokens.push((c, &raw[b..byte]));
+            }
+        } else if start.is_none() {
+            start = Some((col, byte));
+        }
+        byte += ch.len_utf8();
+    }
+    if let Some((c, b)) = start {
+        tokens.push((c, &raw[b..]));
+    }
+    tokens
+}
+
+/// Parses DIMACS CNF or WCNF text into a [`Formula`].
 ///
 /// Comment lines (`c …`) and the `%`/`0` trailer used by SATLIB files are
 /// tolerated. Clauses longer than 3 literals are rejected (Max-3SAT only).
 ///
+/// For `p wcnf num_vars num_clauses [top]` headers, every clause line leads
+/// with its weight; a weight `≥ top` marks a hard clause (standard
+/// weighted-partial MAX-SAT). Without a `top` field all clauses are soft.
+/// A weight-1 WCNF parses to a [`Formula`] byte-identical (via
+/// [`Formula::canonical_bytes`]) to the same clauses in plain CNF.
+///
 /// # Errors
 ///
-/// Returns [`DimacsError`] on missing/malformed headers, out-of-range
-/// variables, or clauses not terminated by `0`.
+/// Returns [`DimacsError`] — carrying the 1-based line and column of the
+/// offending token — on missing/malformed headers, out-of-range variables,
+/// zero weights, or clauses not terminated by `0`.
 ///
 /// # Examples
 ///
@@ -38,12 +94,21 @@ impl std::error::Error for DimacsError {}
 /// let f = dimacs::parse("p cnf 3 2\n1 -2 3 0\n-1 2 0\n").unwrap();
 /// assert_eq!(f.num_vars(), 3);
 /// assert_eq!(f.num_clauses(), 2);
+///
+/// let w = dimacs::parse("p wcnf 2 2 10\n3 1 2 0\n10 -1 -2 0\n").unwrap();
+/// assert!(w.is_weighted());
+/// assert!(w.clauses()[1].is_hard());
 /// ```
 pub fn parse(text: &str) -> Result<Formula, DimacsError> {
     let mut num_vars: Option<usize> = None;
     let mut expected_clauses: Option<usize> = None;
+    let mut weighted = false;
+    let mut top: Option<u64> = None;
     let mut clauses = Vec::new();
     let mut current: Vec<Lit> = Vec::new();
+    // In WCNF mode, the weight of the clause currently being read (the
+    // first token of each clause, possibly continued across lines).
+    let mut pending_weight: Option<u64> = None;
 
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
@@ -54,54 +119,103 @@ pub fn parse(text: &str) -> Result<Formula, DimacsError> {
         if line == "0" {
             continue; // SATLIB end-of-file marker
         }
-        if let Some(rest) = line.strip_prefix('p') {
-            let parts: Vec<&str> = rest.split_whitespace().collect();
-            if parts.len() != 3 || parts[0] != "cnf" {
-                return Err(DimacsError {
-                    line: lineno,
-                    message: format!("malformed problem line `{line}`"),
-                });
+        let tokens = split_tokens(raw);
+        if tokens.first().map(|(_, t)| *t) == Some("p") {
+            let parts: Vec<(usize, &str)> = tokens[1..].to_vec();
+            let format = parts.first().map(|(_, t)| *t);
+            let ok = match format {
+                Some("cnf") => parts.len() == 3,
+                Some("wcnf") => parts.len() == 3 || parts.len() == 4,
+                _ => false,
+            };
+            if !ok {
+                return Err(DimacsError::on_line(
+                    lineno,
+                    format!("malformed problem line `{line}`"),
+                ));
             }
-            num_vars = Some(parts[1].parse().map_err(|_| DimacsError {
-                line: lineno,
-                message: format!("bad variable count `{}`", parts[1]),
+            weighted = format == Some("wcnf");
+            num_vars = Some(parts[1].1.parse().map_err(|_| {
+                DimacsError::at(
+                    lineno,
+                    parts[1].0,
+                    format!("bad variable count `{}`", parts[1].1),
+                )
             })?);
-            expected_clauses = Some(parts[2].parse().map_err(|_| DimacsError {
-                line: lineno,
-                message: format!("bad clause count `{}`", parts[2]),
+            expected_clauses = Some(parts[2].1.parse().map_err(|_| {
+                DimacsError::at(
+                    lineno,
+                    parts[2].0,
+                    format!("bad clause count `{}`", parts[2].1),
+                )
             })?);
+            if let Some(&(col, tok)) = parts.get(3) {
+                let t: u64 = tok
+                    .parse()
+                    .map_err(|_| DimacsError::at(lineno, col, format!("bad top weight `{tok}`")))?;
+                if t < 2 {
+                    return Err(DimacsError::at(
+                        lineno,
+                        col,
+                        format!("top weight must be ≥ 2, got {t}"),
+                    ));
+                }
+                top = Some(t);
+            }
             continue;
         }
-        let nv = num_vars.ok_or(DimacsError {
-            line: lineno,
-            message: "clause before `p cnf` header".to_string(),
+        let nv = num_vars.ok_or_else(|| {
+            DimacsError::on_line(
+                lineno,
+                format!(
+                    "clause before `p {}` header",
+                    if weighted { "wcnf" } else { "cnf" }
+                ),
+            )
         })?;
-        for tok in line.split_whitespace() {
-            let code: i64 = tok.parse().map_err(|_| DimacsError {
-                line: lineno,
-                message: format!("bad literal `{tok}`"),
-            })?;
+        for (col, tok) in tokens {
+            if weighted && current.is_empty() && pending_weight.is_none() {
+                let w: u64 = tok.parse().map_err(|_| {
+                    DimacsError::at(lineno, col, format!("bad clause weight `{tok}`"))
+                })?;
+                if w == 0 {
+                    return Err(DimacsError::at(
+                        lineno,
+                        col,
+                        "clause weight must be positive".to_string(),
+                    ));
+                }
+                pending_weight = Some(w);
+                continue;
+            }
+            let code: i64 = tok
+                .parse()
+                .map_err(|_| DimacsError::at(lineno, col, format!("bad literal `{tok}`")))?;
             if code == 0 {
                 if current.is_empty() {
-                    return Err(DimacsError {
-                        line: lineno,
-                        message: "empty clause".to_string(),
-                    });
+                    return Err(DimacsError::at(lineno, col, "empty clause".to_string()));
                 }
                 if current.len() > 3 {
-                    return Err(DimacsError {
-                        line: lineno,
-                        message: format!("clause with {} literals (Max-3SAT only)", current.len()),
-                    });
+                    return Err(DimacsError::at(
+                        lineno,
+                        col,
+                        format!("clause with {} literals (Max-3SAT only)", current.len()),
+                    ));
                 }
-                clauses.push(Clause::new(std::mem::take(&mut current)));
+                let lits = std::mem::take(&mut current);
+                clauses.push(match pending_weight.take() {
+                    Some(w) if top.is_some_and(|t| w >= t) => Clause::hard(lits),
+                    Some(w) => Clause::weighted(lits, w),
+                    None => Clause::new(lits),
+                });
             } else {
                 let lit = Lit::from_dimacs(code);
                 if lit.var >= nv {
-                    return Err(DimacsError {
-                        line: lineno,
-                        message: format!("variable {} exceeds declared count {}", lit.var + 1, nv),
-                    });
+                    return Err(DimacsError::at(
+                        lineno,
+                        col,
+                        format!("variable {} exceeds declared count {}", lit.var + 1, nv),
+                    ));
                 }
                 // SATLIB occasionally repeats a literal; dedupe identical
                 // literals, reject contradictory ones via Clause::new.
@@ -111,40 +225,61 @@ pub fn parse(text: &str) -> Result<Formula, DimacsError> {
             }
         }
     }
-    let num_vars = num_vars.ok_or(DimacsError {
-        line: 0,
-        message: "missing `p cnf` header".to_string(),
-    })?;
-    if !current.is_empty() {
-        return Err(DimacsError {
-            line: 0,
-            message: "unterminated final clause (missing 0)".to_string(),
-        });
+    let num_vars = num_vars
+        .ok_or_else(|| DimacsError::on_line(0, "missing `p cnf` or `p wcnf` header".to_string()))?;
+    if !current.is_empty() || pending_weight.is_some() {
+        return Err(DimacsError::on_line(
+            0,
+            "unterminated final clause (missing 0)".to_string(),
+        ));
     }
     if let Some(exp) = expected_clauses {
         if clauses.len() != exp {
-            return Err(DimacsError {
-                line: 0,
-                message: format!("header declares {exp} clauses, found {}", clauses.len()),
-            });
+            return Err(DimacsError::on_line(
+                0,
+                format!("header declares {exp} clauses, found {}", clauses.len()),
+            ));
         }
     }
     Ok(Formula::new(num_vars, clauses))
 }
 
-/// Serializes a formula to DIMACS CNF text.
+/// Serializes a formula to DIMACS text: plain `p cnf` for unweighted
+/// formulas (byte-identical to the pre-weights serializer), `p wcnf` with
+/// `top = soft weight sum + 1` when any clause is weighted or hard.
 pub fn to_string(formula: &Formula) -> String {
     let mut out = String::new();
-    out.push_str(&format!(
-        "p cnf {} {}\n",
-        formula.num_vars(),
-        formula.num_clauses()
-    ));
-    for clause in formula.clauses() {
-        for lit in clause.lits() {
-            out.push_str(&format!("{} ", lit.to_dimacs()));
+    if formula.is_weighted() {
+        let top = formula.hard_clause_weight();
+        out.push_str(&format!(
+            "p wcnf {} {} {top}\n",
+            formula.num_vars(),
+            formula.num_clauses()
+        ));
+        for clause in formula.clauses() {
+            let w = if clause.is_hard() {
+                top
+            } else {
+                clause.weight()
+            };
+            out.push_str(&format!("{w} "));
+            for lit in clause.lits() {
+                out.push_str(&format!("{} ", lit.to_dimacs()));
+            }
+            out.push_str("0\n");
         }
-        out.push_str("0\n");
+    } else {
+        out.push_str(&format!(
+            "p cnf {} {}\n",
+            formula.num_vars(),
+            formula.num_clauses()
+        ));
+        for clause in formula.clauses() {
+            for lit in clause.lits() {
+                out.push_str(&format!("{} ", lit.to_dimacs()));
+            }
+            out.push_str("0\n");
+        }
     }
     out
 }
@@ -202,5 +337,71 @@ mod tests {
     fn duplicate_literal_deduped() {
         let f = parse("p cnf 2 1\n1 1 2 0\n").unwrap();
         assert_eq!(f.clauses()[0].lits().len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let err = parse("p cnf 3 2\n1 -2 3 0\n-1 x 0\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert_eq!(err.col, 4);
+        assert!(err.message.contains("bad literal `x`"));
+        assert!(err.to_string().contains("line 3, column 4"));
+
+        // Column tracking survives leading whitespace.
+        let err = parse("p cnf 3 1\n   1 99 0\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.col, 6);
+    }
+
+    #[test]
+    fn parses_weighted_partial_wcnf() {
+        let src = "c weighted partial\np wcnf 3 3 10\n3 1 -2 0\n5 2 3 0\n10 -1 -3 0\n";
+        let f = parse(src).unwrap();
+        assert!(f.is_weighted());
+        assert_eq!(f.num_clauses(), 3);
+        assert_eq!(f.clauses()[0].weight(), 3);
+        assert_eq!(f.clauses()[1].weight(), 5);
+        assert!(f.clauses()[2].is_hard());
+        assert_eq!(f.soft_weight_sum(), 8);
+    }
+
+    #[test]
+    fn wcnf_without_top_is_all_soft() {
+        let f = parse("p wcnf 2 2\n4 1 2 0\n7 -1 0\n").unwrap();
+        assert!(f.clauses().iter().all(|c| !c.is_hard()));
+        assert_eq!(f.clauses()[1].weight(), 7);
+    }
+
+    #[test]
+    fn weight_one_wcnf_matches_cnf_bytes() {
+        let cnf = parse("p cnf 3 2\n1 -2 3 0\n-1 2 0\n").unwrap();
+        let wcnf = parse("p wcnf 3 2\n1 1 -2 3 0\n1 -1 2 0\n").unwrap();
+        assert!(!wcnf.is_weighted());
+        assert_eq!(cnf.canonical_bytes(), wcnf.canonical_bytes());
+        assert_eq!(cnf, wcnf);
+    }
+
+    #[test]
+    fn wcnf_rejects_zero_weight() {
+        let err = parse("p wcnf 2 1 5\n0 1 2 0\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.col, 1);
+        assert!(err.message.contains("positive"));
+    }
+
+    #[test]
+    fn wcnf_clause_split_across_lines_keeps_weight() {
+        let f = parse("p wcnf 3 1 9\n4 1\n-2 3 0\n").unwrap();
+        assert_eq!(f.clauses()[0].weight(), 4);
+        assert_eq!(f.clauses()[0].lits().len(), 3);
+    }
+
+    #[test]
+    fn weighted_roundtrip() {
+        let src = "p wcnf 3 3 9\n3 1 -2 0\n5 2 3 0\n9 -1 -3 0\n";
+        let f = parse(src).unwrap();
+        let text = to_string(&f);
+        assert_eq!(text, src);
+        assert_eq!(parse(&text).unwrap(), f);
     }
 }

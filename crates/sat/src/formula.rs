@@ -64,19 +64,35 @@ impl fmt::Display for Lit {
     }
 }
 
-/// A clause: a disjunction of up to three literals over distinct variables.
+/// A clause: a disjunction of up to three literals over distinct variables,
+/// optionally weighted (weighted MAX-SAT) or hard (partial MAX-SAT).
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Clause {
     lits: Vec<Lit>,
+    weight: u64,
+    hard: bool,
 }
 
 impl Clause {
-    /// Creates a clause from literals.
+    /// Creates a (soft, weight-1) clause from literals.
     ///
     /// # Panics
     ///
     /// Panics if empty, longer than 3, or if a variable repeats.
     pub fn new(lits: Vec<Lit>) -> Self {
+        Self::weighted(lits, 1)
+    }
+
+    /// Creates a soft clause with the given weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the literal conditions of [`Clause::new`], on `weight == 0`,
+    /// and on `weight == u64::MAX` (reserved for the hard-clause sentinel in
+    /// canonical byte encodings).
+    pub fn weighted(lits: Vec<Lit>, weight: u64) -> Self {
+        assert!(weight > 0, "clause weight must be positive");
+        assert!(weight < u64::MAX, "clause weight u64::MAX is reserved");
         assert!(!lits.is_empty(), "clause cannot be empty");
         assert!(lits.len() <= 3, "Max-3SAT clauses have at most 3 literals");
         for (i, l) in lits.iter().enumerate() {
@@ -86,7 +102,33 @@ impl Clause {
                 l.var
             );
         }
-        Clause { lits }
+        Clause {
+            lits,
+            weight,
+            hard: false,
+        }
+    }
+
+    /// Creates a hard clause (partial MAX-SAT: must be satisfied).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the literal conditions of [`Clause::new`].
+    pub fn hard(lits: Vec<Lit>) -> Self {
+        let mut c = Self::weighted(lits, 1);
+        c.hard = true;
+        c
+    }
+
+    /// The soft weight (1 unless built via [`Clause::weighted`]).
+    /// Meaningless for hard clauses — see [`Formula::effective_weight`].
+    pub fn weight(&self) -> u64 {
+        self.weight
+    }
+
+    /// Whether the clause is hard (must be satisfied).
+    pub fn is_hard(&self) -> bool {
+        self.hard
     }
 
     /// The literals of the clause.
@@ -167,11 +209,56 @@ impl Formula {
         self.clauses.len()
     }
 
+    /// Whether any clause carries a non-unit weight or is hard. Uniform
+    /// (weight-1, all-soft) formulas — everything the paper evaluates —
+    /// report `false` and behave exactly as before weights existed.
+    pub fn is_weighted(&self) -> bool {
+        self.clauses.iter().any(|c| c.is_hard() || c.weight() != 1)
+    }
+
+    /// Sum of the soft clause weights.
+    pub fn soft_weight_sum(&self) -> u64 {
+        self.clauses
+            .iter()
+            .filter(|c| !c.is_hard())
+            .map(Clause::weight)
+            .sum()
+    }
+
+    /// The weight that makes violating a hard clause dominate every soft
+    /// trade-off: one more than the total soft weight (the standard partial
+    /// MAX-SAT penalty encoding).
+    pub fn hard_clause_weight(&self) -> u64 {
+        self.soft_weight_sum() + 1
+    }
+
+    /// The weight clause `index` contributes to the objective: its soft
+    /// weight, or [`Formula::hard_clause_weight`] if it is hard.
+    pub fn effective_weight(&self, index: usize) -> u64 {
+        let c = &self.clauses[index];
+        if c.is_hard() {
+            self.hard_clause_weight()
+        } else {
+            c.weight()
+        }
+    }
+
+    /// The maximum achievable objective: sum of all effective weights.
+    /// Equals [`Formula::num_clauses`] for unweighted formulas.
+    pub fn total_weight(&self) -> u64 {
+        (0..self.clauses.len())
+            .map(|i| self.effective_weight(i))
+            .sum()
+    }
+
     /// Canonical byte serialization for content addressing (the batch
     /// engine's artifact-cache keys): the sizes followed by every clause's
     /// length and literals as little-endian DIMACS codes. Two formulas
     /// produce the same bytes iff they are structurally identical — clause
-    /// order, literal order, and polarity included.
+    /// order, literal order, and polarity included. Weighted formulas append
+    /// a tagged weights section (hard clauses encode as `u64::MAX`);
+    /// weight-1 formulas serialize byte-identically to the pre-weights
+    /// format, so existing artifact-cache keys are preserved.
     pub fn canonical_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(24 + self.clauses.len() * 32);
         out.extend((self.num_vars as u64).to_le_bytes());
@@ -180,6 +267,17 @@ impl Formula {
             out.extend((clause.lits().len() as u64).to_le_bytes());
             for lit in clause.lits() {
                 out.extend(lit.to_dimacs().to_le_bytes());
+            }
+        }
+        if self.is_weighted() {
+            out.extend(b"weights\0");
+            for clause in &self.clauses {
+                let code = if clause.is_hard() {
+                    u64::MAX
+                } else {
+                    clause.weight()
+                };
+                out.extend(code.to_le_bytes());
             }
         }
         out
@@ -206,6 +304,56 @@ impl Formula {
             .map(|q| (basis_index >> (self.num_vars - 1 - q)) & 1 == 1)
             .collect();
         self.count_satisfied(&assignment)
+    }
+
+    /// Total effective weight of the clauses satisfied by an assignment —
+    /// the weighted MAX-SAT objective. Equals [`Formula::count_satisfied`]
+    /// for unweighted formulas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != num_vars`.
+    pub fn satisfied_weight(&self, assignment: &[bool]) -> u64 {
+        assert_eq!(
+            assignment.len(),
+            self.num_vars,
+            "assignment length mismatch"
+        );
+        let hard = self.hard_clause_weight();
+        self.clauses
+            .iter()
+            .filter(|c| c.eval(assignment))
+            .map(|c| if c.is_hard() { hard } else { c.weight() })
+            .sum()
+    }
+
+    /// Decodes a measurement bitstring (qubit 0 = most significant bit) and
+    /// scores it with [`Formula::satisfied_weight`].
+    pub fn weight_satisfied_by_index(&self, basis_index: usize) -> u64 {
+        let assignment: Vec<bool> = (0..self.num_vars)
+            .map(|q| (basis_index >> (self.num_vars - 1 - q)) & 1 == 1)
+            .collect();
+        self.satisfied_weight(&assignment)
+    }
+
+    /// Encodes a max-cut instance as weighted MAX-SAT: an edge `(u, v)` is
+    /// cut iff `u ≠ v`, i.e. both `(u ∨ v)` and `(¬u ∨ ¬v)` hold. A cut
+    /// edge satisfies both clauses, an uncut edge exactly one — maximizing
+    /// the satisfied weight maximizes the cut. Weight-1 edges produce
+    /// weight-1 clauses, so an unweighted graph lowers to an unweighted
+    /// formula.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, zero weights, or vertices `≥ num_vertices`.
+    pub fn max_cut(num_vertices: usize, edges: &[(usize, usize, u64)]) -> Self {
+        let mut clauses = Vec::with_capacity(edges.len() * 2);
+        for &(u, v, w) in edges {
+            assert!(u != v, "self-loop on vertex {u}");
+            clauses.push(Clause::weighted(vec![Lit::pos(u), Lit::pos(v)], w));
+            clauses.push(Clause::weighted(vec![Lit::neg(u), Lit::neg(v)], w));
+        }
+        Formula::new(num_vertices, clauses)
     }
 }
 
@@ -327,5 +475,80 @@ mod tests {
         // Extra unused variable changes the bytes too.
         let widened = Formula::new(f.num_vars() + 1, f.clauses().to_vec());
         assert_ne!(f.canonical_bytes(), widened.canonical_bytes());
+    }
+
+    #[test]
+    fn weight_one_formula_is_not_weighted_and_bytes_unchanged() {
+        let f = paper_example();
+        assert!(!f.is_weighted());
+        // weight-1 via Clause::weighted is indistinguishable from Clause::new
+        let explicit = Formula::new(
+            f.num_vars(),
+            f.clauses()
+                .iter()
+                .map(|c| Clause::weighted(c.lits().to_vec(), 1))
+                .collect(),
+        );
+        assert_eq!(f.canonical_bytes(), explicit.canonical_bytes());
+        assert_eq!(f.total_weight(), f.num_clauses() as u64);
+    }
+
+    #[test]
+    fn weighted_objective_and_hard_penalty() {
+        let f = Formula::new(
+            2,
+            vec![
+                Clause::weighted(vec![Lit::pos(0)], 3),
+                Clause::weighted(vec![Lit::pos(1)], 5),
+                Clause::hard(vec![Lit::neg(0), Lit::neg(1)]),
+            ],
+        );
+        assert!(f.is_weighted());
+        assert_eq!(f.soft_weight_sum(), 8);
+        assert_eq!(f.hard_clause_weight(), 9);
+        assert_eq!(f.effective_weight(2), 9);
+        assert_eq!(f.total_weight(), 17);
+        // x0=T, x1=F: clause 0 (w=3) and the hard clause (w=9) hold.
+        assert_eq!(f.satisfied_weight(&[true, false]), 12);
+        assert_eq!(f.weight_satisfied_by_index(0b10), 12);
+        // Unweighted counting still sees 2 of 3 clauses.
+        assert_eq!(f.count_satisfied(&[true, false]), 2);
+    }
+
+    #[test]
+    fn weights_change_canonical_bytes() {
+        let f = paper_example();
+        let mut clauses = f.clauses().to_vec();
+        clauses[0] = Clause::weighted(clauses[0].lits().to_vec(), 2);
+        let weighted = Formula::new(f.num_vars(), clauses.clone());
+        assert_ne!(f.canonical_bytes(), weighted.canonical_bytes());
+        clauses[0] = Clause::hard(clauses[0].lits().to_vec());
+        let hardened = Formula::new(f.num_vars(), clauses);
+        assert_ne!(weighted.canonical_bytes(), hardened.canonical_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_panics() {
+        Clause::weighted(vec![Lit::pos(0)], 0);
+    }
+
+    #[test]
+    fn max_cut_encoding_scores_cuts() {
+        // Triangle with one heavy edge: best cut takes both heavy sides.
+        let f = Formula::max_cut(3, &[(0, 1, 1), (1, 2, 1), (0, 2, 4)]);
+        assert_eq!(f.num_clauses(), 6);
+        // Partition {0} vs {1, 2}: cuts edges (0,1) and (0,2) → weight 5.
+        // Objective = cut weight + total edge weight (uncut edges satisfy
+        // one of their two clauses).
+        assert_eq!(f.satisfied_weight(&[true, false, false]), 5 + 6);
+        // Uncut everything: every edge satisfies exactly one clause.
+        assert_eq!(f.satisfied_weight(&[false, false, false]), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn max_cut_rejects_self_loops() {
+        Formula::max_cut(2, &[(1, 1, 1)]);
     }
 }

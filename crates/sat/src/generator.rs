@@ -92,6 +92,69 @@ pub fn random_formula(num_vars: usize, num_clauses: usize, seed: u64) -> Formula
     Formula::new(num_vars, clauses)
 }
 
+/// Generates the `variant`-th *weighted* uniform-random Max-3SAT instance:
+/// the same clauses as [`instance`], with deterministic per-clause weights
+/// drawn uniformly from `1..=8`. Deterministic per `(num_vars, variant)`.
+///
+/// # Panics
+///
+/// Panics if `num_vars < 3` or `variant == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use weaver_sat::generator;
+/// let w = generator::weighted_instance(20, 1);
+/// assert!(w.is_weighted());
+/// assert_eq!(w.num_clauses(), generator::instance(20, 1).num_clauses());
+/// ```
+pub fn weighted_instance(num_vars: usize, variant: usize) -> Formula {
+    let base = instance(num_vars, variant);
+    // Independent weight stream so the clause structure stays identical to
+    // the unweighted instance.
+    let mut rng = StdRng::seed_from_u64(seed_for(num_vars, variant) ^ 0x57C4_F00D);
+    let clauses = base
+        .clauses()
+        .iter()
+        .map(|c| Clause::weighted(c.lits().to_vec(), rng.gen_range(1..=8)))
+        .collect();
+    Formula::new(base.num_vars(), clauses)
+}
+
+/// Generates a random simple graph as a weighted edge list (weights in
+/// `1..=4`), suitable for max-cut workloads: `num_edges` distinct edges
+/// drawn uniformly over vertex pairs. Deterministic per seed.
+///
+/// # Panics
+///
+/// Panics if `num_vertices < 2` or `num_edges` exceeds the number of
+/// distinct vertex pairs.
+pub fn random_graph(num_vertices: usize, num_edges: usize, seed: u64) -> Vec<(usize, usize, u64)> {
+    assert!(num_vertices >= 2, "a graph edge needs two vertices");
+    let max_edges = num_vertices * (num_vertices - 1) / 2;
+    assert!(
+        num_edges <= max_edges,
+        "{num_edges} edges requested, only {max_edges} distinct pairs exist"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(usize, usize, u64)> = Vec::with_capacity(num_edges);
+    while edges.len() < num_edges {
+        let u = rng.gen_range(0..num_vertices);
+        let v = rng.gen_range(0..num_vertices);
+        if u == v {
+            continue;
+        }
+        let (u, v) = (u.min(v), u.max(v));
+        if edges.iter().any(|&(a, b, _)| (a, b) == (u, v)) {
+            continue;
+        }
+        let w = rng.gen_range(1..=4);
+        edges.push((u, v, w));
+    }
+    edges.sort_unstable();
+    edges
+}
+
 fn seed_for(num_vars: usize, variant: usize) -> u64 {
     // Stable mixing of (size, variant) into a seed; constants are from
     // splitmix64 so nearby inputs decorrelate.
@@ -156,6 +219,35 @@ mod tests {
         let neg: usize = f.clauses().iter().map(|c| c.num_negated()).sum();
         let rate = neg as f64 / total as f64;
         assert!((0.45..0.55).contains(&rate), "negation rate {rate}");
+    }
+
+    #[test]
+    fn weighted_instance_is_deterministic_and_structure_preserving() {
+        let w = weighted_instance(20, 1);
+        assert_eq!(w, weighted_instance(20, 1));
+        assert!(w.is_weighted());
+        let base = instance(20, 1);
+        assert_eq!(w.num_clauses(), base.num_clauses());
+        for (wc, bc) in w.clauses().iter().zip(base.clauses()) {
+            assert_eq!(wc.lits(), bc.lits());
+            assert!((1..=8).contains(&wc.weight()));
+            assert!(!wc.is_hard());
+        }
+        assert_ne!(w.canonical_bytes(), base.canonical_bytes());
+    }
+
+    #[test]
+    fn random_graph_is_simple_and_deterministic() {
+        let g = random_graph(8, 12, 42);
+        assert_eq!(g, random_graph(8, 12, 42));
+        assert_ne!(g, random_graph(8, 12, 43));
+        assert_eq!(g.len(), 12);
+        let pairs: HashSet<(usize, usize)> = g.iter().map(|&(u, v, _)| (u, v)).collect();
+        assert_eq!(pairs.len(), 12, "edges must be distinct");
+        for &(u, v, w) in &g {
+            assert!(u < v && v < 8);
+            assert!((1..=4).contains(&w));
+        }
     }
 
     #[test]

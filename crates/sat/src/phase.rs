@@ -77,6 +77,14 @@ impl PhasePolynomial {
         }
     }
 
+    /// Multiplies every coefficient (constant included) by `factor`.
+    pub fn scale(&mut self, factor: f64) {
+        self.constant *= factor;
+        for coefficient in self.terms.values_mut() {
+            *coefficient *= factor;
+        }
+    }
+
     /// Evaluates the polynomial at a ±1 assignment given as booleans
     /// (`true` ⇒ `x = 1` ⇒ `z = −1`).
     pub fn eval_bool(&self, assignment: &[bool]) -> f64 {
@@ -115,12 +123,20 @@ impl PhasePolynomial {
         poly
     }
 
-    /// The cost polynomial of a whole formula: number of satisfied clauses
-    /// as a function of the assignment.
+    /// The cost polynomial of a whole formula: total *effective weight* of
+    /// satisfied clauses as a function of the assignment (hard clauses
+    /// weigh `soft_weight_sum + 1`). For unweighted formulas every clause
+    /// scales by exactly 1.0, reproducing the satisfied-clause count with
+    /// bit-identical coefficients.
     pub fn from_formula(formula: &Formula) -> Self {
         let mut poly = PhasePolynomial::new();
-        for clause in formula.clauses() {
-            poly.add(&PhasePolynomial::from_clause(clause));
+        for (i, clause) in formula.clauses().iter().enumerate() {
+            let mut p = PhasePolynomial::from_clause(clause);
+            let w = formula.effective_weight(i);
+            if w != 1 {
+                p.scale(w as f64);
+            }
+            poly.add(&p);
         }
         poly
     }
@@ -196,6 +212,26 @@ mod tests {
             let a = [bits & 2 != 0, bits & 1 != 0];
             let expected = if c.eval(&a) { 1.0 } else { 0.0 };
             assert!((poly.eval_bool(&a) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_formula_polynomial_scores_weights() {
+        use crate::Clause;
+        let f = Formula::new(
+            2,
+            vec![
+                Clause::weighted(vec![Lit::pos(0)], 3),
+                Clause::hard(vec![Lit::neg(0), Lit::neg(1)]),
+            ],
+        );
+        let poly = PhasePolynomial::from_formula(&f);
+        for bits in 0..4u32 {
+            let a = [bits & 2 != 0, bits & 1 != 0];
+            assert!(
+                (poly.eval_bool(&a) - f.satisfied_weight(&a) as f64).abs() < 1e-9,
+                "mismatch at {a:?}"
+            );
         }
     }
 

@@ -116,16 +116,27 @@ pub fn build_cost_circuit(formula: &Formula, gamma: f64) -> Circuit {
     circuit
 }
 
-/// Expected number of satisfied clauses under the circuit's output
-/// distribution (exact, via state-vector simulation; ≤ 20 qubits).
+/// Expected satisfied weight under the circuit's output distribution
+/// (exact, via state-vector simulation; ≤ 20 qubits). For unweighted
+/// formulas every clause weighs 1, so this is the expected number of
+/// satisfied clauses — numerically identical to the pre-weights behavior.
 pub fn expected_satisfied(formula: &Formula, circuit: &Circuit) -> f64 {
     let state = circuit.statevector();
-    state
-        .probabilities()
-        .iter()
-        .enumerate()
-        .map(|(index, p)| p * formula.count_satisfied_by_index(index) as f64)
-        .sum()
+    if formula.is_weighted() {
+        state
+            .probabilities()
+            .iter()
+            .enumerate()
+            .map(|(index, p)| p * formula.weight_satisfied_by_index(index) as f64)
+            .sum()
+    } else {
+        state
+            .probabilities()
+            .iter()
+            .enumerate()
+            .map(|(index, p)| p * formula.count_satisfied_by_index(index) as f64)
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +203,30 @@ mod tests {
             best > uniform_expectation + 0.05,
             "QAOA best {best} did not beat uniform {uniform_expectation}"
         );
+    }
+
+    #[test]
+    fn weighted_expectation_tracks_effective_weights() {
+        // One heavy clause vs one light one: the weighted expectation of the
+        // |++⟩ state (uniform distribution) is the average satisfied weight.
+        let f = Formula::new(
+            2,
+            vec![
+                Clause::weighted(vec![Lit::pos(0)], 6),
+                Clause::weighted(vec![Lit::neg(1)], 2),
+            ],
+        );
+        let mut uniform = Circuit::new(2);
+        uniform.h(0).h(1);
+        let expected: f64 = (0..4)
+            .map(|i| f.weight_satisfied_by_index(i) as f64)
+            .sum::<f64>()
+            / 4.0;
+        assert!((expected_satisfied(&f, &uniform) - expected).abs() < 1e-10);
+        // A weighted cost circuit also stays consistent with the phase
+        // polynomial: the diagonal phase encodes the weighted objective.
+        let poly = PhasePolynomial::from_formula(&f);
+        assert!((poly.eval_bool(&[true, false]) - 8.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,37 +1,40 @@
 //! The paper's Fig. 1 worked example: solve max-cut on a small graph with
-//! QAOA, end to end — encode, compile for the FPQA, simulate the logical
-//! circuit, and read the cut out of the measurement distribution.
+//! QAOA, end to end — ingest the graph through the `maxcut` frontend,
+//! compile for the FPQA, simulate the logical circuit, and read the cut
+//! out of the measurement distribution.
 //!
 //! ```text
 //! cargo run --release --example maxcut_qaoa
 //! ```
 
 use weaver::prelude::*;
-use weaver::sat::{qaoa, Clause, Formula, Lit};
+use weaver::sat::qaoa;
 
 fn main() {
-    // The 6-vertex graph of Fig. 1: a–b, a–c, b–d, c–d, c–e, d–f, e–f.
+    // The 6-vertex graph of Fig. 1: a–b, a–c, b–d, c–d, c–e, d–f, e–f —
+    // written exactly as a `.mc` edge-list file (1-based vertices). The
+    // frontend lowers each edge (u, v) to the two clauses (u ∨ v) and
+    // (¬u ∨ ¬v): a cut edge satisfies both, an uncut edge exactly one, so
+    // maximizing satisfied clauses maximizes the cut.
     let vertices = ["a", "b", "c", "d", "e", "f"];
     let edges = [(0, 1), (0, 2), (1, 3), (2, 3), (2, 4), (3, 5), (4, 5)];
+    let graph = "p mc 6 7\n1 2\n1 3\n2 4\n3 4\n3 5\n4 6\n5 6\n";
 
-    // Max-cut as Max-SAT: an edge (u, v) is cut iff u ≠ v, i.e. both
-    // (u ∨ v) and (¬u ∨ ¬v) hold. Each cut edge satisfies both clauses,
-    // each uncut edge exactly one — maximizing satisfied clauses maximizes
-    // the cut.
-    let mut clauses = Vec::new();
-    for &(u, v) in &edges {
-        clauses.push(Clause::new(vec![Lit::pos(u), Lit::pos(v)]));
-        clauses.push(Clause::new(vec![Lit::neg(u), Lit::neg(v)]));
-    }
-    let formula = Formula::new(vertices.len(), clauses);
+    let frontend = FrontendRegistry::global()
+        .get("maxcut")
+        .expect("the maxcut frontend is registered");
+    let workload = frontend.parse(graph).expect("a well-formed edge list");
+    let Workload::MaxSat(formula) = &workload else {
+        panic!("the maxcut frontend produces formulas");
+    };
 
     // Scan a small (γ, β) grid, exactly simulating the QAOA circuit.
     let mut best = (QaoaParams::single(0.7, 0.3), f64::MIN);
     for gi in 1..10 {
         for bi in 1..10 {
             let params = QaoaParams::single(gi as f64 * 0.15, bi as f64 * 0.15);
-            let circuit = qaoa::build_circuit(&formula, &params, false);
-            let expectation = qaoa::expected_satisfied(&formula, &circuit);
+            let circuit = qaoa::build_circuit(formula, &params, false);
+            let expectation = qaoa::expected_satisfied(formula, &circuit);
             if expectation > best.1 {
                 best = (params, expectation);
             }
@@ -47,7 +50,7 @@ fn main() {
     );
 
     // Read the most likely bitstring from the output distribution (Fig. 1c).
-    let circuit = qaoa::build_circuit(&formula, &params, false);
+    let circuit = qaoa::build_circuit(formula, &params, false);
     let state = circuit.statevector();
     let probabilities = state.probabilities();
     let (bitstring, p) = probabilities
@@ -76,15 +79,20 @@ fn main() {
         partition.join(", ")
     );
 
-    // And the same workload through the actual Weaver FPQA pipeline.
+    // And the same workload through the actual Weaver FPQA pipeline, via
+    // the workload-level entry point.
     let weaver = Weaver::new();
-    let compiled = weaver.compile_fpqa(&formula);
-    let report = weaver.verify(&compiled, &formula);
+    let output = weaver
+        .compile_workload("fpqa", &workload)
+        .expect("the FPQA backend accepts any formula");
+    let report = weaver
+        .verify_workload(&output, &workload, None)
+        .expect("the FPQA backend has a checker");
     println!(
         "\nFPQA compilation: {} pulses, {:.1} ms estimated execution, EPS {:.4}, checker: {}",
-        compiled.metrics.pulses,
-        compiled.metrics.execution_micros / 1000.0,
-        compiled.metrics.eps,
+        output.metrics.pulses,
+        output.metrics.execution_micros / 1000.0,
+        output.metrics.eps,
         if report.passed() { "PASS" } else { "FAIL" }
     );
     assert!(report.passed());

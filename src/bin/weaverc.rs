@@ -1,47 +1,56 @@
 //! `weaverc` — command-line front end for the Weaver retargetable compiler.
 //!
 //! ```text
-//! weaverc <input.cnf> [--target fpqa|superconducting|simulator|sc:<device>]
-//!         [--out file.qasm]
+//! weaverc <input> [--target fpqa|superconducting|simulator|sc:<device>]
+//!         [--frontend dimacs|maxcut|wqasm] [--out file.qasm]
 //!         [--no-compression] [--no-parallel-shuttling] [--greedy-coloring]
 //!         [--ccz-fidelity F] [--gamma G --beta B] [--check] [--metrics]
 //!
-//! weaverc batch <dir|manifest> [--jobs N] [--target <name>] [--check]
-//!         [--jsonl file] [--out-dir dir] [--cache-dir dir]
-//!         [--no-cache] [shared option flags as above]
+//! weaverc batch <dir|manifest> [--jobs N] [--target <name>]
+//!         [--frontend <name>] [--check] [--jsonl file] [--out-dir dir]
+//!         [--cache-dir dir] [--no-cache] [shared option flags as above]
 //!
 //! weaverc targets
+//! weaverc frontends
 //! ```
 //!
-//! Single-shot mode reads one DIMACS CNF Max-3SAT instance (SATLIB format),
-//! compiles it for the chosen backend (dispatched through the
-//! `weaver_core::backend::BackendRegistry`), prints metrics, and optionally
-//! writes the compiled wQasm program and runs the wChecker. `--target`
-//! accepts any registered name or alias — including the `sc:*`
-//! superconducting device family (`sc:line`, `sc:grid`, `sc:eagle`,
-//! `sc:heron`) and parameterized lattices like `sc:grid:4x5`, minted on
-//! demand. Batch mode compiles a whole fixture directory or manifest
-//! through `weaver-engine`: jobs run on a work-stealing pool, finished
-//! artifacts land in a content-addressed cache, and results stream as
-//! JSONL (each successful record carrying the per-pass timing trace).
-//! `weaverc targets` lists the registered backends. Failures exit nonzero
-//! with a one-line structured `weaverc: error: <kind>: <message>`
-//! diagnostic instead of panicking mid-batch; a bad `--target` value is
-//! `unknown-target`.
+//! Single-shot mode reads one workload file in any registered frontend
+//! format — DIMACS CNF / weighted WCNF Max-SAT, max-cut edge lists
+//! (`.mc`), or direct wQasm circuits (`.wq`) — resolved through the
+//! `weaver_core::FrontendRegistry` (`--frontend` first, then the file
+//! extension, then content sniffing), compiles it for the chosen backend
+//! (dispatched through the `weaver_core::backend::BackendRegistry`),
+//! prints metrics, and optionally writes the compiled wQasm program and
+//! runs the wChecker. `--target` accepts any registered name or alias —
+//! including the `sc:*` superconducting device family (`sc:line`,
+//! `sc:grid`, `sc:eagle`, `sc:heron`) and parameterized lattices like
+//! `sc:grid:4x5`, minted on demand. Circuit workloads compile on
+//! circuit-capable targets only (simulator, superconducting, `sc:*`).
+//! Batch mode compiles a whole fixture directory or manifest through
+//! `weaver-engine`: jobs run on a work-stealing pool, finished artifacts
+//! land in a content-addressed cache, and results stream as JSONL (each
+//! successful record carrying the per-pass timing trace). `weaverc
+//! targets` lists the registered backends; `weaverc frontends` the
+//! registered front ends. Failures exit nonzero with a one-line
+//! structured `weaverc: error: <kind>: <message>` diagnostic instead of
+//! panicking mid-batch; a bad `--target` value is `unknown-target`, an
+//! unrecognizable input format `unknown-format`, and a circuit sent to a
+//! formula-only target `unsupported-workload`.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 use weaver::core::backend::{BackendErrorKind, BackendRegistry, CompiledArtifact};
-use weaver::core::{CodegenOptions, Weaver};
+use weaver::core::{CodegenOptions, FrontendRegistry, Weaver, Workload};
 use weaver::engine::{
     discover_jobs, job_record, CacheConfig, Engine, EngineConfig, JobOptions, Target,
 };
 use weaver::fpqa::FpqaParams;
-use weaver::sat::{dimacs, qaoa::QaoaParams};
+use weaver::sat::qaoa::QaoaParams;
 
 struct Args {
     input: String,
     target: String,
+    frontend: Option<String>,
     out: Option<String>,
     compression: bool,
     parallel_shuttling: bool,
@@ -60,13 +69,15 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: weaverc <input.cnf> [--target fpqa|superconducting|simulator|sc:<device>] [--out file.qasm]\n\
+    "usage: weaverc <input> [--target fpqa|superconducting|simulator|sc:<device>] [--out file.qasm]\n\
+     \x20              [--frontend dimacs|maxcut|wqasm]\n\
      \x20              [--no-compression] [--no-parallel-shuttling] [--greedy-coloring]\n\
      \x20              [--ccz-fidelity F] [--gamma G] [--beta B] [--check]\n\
-     \x20      weaverc batch <dir|manifest> [--jobs N] [--target <name>]\n\
+     \x20      weaverc batch <dir|manifest> [--jobs N] [--target <name>] [--frontend <name>]\n\
      \x20              [--check] [--jsonl file] [--out-dir dir] [--cache-dir dir]\n\
      \x20              [--no-cache] [shared option flags]\n\
-     \x20      weaverc targets"
+     \x20      weaverc targets\n\
+     \x20      weaverc frontends"
 }
 
 /// Prints the one-line structured diagnostic every failure path uses.
@@ -79,6 +90,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         input: String::new(),
         target: "fpqa".to_string(),
+        frontend: None,
         out: None,
         compression: true,
         parallel_shuttling: true,
@@ -99,17 +111,23 @@ fn parse_args() -> Result<Args, String> {
         args.batch = true;
         it.next();
     }
-    // `weaverc batch targets` keeps treating `targets` as a path.
-    if !args.batch && it.peek().map(String::as_str) == Some("targets") {
-        it.next();
-        if let Some(extra) = it.next() {
-            return Err(format!(
-                "`weaverc targets` takes no arguments (got `{extra}`)\n{}",
-                usage()
-            ));
+    // `weaverc batch targets` keeps treating `targets` as a path (same for
+    // `frontends`).
+    if !args.batch {
+        if let keyword @ ("targets" | "frontends") =
+            it.peek().map(String::as_str).unwrap_or_default()
+        {
+            let keyword = keyword.to_string();
+            it.next();
+            if let Some(extra) = it.next() {
+                return Err(format!(
+                    "`weaverc {keyword}` takes no arguments (got `{extra}`)\n{}",
+                    usage()
+                ));
+            }
+            args.input = keyword;
+            return Ok(args);
         }
-        args.input = "targets".to_string();
-        return Ok(args);
     }
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
         it.next().ok_or(format!("missing value for {flag}"))
@@ -120,6 +138,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--target" => args.target = value(&mut it, "--target")?,
+            "--frontend" => args.frontend = Some(value(&mut it, "--frontend")?),
             // Single-shot only; batch writes artifacts via --out-dir.
             "--out" if !args.batch => args.out = Some(value(&mut it, "--out")?),
             "--no-compression" => args.compression = false,
@@ -164,6 +183,8 @@ fn main() -> ExitCode {
     };
     if args.input == "targets" && !args.batch {
         run_targets()
+    } else if args.input == "frontends" && !args.batch {
+        run_frontends()
     } else if args.batch {
         run_batch(&args)
     } else {
@@ -199,6 +220,31 @@ fn run_targets() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `weaverc frontends` — lists the frontend registry (name, aliases,
+/// extensions, description, produced workload kind).
+fn run_frontends() -> ExitCode {
+    let registry = FrontendRegistry::global();
+    println!("registered front ends:");
+    for front in registry.frontends() {
+        let info = front.info();
+        let aliases = if info.aliases.is_empty() {
+            String::new()
+        } else {
+            format!(" (alias {})", info.aliases.join(", "))
+        };
+        let extensions: Vec<String> = info.extensions.iter().map(|e| format!(".{e}")).collect();
+        println!(
+            "  {:<16} {}{} — {} [produces: {}]",
+            info.name,
+            extensions.join(" "),
+            aliases,
+            info.description,
+            info.produces,
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 // ---------------------------------------------------------------------------
 // Batch mode
 // ---------------------------------------------------------------------------
@@ -217,10 +263,24 @@ fn run_batch(args: &Args) -> ExitCode {
         beta: args.beta,
         check: args.check,
     };
-    let jobs = match discover_jobs(std::path::Path::new(&args.input), target, &defaults) {
+    if let Some(name) = &args.frontend {
+        if FrontendRegistry::global().get(name).is_none() {
+            return error_line(
+                "unknown-format",
+                &FrontendRegistry::global().unknown_format(name),
+            );
+        }
+    }
+    let mut jobs = match discover_jobs(std::path::Path::new(&args.input), target, &defaults) {
         Ok(jobs) => jobs,
         Err(e) => return error_line("io", &e),
     };
+    // `--frontend` seeds jobs that did not pin one via a manifest line.
+    if let Some(name) = &args.frontend {
+        for job in jobs.iter_mut().filter(|j| j.frontend.is_none()) {
+            job.frontend = Some(name.clone());
+        }
+    }
     let engine = match Engine::try_new(EngineConfig {
         jobs: args.jobs,
         cache: CacheConfig {
@@ -339,15 +399,24 @@ fn run_single(args: &Args) -> ExitCode {
         Ok(t) => t,
         Err(e) => return error_line("io", &format!("cannot read {}: {e}", args.input)),
     };
-    let formula = match dimacs::parse(&text) {
-        Ok(f) => f,
+    let registry = FrontendRegistry::global();
+    let front = match registry.resolve(
+        args.frontend.as_deref(),
+        Some(std::path::Path::new(&args.input)),
+        &text,
+    ) {
+        Ok(front) => front,
+        Err(e) => return error_line("unknown-format", &e),
+    };
+    let workload = match front.parse(&text) {
+        Ok(w) => w,
         Err(e) => return error_line("parse", &format!("{}: {e}", args.input)),
     };
     eprintln!(
-        "weaverc: {} — {} variables, {} clauses",
+        "weaverc: {} — {} [{}]",
         args.input,
-        formula.num_vars(),
-        formula.num_clauses()
+        workload.describe(),
+        front.info().name
     );
 
     let mut params = FpqaParams::default();
@@ -366,10 +435,13 @@ fn run_single(args: &Args) -> ExitCode {
 
     // One dispatch site: the backend registry resolves the target name (or
     // alias) and compiles; per-target reporting reads the artifact variant.
-    let output = match weaver.compile_target(&args.target, &formula) {
+    let output = match weaver.compile_workload(&args.target, &workload) {
         Ok(output) => output,
         Err(e) if e.kind == BackendErrorKind::UnknownTarget => {
             return error_line("unknown-target", &e.message)
+        }
+        Err(e) if e.kind == BackendErrorKind::UnsupportedWorkload => {
+            return error_line("unsupported-workload", &e.message)
         }
         Err(e) => return error_line("compile", &e.message),
     };
@@ -404,17 +476,25 @@ fn run_single(args: &Args) -> ExitCode {
                 "weaverc: compiled in {:.4} s — {} native gates, ideal state-vector run",
                 output.metrics.compilation_seconds, output.metrics.pulses,
             );
-            eprintln!(
-                "weaverc: ideal EPS {:.3e} ({} of 2^{} basis states satisfy {} clauses)",
-                run.optimal_probability,
-                run.num_optimal,
-                formula.num_vars(),
-                run.max_satisfied,
-            );
+            match &workload {
+                Workload::MaxSat(formula) => eprintln!(
+                    "weaverc: ideal EPS {:.3e} ({} of 2^{} basis states reach optimum {})",
+                    run.optimal_probability,
+                    run.num_optimal,
+                    formula.num_vars(),
+                    run.max_satisfied,
+                ),
+                Workload::Circuit(_) => eprintln!(
+                    "weaverc: peak basis-state probability {:.3e} ({} peak state{})",
+                    run.optimal_probability,
+                    run.num_optimal,
+                    if run.num_optimal == 1 { "" } else { "s" },
+                ),
+            }
         }
     }
     if args.check {
-        match weaver.verify_output(&output, &formula, None) {
+        match weaver.verify_workload(&output, &workload, None) {
             Some(report) if report.passed() => {
                 eprintln!(
                     "weaverc: wChecker PASS ({} pulses, {} motions checked)",

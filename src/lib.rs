@@ -56,7 +56,8 @@ pub mod prelude {
     pub use weaver_circuit::{Circuit, Gate, NativeBasis};
     pub use weaver_core::{
         Backend, BackendRegistry, CacheHandle, CheckReport, CodegenOptions, CompileOutput,
-        CompiledArtifact, FpqaResult, Metrics, Weaver,
+        CompiledArtifact, FpqaResult, Frontend, FrontendRegistry, Metrics, Weaver, Workload,
+        WorkloadKind,
     };
     pub use weaver_engine::{CompileJob, Engine, EngineConfig};
     pub use weaver_fpqa::{FpqaDevice, FpqaParams, PulseOp, PulseSchedule};

@@ -180,7 +180,7 @@ fn simulator_target_compiles_through_the_registry() {
     };
     assert!(run.optimal_probability > 0.0 && run.optimal_probability <= 1.0);
     assert_eq!(output.metrics.eps, run.optimal_probability);
-    assert!(run.max_satisfied <= formula.num_clauses());
+    assert!(run.max_satisfied <= formula.num_clauses() as u64);
     // The alias resolves to the same backend and the run is deterministic.
     let aliased = weaver.compile_target("sim", &formula).unwrap();
     assert_eq!(
@@ -206,7 +206,7 @@ fn simulator_target_compiles_through_the_registry() {
         .filter(|(i, _)| formula.count_satisfied_by_index(*i) == best)
         .map(|(_, p)| p)
         .sum();
-    assert_eq!(run.max_satisfied, best);
+    assert_eq!(run.max_satisfied, best as u64);
     assert!((run.optimal_probability - expected).abs() < 1e-12);
 }
 

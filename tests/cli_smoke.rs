@@ -237,6 +237,147 @@ fn batch_compiles_the_devices_manifest() {
 }
 
 #[test]
+fn frontends_subcommand_lists_the_registry() {
+    let out = weaverc().arg("frontends").output().expect("run weaverc");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["dimacs", "maxcut", "wqasm"] {
+        assert!(stdout.contains(name), "{name} missing from:\n{stdout}");
+    }
+    assert!(stdout.contains("alias cnf, wcnf"), "{stdout}");
+    assert!(stdout.contains("alias mc, graph"), "{stdout}");
+    assert!(stdout.contains(".wcnf"), "{stdout}");
+    assert!(stdout.contains("produces: max-sat"), "{stdout}");
+    assert!(stdout.contains("produces: circuit"), "{stdout}");
+    // Stray arguments are rejected instead of silently ignored.
+    let out = weaverc().args(["frontends", "--jobs"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("takes no arguments"));
+}
+
+#[test]
+fn wcnf_and_maxcut_inputs_compile_single_shot() {
+    let wcnf = format!("{}/sample.wcnf", fixtures_dir());
+    let out = weaverc().args([wcnf.as_str(), "--check"]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("(weighted) [dimacs]"), "{stderr}");
+    assert!(stderr.contains("wChecker PASS"), "{stderr}");
+
+    let mc = format!("{}/triangle.mc", fixtures_dir());
+    let out = weaverc()
+        .args([mc.as_str(), "--target", "sim"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("(weighted) [maxcut]"), "{stderr}");
+    assert!(stderr.contains("ideal EPS"), "{stderr}");
+}
+
+#[test]
+fn circuit_inputs_route_to_circuit_capable_targets_only() {
+    let wq = format!("{}/bell.wq", fixtures_dir());
+    // The simulator runs it and reports the peak outcome.
+    let out = weaverc()
+        .args([wq.as_str(), "--target", "simulator"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("2 qubits") && stderr.contains("[wqasm]"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("peak basis-state probability"), "{stderr}");
+    // Superconducting devices transpile it.
+    let out = weaverc()
+        .args([wq.as_str(), "--target", "sc:eagle"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The formula-only FPQA target rejects it with a structured diagnostic.
+    let out = weaverc()
+        .args([wq.as_str(), "--target", "fpqa"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("weaverc: error: unsupported-workload:")
+            && stderr.contains("circuit-capable"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn unknown_frontend_is_a_structured_diagnostic() {
+    let cnf = write_cnf();
+    for args in [
+        vec![cnf.as_str(), "--frontend", "smtlib"],
+        vec!["batch", cnf.as_str(), "--frontend", "smtlib"],
+    ] {
+        let out = weaverc().args(&args).output().unwrap();
+        assert!(!out.status.success(), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("weaverc: error: unknown-format: unknown front end `smtlib`"),
+            "{args:?}: {stderr}"
+        );
+        assert!(
+            stderr.contains("known front ends: dimacs, maxcut, wqasm"),
+            "{args:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn parse_errors_carry_line_and_column() {
+    let bad = std::env::temp_dir().join("weaverc_smoke_bad_weight.wcnf");
+    std::fs::write(&bad, "p wcnf 2 1 10\n0 1 2 0\n").unwrap();
+    let out = weaverc().arg(bad.to_str().unwrap()).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("weaverc: error: parse:"), "{stderr}");
+    assert!(stderr.contains("line 2"), "{stderr}");
+}
+
+#[test]
+fn batch_compiles_the_mixed_frontends_manifest() {
+    let manifest = format!("{}/mixed-frontends.manifest", fixtures_dir());
+    let out = weaverc()
+        .args(["batch", manifest.as_str(), "--jobs", "2"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["uf20-01.cnf", "sample.wcnf", "triangle.mc", "bell.wq"] {
+        assert!(stdout.contains(name), "{name} missing from:\n{stdout}");
+    }
+    assert!(String::from_utf8_lossy(&out.stderr).contains("8/8 succeeded"));
+}
+
+#[test]
 fn bad_input_fails_cleanly() {
     let out = weaverc().args(["/nonexistent.cnf"]).output().unwrap();
     assert!(!out.status.success());
@@ -278,19 +419,20 @@ fn batch_compiles_the_fixture_suite_with_check() {
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     let lines: Vec<&str> = stdout.lines().collect();
-    // 8 fixture job records + 1 batch summary, all JSONL.
-    assert_eq!(lines.len(), 9, "{stdout}");
+    // 10 fixture job records (8 .cnf + sample.wcnf + triangle.mc; the
+    // circuit fixture bell.wq is manifest-only) + 1 batch summary.
+    assert_eq!(lines.len(), 11, "{stdout}");
     assert_eq!(
         lines
             .iter()
             .filter(|l| l.contains("\"kind\":\"job\"") && l.contains("\"check_passed\":true"))
             .count(),
-        8
+        10
     );
     let summary = lines.last().unwrap();
     assert!(summary.contains("\"kind\":\"batch\""), "{summary}");
-    assert!(summary.contains("\"succeeded\":8"), "{summary}");
-    assert!(String::from_utf8_lossy(&out.stderr).contains("8/8 succeeded"));
+    assert!(summary.contains("\"succeeded\":10"), "{summary}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("10/10 succeeded"));
 }
 
 #[test]

@@ -173,11 +173,12 @@ fn device_keys_separate_from_core_targets() {
     let mut targets = vec![Target::Fpqa, Target::Superconducting, Target::Simulator];
     targets.extend(Target::builtin_devices());
     targets.push(Target::ScDevice("sc:grid:4x5".to_string()));
+    let workload = weaver::core::Workload::MaxSat(formula.clone());
     for target in targets {
         let mut job = CompileJob::from_formula("key-probe", formula.clone());
         job.target = target.clone();
         assert!(
-            keys.insert(job.artifact_key(&formula)),
+            keys.insert(job.artifact_key(&workload)),
             "{target} collides with another target's key"
         );
     }

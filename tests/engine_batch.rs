@@ -5,9 +5,9 @@
 
 use proptest::prelude::*;
 use std::path::Path;
-use weaver::core::{CodegenOptions, Metrics, Weaver};
+use weaver::core::{CodegenOptions, FrontendRegistry, Metrics, Weaver};
 use weaver::engine::{discover_jobs, CompileJob, Engine, EngineConfig, JobOptions, Target};
-use weaver::sat::{dimacs, generator, qaoa::QaoaParams, Formula};
+use weaver::sat::{generator, qaoa::QaoaParams, Formula};
 
 fn fixtures_dir() -> std::path::PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
@@ -19,7 +19,7 @@ fn fixture_jobs(check: bool) -> Vec<CompileJob> {
         ..JobOptions::default()
     };
     let jobs = discover_jobs(&fixtures_dir(), Target::Fpqa, &options).expect("fixtures");
-    assert!(jobs.len() >= 8, "acceptance needs ≥ 8 DIMACS instances");
+    assert!(jobs.len() >= 8, "acceptance needs ≥ 8 formula instances");
     jobs
 }
 
@@ -42,22 +42,24 @@ fn stable_metrics(m: &Metrics) -> (u64, u64, usize, usize, u64) {
     )
 }
 
-/// Mirrors one single-shot `weaverc` run: parse the file, compile with the
-/// default CLI options, print wQasm.
+/// Mirrors one single-shot `weaverc` run: resolve the frontend from the
+/// path, parse the file, compile with the default CLI options, print wQasm.
 fn single_shot(path: &Path) -> (String, Metrics) {
     let text = std::fs::read_to_string(path).expect("fixture readable");
-    let formula = dimacs::parse(&text).expect("fixture parses");
+    let front = FrontendRegistry::global()
+        .resolve(None, Some(path), &text)
+        .expect("fixture format recognized");
+    let workload = front.parse(&text).expect("fixture parses");
     let options = CodegenOptions {
         qaoa: QaoaParams::single(0.7, 0.3),
         measure: true,
         ..CodegenOptions::default()
     };
     let weaver = Weaver::new().with_options(options);
-    let result = weaver.compile_fpqa(&formula);
-    (
-        weaver::wqasm::print(&result.compiled.program),
-        result.metrics,
-    )
+    let output = weaver
+        .compile_workload("fpqa", &workload)
+        .expect("fixture compiles");
+    (output.artifact.print_wqasm(), output.metrics)
 }
 
 #[test]
