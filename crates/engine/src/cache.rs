@@ -4,10 +4,20 @@
 //! Artifacts are addressed by the BLAKE2s-256 key of
 //! [`crate::CompileJob::artifact_key`] — canonical formula ⊕ target
 //! parameters ⊕ options ⊕ compiler version — so a hit is valid by
-//! construction and no invalidation logic exists. The disk tier stores one
-//! framed text file per artifact under `<dir>/<hex-key>.wvart`, written
-//! atomically (temp file + rename) so concurrent writers cannot tear each
-//! other's entries. Malformed or truncated disk entries degrade to misses.
+//! construction and no invalidation logic exists.
+//!
+//! The default disk tier is the durable paged store ([`crate::store`]):
+//! one WAL-guarded page file that survives being killed at any byte —
+//! every committed artifact is recovered byte-identical on reopen, torn
+//! writes are discarded, and damaged pages quarantine as misses. The
+//! pre-existing one-file-per-artifact format
+//! ([`DiskFormat::FilePerArtifact`], `<dir>/<hex-key>.wvart`, atomic
+//! temp-file + rename) remains available, and a directory of legacy
+//! `.wvart` entries is migrated into the paged store the first time it is
+//! opened. If another live process holds the store lock the cache falls
+//! back to the legacy format so concurrent batches still share a
+//! directory. Disk I/O failures never fail a compile: they are counted
+//! ([`CacheTierStats::disk_write_errors`]) and warned once per process.
 //!
 //! The cache also owns the process-wide [`CacheHandle`] threaded through
 //! `weaver-core`, so all batch jobs share memoized clause plans and checker
@@ -15,13 +25,24 @@
 
 use crate::job::Artifact;
 use crate::job::CacheOutcome;
+use crate::store::{self, Store, StoreTuning};
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use weaver_core::cache::{CacheHandle, Digest};
 use weaver_core::Metrics;
+
+/// On-disk layout of the disk tier.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DiskFormat {
+    /// The durable single-file paged store with WAL (see [`crate::store`]).
+    #[default]
+    Paged,
+    /// The legacy one-file-per-artifact format (`<hex-key>.wvart`).
+    FilePerArtifact,
+}
 
 /// Artifact-cache configuration.
 #[derive(Clone, Debug)]
@@ -30,6 +51,10 @@ pub struct CacheConfig {
     pub memory_capacity: usize,
     /// Directory of the on-disk tier; `None` disables it.
     pub disk_dir: Option<PathBuf>,
+    /// Disk-tier layout (paged store by default).
+    pub disk_format: DiskFormat,
+    /// Paged-store tuning (page size, buffer pool, checkpoint threshold).
+    pub store: StoreTuning,
 }
 
 impl Default for CacheConfig {
@@ -37,11 +62,13 @@ impl Default for CacheConfig {
         CacheConfig {
             memory_capacity: 1024,
             disk_dir: None,
+            disk_format: DiskFormat::default(),
+            store: StoreTuning::default(),
         }
     }
 }
 
-/// Hit/miss counters of the two tiers.
+/// Hit/miss/durability counters of the two tiers.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheTierStats {
     /// Lookups served by the in-memory tier.
@@ -52,6 +79,18 @@ pub struct CacheTierStats {
     pub misses: u64,
     /// Artifacts evicted from the memory tier.
     pub evictions: u64,
+    /// Disk-tier write failures (swallowed, counted, warned once).
+    pub disk_write_errors: u64,
+    /// Pages or chains quarantined for checksum failures (paged store).
+    pub checksum_failures: u64,
+    /// WAL records replayed when the store was opened.
+    pub wal_replayed: u64,
+    /// Store opens that had crash damage to repair.
+    pub recoveries: u64,
+    /// Paged-store buffer-pool LRU evictions.
+    pub buffer_evictions: u64,
+    /// Legacy `.wvart` entries migrated into the paged store at open.
+    pub migrated_legacy: u64,
 }
 
 struct MemoryEntry {
@@ -59,35 +98,96 @@ struct MemoryEntry {
     stamp: u64,
 }
 
+/// The configured disk tier, as actually opened.
+enum DiskTier {
+    /// Disk caching disabled.
+    None,
+    /// The durable paged store (single writer, mutex-serialized; boxed to
+    /// keep the tier enum small when disk caching is off).
+    Paged(Box<Mutex<Store>>),
+    /// Legacy one-file-per-artifact directory.
+    Files(PathBuf),
+}
+
+static DISK_WRITE_WARNED: AtomicBool = AtomicBool::new(false);
+static LOCK_FALLBACK_WARNED: AtomicBool = AtomicBool::new(false);
+
+fn warn_once(flag: &AtomicBool, message: &str) {
+    if !flag.swap(true, Ordering::Relaxed) {
+        eprintln!("weaver-engine: {message}");
+    }
+}
+
+/// Parses a 64-hex-digit artifact key (legacy disk file stem).
+fn digest_from_hex(s: &str) -> Option<Digest> {
+    if s.len() != 64 {
+        return None;
+    }
+    let mut out = [0u8; 32];
+    for (i, byte) in out.iter_mut().enumerate() {
+        *byte = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok()?;
+    }
+    Some(Digest(out))
+}
+
 /// The content-addressed artifact cache (see module docs).
 pub struct ArtifactCache {
     config: CacheConfig,
     memory: Mutex<HashMap<Digest, MemoryEntry>>,
+    disk: DiskTier,
     clock: AtomicU64,
     core: CacheHandle,
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    disk_write_errors: AtomicU64,
+    migrated_legacy: AtomicU64,
 }
 
 impl ArtifactCache {
-    /// Builds a cache; the disk directory (when configured) is created
-    /// eagerly so store failures surface here rather than mid-batch.
+    /// Builds a cache; the disk tier (when configured) is opened eagerly —
+    /// including paged-store crash recovery and legacy-format migration —
+    /// so store failures surface here rather than mid-batch.
     pub fn new(config: CacheConfig) -> std::io::Result<Self> {
-        if let Some(dir) = &config.disk_dir {
-            std::fs::create_dir_all(dir)?;
-        }
-        Ok(ArtifactCache {
-            config,
+        let mut cache = ArtifactCache {
             memory: Mutex::new(HashMap::new()),
+            disk: DiskTier::None,
             clock: AtomicU64::new(0),
             core: CacheHandle::new(),
             memory_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
-        })
+            disk_write_errors: AtomicU64::new(0),
+            migrated_legacy: AtomicU64::new(0),
+            config,
+        };
+        let Some(dir) = cache.config.disk_dir.clone() else {
+            return Ok(cache);
+        };
+        std::fs::create_dir_all(&dir)?;
+        cache.disk = match cache.config.disk_format {
+            DiskFormat::FilePerArtifact => DiskTier::Files(dir),
+            DiskFormat::Paged => match Store::open(&dir, cache.config.store.clone()) {
+                Ok(mut s) => {
+                    let migrated = migrate_legacy_files(&dir, &mut s);
+                    cache.migrated_legacy.store(migrated, Ordering::Relaxed);
+                    DiskTier::Paged(Box::new(Mutex::new(s)))
+                }
+                // Another live process owns the store: share the directory
+                // through the multi-writer-safe legacy format instead.
+                Err(e) if store::is_locked(&e) => {
+                    warn_once(
+                        &LOCK_FALLBACK_WARNED,
+                        &format!("paged store busy ({e}); using one-file-per-artifact tier"),
+                    );
+                    DiskTier::Files(dir)
+                }
+                Err(e) => return Err(e),
+            },
+        };
+        Ok(cache)
     }
 
     /// The shared `weaver-core` memo handle (clause plans, checker traces).
@@ -106,41 +206,83 @@ impl ArtifactCache {
                 return Some((entry.artifact.clone(), CacheOutcome::MemoryHit));
             }
         }
-        if let Some(dir) = &self.config.disk_dir {
-            let path = dir.join(format!("{}.wvart", key.to_hex()));
-            if let Ok(text) = std::fs::read_to_string(&path) {
-                if let Some(artifact) = parse_artifact(&text) {
-                    let artifact = Arc::new(artifact);
-                    self.insert_memory(*key, artifact.clone());
-                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                    return Some((artifact, CacheOutcome::DiskHit));
-                }
-            }
+        if let Some(artifact) = self.disk_lookup(key) {
+            let artifact = Arc::new(artifact);
+            self.insert_memory(*key, artifact.clone());
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            return Some((artifact, CacheOutcome::DiskHit));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         None
     }
 
-    /// Stores an artifact in both tiers. Disk-tier I/O failures are
-    /// swallowed — the cache is an accelerator, not a system of record.
+    fn disk_lookup(&self, key: &Digest) -> Option<Artifact> {
+        let text = match &self.disk {
+            DiskTier::None => return None,
+            DiskTier::Paged(store) => {
+                // Torn or damaged chains come back as `None` (quarantined
+                // inside the store), never as corrupt bytes.
+                let bytes = store.lock().unwrap().get(key).ok().flatten()?;
+                String::from_utf8(bytes).ok()?
+            }
+            DiskTier::Files(dir) => {
+                std::fs::read_to_string(dir.join(format!("{}.wvart", key.to_hex()))).ok()?
+            }
+        };
+        parse_artifact(&text)
+    }
+
+    /// Stores an artifact in both tiers. Disk-tier I/O failures never fail
+    /// the compile — the cache is an accelerator, not a system of record —
+    /// but they are counted in [`CacheTierStats::disk_write_errors`] and
+    /// warned once per process.
     pub fn store(&self, key: Digest, artifact: Arc<Artifact>) {
-        if let Some(dir) = &self.config.disk_dir {
-            let final_path = dir.join(format!("{}.wvart", key.to_hex()));
-            // The clock tick keeps the temp name unique across concurrent
-            // same-key writers within this process too, so the rename is
-            // the only point an entry becomes visible.
-            let tmp_path = dir.join(format!(
-                "{}.tmp.{}.{}",
-                key.to_hex(),
-                std::process::id(),
-                self.clock.fetch_add(1, Ordering::Relaxed)
-            ));
-            let text = render_artifact(&artifact);
-            if std::fs::write(&tmp_path, text).is_ok() {
-                let _ = std::fs::rename(&tmp_path, &final_path);
+        match &self.disk {
+            DiskTier::None => {}
+            DiskTier::Paged(store) => {
+                let text = render_artifact(&artifact);
+                if let Err(e) = store.lock().unwrap().put(&key, text.as_bytes()) {
+                    self.count_write_error("paged store put", &e);
+                }
+            }
+            DiskTier::Files(dir) => {
+                if let Err(e) = self.store_file(dir, &key, &artifact) {
+                    self.count_write_error("disk write", &e);
+                }
             }
         }
         self.insert_memory(key, artifact);
+    }
+
+    /// Legacy tier write: temp file, fsync, atomic rename — the fsync makes
+    /// the fallback path durable too, and the rename is the only point an
+    /// entry becomes visible to concurrent readers.
+    fn store_file(&self, dir: &Path, key: &Digest, artifact: &Artifact) -> std::io::Result<()> {
+        let final_path = dir.join(format!("{}.wvart", key.to_hex()));
+        // The clock tick keeps the temp name unique across concurrent
+        // same-key writers within this process too.
+        let tmp_path = dir.join(format!(
+            "{}.tmp.{}.{}",
+            key.to_hex(),
+            std::process::id(),
+            self.clock.fetch_add(1, Ordering::Relaxed)
+        ));
+        let text = render_artifact(artifact);
+        let result = std::fs::write(&tmp_path, text)
+            .and_then(|()| std::fs::File::open(&tmp_path)?.sync_all())
+            .and_then(|()| std::fs::rename(&tmp_path, &final_path));
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp_path);
+        }
+        result
+    }
+
+    fn count_write_error(&self, what: &str, e: &std::io::Error) {
+        self.disk_write_errors.fetch_add(1, Ordering::Relaxed);
+        warn_once(
+            &DISK_WRITE_WARNED,
+            &format!("{what} failed ({e}); artifacts may not persist — continuing without"),
+        );
     }
 
     fn insert_memory(&self, key: Digest, artifact: Arc<Artifact>) {
@@ -158,15 +300,86 @@ impl ArtifactCache {
         }
     }
 
+    /// Runs a full checksum scan of the paged disk tier; `None` when the
+    /// disk tier is absent or legacy-format.
+    pub fn verify_disk(&self) -> Option<store::VerifyReport> {
+        match &self.disk {
+            DiskTier::Paged(store) => store.lock().unwrap().verify().ok(),
+            _ => None,
+        }
+    }
+
+    /// Checkpoints the paged disk tier (fsync pages, truncate WAL); no-op
+    /// for other tiers.
+    pub fn checkpoint_disk(&self) {
+        if let DiskTier::Paged(store) = &self.disk {
+            let _ = store.lock().unwrap().checkpoint();
+        }
+    }
+
     /// Point-in-time tier counters.
     pub fn stats(&self) -> CacheTierStats {
-        CacheTierStats {
+        let mut stats = CacheTierStats {
             memory_hits: self.memory_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            disk_write_errors: self.disk_write_errors.load(Ordering::Relaxed),
+            migrated_legacy: self.migrated_legacy.load(Ordering::Relaxed),
+            ..CacheTierStats::default()
+        };
+        if let DiskTier::Paged(store) = &self.disk {
+            let s = store.lock().unwrap().stats();
+            stats.checksum_failures = s.checksum_failures;
+            stats.wal_replayed = s.wal_replayed;
+            stats.recoveries = s.recoveries;
+            stats.buffer_evictions = s.buffer_evictions;
+        }
+        stats
+    }
+}
+
+impl Drop for ArtifactCache {
+    /// Best-effort checkpoint so a clean shutdown truncates the WAL and the
+    /// next open replays nothing. A crash skips this — that's what the WAL
+    /// is for.
+    fn drop(&mut self) {
+        self.checkpoint_disk();
+    }
+}
+
+/// Imports every readable legacy `.wvart` entry into the paged store and
+/// removes the file; malformed entries are left in place (they were misses
+/// before and stay misses). Returns how many artifacts moved.
+fn migrate_legacy_files(dir: &Path, store: &mut Store) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut migrated = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("wvart") {
+            continue;
+        }
+        let Some(key) = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .and_then(digest_from_hex)
+        else {
+            continue;
+        };
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        if parse_artifact(&text).is_none() {
+            continue;
+        }
+        if store.put(&key, text.as_bytes()).is_ok() {
+            let _ = std::fs::remove_file(&path);
+            migrated += 1;
         }
     }
+    migrated
 }
 
 // ---------------------------------------------------------------------------
@@ -372,11 +585,17 @@ mod tests {
         assert!(parse_artifact(truncated).is_none());
     }
 
+    fn test_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("weaver-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn lru_evicts_least_recently_used() {
         let cache = ArtifactCache::new(CacheConfig {
             memory_capacity: 2,
-            disk_dir: None,
+            ..CacheConfig::default()
         })
         .unwrap();
         cache.store(key(1), Arc::new(sample_artifact(1)));
@@ -391,22 +610,99 @@ mod tests {
 
     #[test]
     fn disk_tier_survives_a_fresh_cache() {
-        let dir = std::env::temp_dir().join(format!("weaver-cache-test-{}", std::process::id()));
+        for format in [DiskFormat::Paged, DiskFormat::FilePerArtifact] {
+            let dir = test_dir(&format!("fresh-{format:?}"));
+            let config = CacheConfig {
+                memory_capacity: 8,
+                disk_dir: Some(dir.clone()),
+                disk_format: format,
+                ..CacheConfig::default()
+            };
+            let first = ArtifactCache::new(config.clone()).unwrap();
+            first.store(key(9), Arc::new(sample_artifact(9)));
+            // The paged store is single-writer: release it before the
+            // "fresh process" below opens the same directory.
+            drop(first);
+            // A fresh cache (new process, cold memory) finds the disk entry.
+            let second = ArtifactCache::new(config).unwrap();
+            let (artifact, outcome) = second.lookup(&key(9)).expect("disk hit");
+            assert_eq!(outcome, CacheOutcome::DiskHit);
+            assert_eq!(*artifact, sample_artifact(9));
+            // And it is promoted into memory.
+            let (_, outcome) = second.lookup(&key(9)).expect("memory hit");
+            assert_eq!(outcome, CacheOutcome::MemoryHit);
+            drop(second);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn legacy_entries_migrate_into_the_paged_store() {
+        let dir = test_dir("migrate");
+        // Seed the directory with the legacy one-file-per-artifact layout.
+        let legacy = ArtifactCache::new(CacheConfig {
+            memory_capacity: 8,
+            disk_dir: Some(dir.clone()),
+            disk_format: DiskFormat::FilePerArtifact,
+            ..CacheConfig::default()
+        })
+        .unwrap();
+        legacy.store(key(1), Arc::new(sample_artifact(1)));
+        legacy.store(key(2), Arc::new(sample_artifact(2)));
+        drop(legacy);
+        std::fs::write(dir.join("not-a-digest.wvart"), "garbage").unwrap();
+
+        let paged = ArtifactCache::new(CacheConfig {
+            memory_capacity: 8,
+            disk_dir: Some(dir.clone()),
+            ..CacheConfig::default()
+        })
+        .unwrap();
+        assert_eq!(paged.stats().migrated_legacy, 2);
+        for tag in [1, 2] {
+            let (artifact, outcome) = paged.lookup(&key(tag)).expect("migrated hit");
+            assert_eq!(outcome, CacheOutcome::DiskHit);
+            assert_eq!(*artifact, sample_artifact(tag as usize));
+        }
+        // Migrated files were removed; the undecodable one stays put.
+        let wvart: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "wvart"))
+            .collect();
+        assert_eq!(wvart.len(), 1);
+        assert!(paged.verify_disk().expect("paged tier").consistent());
+        drop(paged);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn locked_store_falls_back_to_legacy_files() {
+        let dir = test_dir("lockfall");
         let config = CacheConfig {
             memory_capacity: 8,
             disk_dir: Some(dir.clone()),
+            ..CacheConfig::default()
         };
-        let first = ArtifactCache::new(config.clone()).unwrap();
-        first.store(key(9), Arc::new(sample_artifact(9)));
-        // A fresh cache (new process, cold memory) finds the disk entry.
-        let second = ArtifactCache::new(config).unwrap();
-        let (artifact, outcome) = second.lookup(&key(9)).expect("disk hit");
-        assert_eq!(outcome, CacheOutcome::DiskHit);
-        assert_eq!(*artifact, sample_artifact(9));
-        // And it is promoted into memory.
-        let (_, outcome) = second.lookup(&key(9)).expect("memory hit");
-        assert_eq!(outcome, CacheOutcome::MemoryHit);
+        let owner = ArtifactCache::new(config.clone()).unwrap();
+        owner.store(key(5), Arc::new(sample_artifact(5)));
+        // Second opener can't take the store lock → legacy tier, still works.
+        let tenant = ArtifactCache::new(config).unwrap();
+        assert!(matches!(tenant.disk, DiskTier::Files(_)));
+        tenant.store(key(6), Arc::new(sample_artifact(6)));
+        drop(tenant);
+        drop(owner);
+        // Reopening single-writer migrates the tenant's legacy entry in.
+        let merged = ArtifactCache::new(CacheConfig {
+            memory_capacity: 8,
+            disk_dir: Some(dir.clone()),
+            ..CacheConfig::default()
+        })
+        .unwrap();
+        assert_eq!(merged.stats().migrated_legacy, 1);
+        assert!(merged.lookup(&key(5)).is_some());
+        assert!(merged.lookup(&key(6)).is_some());
+        drop(merged);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -50,6 +50,9 @@ pub struct BatchReport {
     pub tier_stats: CacheTierStats,
     /// `weaver-core` memo counters (clause plans, checker traces).
     pub core_stats: CacheStats,
+    /// Why the disk tier was disabled at engine construction, if it was
+    /// (surfaced in the `batch` JSONL record as `disk_disabled`).
+    pub disk_disabled: Option<String>,
 }
 
 impl BatchReport {
@@ -97,6 +100,12 @@ impl BatchReport {
             .u64("disk_hits", self.tier_stats.disk_hits)
             .u64("misses", self.tier_stats.misses)
             .u64("evictions", self.tier_stats.evictions)
+            .u64("disk_write_errors", self.tier_stats.disk_write_errors)
+            .u64("checksum_failures", self.tier_stats.checksum_failures)
+            .u64("wal_replayed", self.tier_stats.wal_replayed)
+            .u64("recoveries", self.tier_stats.recoveries)
+            .u64("buffer_evictions", self.tier_stats.buffer_evictions)
+            .u64("migrated_legacy", self.tier_stats.migrated_legacy)
             .finish();
         let core = JsonObject::new()
             .u64("checker_hits", self.core_stats.checker_hits)
@@ -104,7 +113,7 @@ impl BatchReport {
             .u64("plan_hits", self.core_stats.plan_hits)
             .u64("plan_misses", self.core_stats.plan_misses)
             .finish();
-        JsonObject::new()
+        let mut record = JsonObject::new()
             .str("kind", "batch")
             .u64("jobs", self.results.len() as u64)
             .u64("workers", self.workers as u64)
@@ -114,8 +123,13 @@ impl BatchReport {
             .f64("wall_seconds", self.wall_seconds)
             .f64("jobs_per_sec", self.jobs_per_sec())
             .raw("artifact_cache", &tiers)
-            .raw("core_cache", &core)
-            .finish()
+            .raw("core_cache", &core);
+        if let Some(reason) = &self.disk_disabled {
+            record = record
+                .bool("disk_disabled", true)
+                .str("disk_disabled_reason", reason);
+        }
+        record.finish()
     }
 }
 
@@ -192,20 +206,26 @@ pub fn job_record(r: &JobResult) -> String {
 pub struct Engine {
     config: EngineConfig,
     cache: ArtifactCache,
+    disk_disabled: Option<String>,
 }
 
 impl Engine {
     /// Builds an engine. If the configured disk tier cannot be created the
-    /// engine degrades to memory-only caching with a warning on stderr
+    /// engine degrades to memory-only caching: a warning goes to stderr and
+    /// every batch record it emits carries `disk_disabled` with the reason
     /// (use [`Engine::try_new`] to make that an error instead).
     pub fn new(config: EngineConfig) -> Self {
         match Engine::try_new(config.clone()) {
             Ok(engine) => engine,
             Err(e) => {
-                eprintln!("weaver-engine: disk cache disabled: {e}");
+                let reason = e.to_string();
+                eprintln!("weaver-engine: disk cache disabled: {reason}");
                 let mut fallback = config;
                 fallback.cache.disk_dir = None;
-                Engine::try_new(fallback).expect("memory-only cache is infallible")
+                let mut engine =
+                    Engine::try_new(fallback).expect("memory-only cache is infallible");
+                engine.disk_disabled = Some(reason);
+                engine
             }
         }
     }
@@ -213,7 +233,11 @@ impl Engine {
     /// Builds an engine, propagating disk-tier setup failures.
     pub fn try_new(config: EngineConfig) -> std::io::Result<Self> {
         let cache = ArtifactCache::new(config.cache.clone())?;
-        Ok(Engine { config, cache })
+        Ok(Engine {
+            config,
+            cache,
+            disk_disabled: None,
+        })
     }
 
     /// The artifact cache (stats, pre-warming).
@@ -256,6 +280,7 @@ impl Engine {
             workers,
             tier_stats: self.cache.stats(),
             core_stats: self.cache.core_handle().stats(),
+            disk_disabled: self.disk_disabled.clone(),
         }
     }
 
@@ -577,6 +602,27 @@ mod tests {
         assert!(lines[..3].iter().all(|l| l.contains("\"kind\":\"job\"")));
         assert!(lines[3].contains("\"kind\":\"batch\""));
         assert!(lines[3].contains("\"jobs_per_sec\""));
+    }
+
+    #[test]
+    fn unusable_disk_dir_degrades_and_reports_in_jsonl() {
+        // A disk dir nested under a regular file can never be created.
+        let file = std::env::temp_dir().join(format!("weaver-notadir-{}", std::process::id()));
+        std::fs::write(&file, "x").unwrap();
+        let e = Engine::new(EngineConfig {
+            jobs: 1,
+            cache: CacheConfig {
+                disk_dir: Some(file.join("cache")),
+                ..CacheConfig::default()
+            },
+            ..EngineConfig::default()
+        });
+        let report = e.run(batch(1));
+        assert_eq!(report.succeeded(), 1, "memory-only fallback still works");
+        let record = report.batch_record();
+        assert!(record.contains("\"disk_disabled\":true"), "{record}");
+        assert!(record.contains("\"disk_disabled_reason\":"), "{record}");
+        let _ = std::fs::remove_file(&file);
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod job;
 pub mod jsonl;
 pub mod manifest;
 pub mod pool;
+pub mod store;
 
 pub use cache::{ArtifactCache, CacheConfig, CacheTierStats};
 pub use engine::{job_record, BatchReport, Engine, EngineConfig};

@@ -1,0 +1,376 @@
+//! On-disk layout of the paged artifact store.
+//!
+//! One store is two files in the cache directory:
+//!
+//! * `store.wvs` — the page file. Page 0 is the header page; pages
+//!   `1..page_count` hold artifact payloads as singly-linked chains.
+//! * `store.wal` — the write-ahead log (see [`super::wal`]).
+//!
+//! ## Header page (page 0)
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic "WVSTORE1"
+//!      8     4  format version (little-endian u32, currently 1)
+//!     12     4  page size in bytes
+//!     16     8  page count (including this header page)
+//!     24     8  checksum64 over bytes 0..24
+//! ```
+//!
+//! ## Data pages
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  checksum64 over bytes 8..page_size
+//!      8     1  state: 0 free · 1 head · 2 continuation
+//!      9     4  payload bytes stored in this page
+//!     13     8  next page id (0 = end of chain)
+//!     21     8  LSN of the record that wrote the page
+//! -- head pages only --
+//!     29    32  artifact key (BLAKE2s-256 of the compile job)
+//!     61     8  total payload length of the chain
+//!     69    32  BLAKE2s-256 of the whole payload
+//!    104     —  payload
+//! -- continuation pages --
+//!     32     —  payload
+//! ```
+//!
+//! An all-zero page is *free by construction* (fresh growth is never
+//! written), so file extension needs no formatting pass. Any other page
+//! whose checksum fails verification is quarantined: counted, reported as
+//! a miss, and reclaimed for reuse — never a panic.
+
+use weaver_core::cache::{Blake2s, Digest};
+
+/// Magic bytes opening the page file.
+pub const STORE_MAGIC: [u8; 8] = *b"WVSTORE1";
+/// Magic bytes opening the WAL.
+pub const WAL_MAGIC: [u8; 8] = *b"WVWAL001";
+/// On-disk format version (bumped on incompatible layout changes).
+pub const FORMAT_VERSION: u32 = 1;
+/// Default page size; store files remember their own in the header.
+pub const DEFAULT_PAGE_SIZE: u32 = 4096;
+/// Smallest supported page size (the head-page header plus one byte).
+pub const MIN_PAGE_SIZE: u32 = 128;
+/// Byte length of the store-file header (the rest of page 0 is zero).
+pub const HEADER_LEN: usize = 32;
+/// Byte length of the WAL header.
+pub const WAL_HEADER_LEN: u64 = 16;
+
+/// Payload offset inside a head page.
+pub const HEAD_PAYLOAD_OFF: usize = 104;
+/// Payload offset inside a continuation page.
+pub const CONT_PAYLOAD_OFF: usize = 32;
+
+/// Page states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PageState {
+    /// Unused; reclaimable.
+    Free,
+    /// First page of an artifact chain; carries key and content digest.
+    Head,
+    /// Later page of a chain.
+    Cont,
+}
+
+impl PageState {
+    fn from_byte(b: u8) -> Option<PageState> {
+        match b {
+            0 => Some(PageState::Free),
+            1 => Some(PageState::Head),
+            2 => Some(PageState::Cont),
+            _ => None,
+        }
+    }
+
+    fn to_byte(self) -> u8 {
+        match self {
+            PageState::Free => 0,
+            PageState::Head => 1,
+            PageState::Cont => 2,
+        }
+    }
+}
+
+/// First 8 bytes of BLAKE2s-256 as a little-endian u64 — the page and WAL
+/// record checksum.
+pub fn sum64(parts: &[&[u8]]) -> u64 {
+    let mut h = Blake2s::new();
+    for p in parts {
+        h.update(p);
+    }
+    let Digest(bytes) = h.finalize();
+    u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"))
+}
+
+/// Full BLAKE2s-256 of a payload (the chain content digest).
+pub fn content_digest(payload: &[u8]) -> Digest {
+    let mut h = Blake2s::new();
+    h.update(payload);
+    h.finalize()
+}
+
+/// Renders the store-file header page.
+pub fn encode_header(page_size: u32, page_count: u64) -> Vec<u8> {
+    let mut page = vec![0u8; page_size as usize];
+    page[0..8].copy_from_slice(&STORE_MAGIC);
+    page[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    page[12..16].copy_from_slice(&page_size.to_le_bytes());
+    page[16..24].copy_from_slice(&page_count.to_le_bytes());
+    let cs = sum64(&[&page[0..24]]);
+    page[24..32].copy_from_slice(&cs.to_le_bytes());
+    page
+}
+
+/// Parsed store-file header.
+#[derive(Clone, Copy, Debug)]
+pub struct Header {
+    /// Page size recorded at store creation.
+    pub page_size: u32,
+    /// Page count at the last checkpoint (advisory — the file length is
+    /// authoritative after a crash between growth and checkpoint).
+    pub page_count: u64,
+}
+
+/// Parses and verifies the header; `None` means the header is damaged and
+/// recovery should rebuild it.
+pub fn decode_header(bytes: &[u8]) -> Option<Header> {
+    if bytes.len() < HEADER_LEN || bytes[0..8] != STORE_MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
+    if version != FORMAT_VERSION {
+        return None;
+    }
+    let page_size = u32::from_le_bytes(bytes[12..16].try_into().ok()?);
+    let page_count = u64::from_le_bytes(bytes[16..24].try_into().ok()?);
+    let cs = u64::from_le_bytes(bytes[24..32].try_into().ok()?);
+    if cs != sum64(&[&bytes[0..24]]) || page_size < MIN_PAGE_SIZE {
+        return None;
+    }
+    Some(Header {
+        page_size,
+        page_count,
+    })
+}
+
+/// Decoded view of one data page.
+#[derive(Clone, Debug)]
+pub struct PageView {
+    /// Page state.
+    pub state: PageState,
+    /// Payload bytes stored in this page.
+    pub payload_len: u32,
+    /// Next page of the chain (0 = end).
+    pub next: u64,
+    /// LSN of the writing record.
+    pub lsn: u64,
+    /// Head pages: the artifact key.
+    pub key: Option<Digest>,
+    /// Head pages: total chain payload length.
+    pub total_len: u64,
+    /// Head pages: BLAKE2s-256 over the whole chain payload.
+    pub content: Option<Digest>,
+}
+
+/// Payload capacity of a head page.
+pub fn head_capacity(page_size: u32) -> usize {
+    page_size as usize - HEAD_PAYLOAD_OFF
+}
+
+/// Payload capacity of a continuation page.
+pub fn cont_capacity(page_size: u32) -> usize {
+    page_size as usize - CONT_PAYLOAD_OFF
+}
+
+/// Pages needed to hold `len` payload bytes.
+pub fn pages_for(len: usize, page_size: u32) -> usize {
+    let head = head_capacity(page_size);
+    if len <= head {
+        1
+    } else {
+        1 + (len - head).div_ceil(cont_capacity(page_size))
+    }
+}
+
+fn seal(mut page: Vec<u8>) -> Vec<u8> {
+    let cs = sum64(&[&page[8..]]);
+    page[0..8].copy_from_slice(&cs.to_le_bytes());
+    page
+}
+
+/// Renders a head page.
+pub fn encode_head(
+    page_size: u32,
+    key: &Digest,
+    total_len: u64,
+    content: &Digest,
+    payload: &[u8],
+    next: u64,
+    lsn: u64,
+) -> Vec<u8> {
+    debug_assert!(payload.len() <= head_capacity(page_size));
+    let mut page = vec![0u8; page_size as usize];
+    page[8] = PageState::Head.to_byte();
+    page[9..13].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    page[13..21].copy_from_slice(&next.to_le_bytes());
+    page[21..29].copy_from_slice(&lsn.to_le_bytes());
+    page[29..61].copy_from_slice(&key.0);
+    page[61..69].copy_from_slice(&total_len.to_le_bytes());
+    page[69..101].copy_from_slice(&content.0);
+    page[HEAD_PAYLOAD_OFF..HEAD_PAYLOAD_OFF + payload.len()].copy_from_slice(payload);
+    seal(page)
+}
+
+/// Renders a continuation page.
+pub fn encode_cont(page_size: u32, payload: &[u8], next: u64, lsn: u64) -> Vec<u8> {
+    debug_assert!(payload.len() <= cont_capacity(page_size));
+    let mut page = vec![0u8; page_size as usize];
+    page[8] = PageState::Cont.to_byte();
+    page[9..13].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    page[13..21].copy_from_slice(&next.to_le_bytes());
+    page[21..29].copy_from_slice(&lsn.to_le_bytes());
+    page[CONT_PAYLOAD_OFF..CONT_PAYLOAD_OFF + payload.len()].copy_from_slice(payload);
+    seal(page)
+}
+
+/// Renders an explicitly freed page (deletes rewrite the head this way so
+/// the free state survives a checkpointed WAL).
+pub fn encode_free(page_size: u32, lsn: u64) -> Vec<u8> {
+    let mut page = vec![0u8; page_size as usize];
+    page[8] = PageState::Free.to_byte();
+    page[21..29].copy_from_slice(&lsn.to_le_bytes());
+    seal(page)
+}
+
+/// Classification of a raw page during a scan.
+#[derive(Clone, Debug)]
+pub enum PageScan {
+    /// Never written (all zero) — free by construction.
+    Blank,
+    /// Checksum-valid page.
+    Valid(PageView),
+    /// Checksum or structure failure — quarantined.
+    Corrupt,
+}
+
+/// Decodes and verifies one data page.
+pub fn decode_page(bytes: &[u8]) -> PageScan {
+    if bytes.iter().all(|&b| b == 0) {
+        return PageScan::Blank;
+    }
+    let cs = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
+    if cs != sum64(&[&bytes[8..]]) {
+        return PageScan::Corrupt;
+    }
+    let Some(state) = PageState::from_byte(bytes[8]) else {
+        return PageScan::Corrupt;
+    };
+    let payload_len = u32::from_le_bytes(bytes[9..13].try_into().expect("4 bytes"));
+    let next = u64::from_le_bytes(bytes[13..21].try_into().expect("8 bytes"));
+    let lsn = u64::from_le_bytes(bytes[21..29].try_into().expect("8 bytes"));
+    let cap = match state {
+        PageState::Head => head_capacity(bytes.len() as u32),
+        PageState::Cont => cont_capacity(bytes.len() as u32),
+        PageState::Free => 0,
+    };
+    if payload_len as usize > cap {
+        return PageScan::Corrupt;
+    }
+    let (key, total_len, content) = if state == PageState::Head {
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&bytes[29..61]);
+        let total_len = u64::from_le_bytes(bytes[61..69].try_into().expect("8 bytes"));
+        let mut content = [0u8; 32];
+        content.copy_from_slice(&bytes[69..101]);
+        (Some(Digest(key)), total_len, Some(Digest(content)))
+    } else {
+        (None, 0, None)
+    };
+    PageScan::Valid(PageView {
+        state,
+        payload_len,
+        next,
+        lsn,
+        key,
+        total_len,
+        content,
+    })
+}
+
+/// The payload slice of a decoded page.
+pub fn page_payload<'a>(bytes: &'a [u8], view: &PageView) -> &'a [u8] {
+    let off = match view.state {
+        PageState::Head => HEAD_PAYLOAD_OFF,
+        _ => CONT_PAYLOAD_OFF,
+    };
+    &bytes[off..off + view.payload_len as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tag: u8) -> Digest {
+        Digest([tag; 32])
+    }
+
+    #[test]
+    fn header_roundtrips_and_rejects_damage() {
+        let page = encode_header(4096, 17);
+        let h = decode_header(&page).expect("valid header");
+        assert_eq!(h.page_size, 4096);
+        assert_eq!(h.page_count, 17);
+        let mut bad = page.clone();
+        bad[16] ^= 1; // flip a page-count bit
+        assert!(decode_header(&bad).is_none());
+        assert!(decode_header(&page[..16]).is_none());
+    }
+
+    #[test]
+    fn pages_roundtrip_and_checksum_catches_flips() {
+        let payload = vec![7u8; 100];
+        let page = encode_head(
+            256,
+            &key(1),
+            300,
+            &content_digest(&payload),
+            &payload,
+            9,
+            42,
+        );
+        match decode_page(&page) {
+            PageScan::Valid(v) => {
+                assert_eq!(v.state, PageState::Head);
+                assert_eq!(v.payload_len, 100);
+                assert_eq!(v.next, 9);
+                assert_eq!(v.lsn, 42);
+                assert_eq!(v.key, Some(key(1)));
+                assert_eq!(v.total_len, 300);
+                assert_eq!(page_payload(&page, &v), &payload[..]);
+            }
+            other => panic!("expected valid page, got {other:?}"),
+        }
+        for idx in [0, 8, 30, 200] {
+            let mut bad = page.clone();
+            bad[idx] ^= 0x40;
+            assert!(
+                matches!(decode_page(&bad), PageScan::Corrupt),
+                "flip at {idx} must quarantine"
+            );
+        }
+        assert!(matches!(decode_page(&vec![0u8; 256]), PageScan::Blank));
+    }
+
+    #[test]
+    fn capacity_math_covers_the_boundaries() {
+        assert_eq!(pages_for(0, 256), 1);
+        assert_eq!(pages_for(head_capacity(256), 256), 1);
+        assert_eq!(pages_for(head_capacity(256) + 1, 256), 2);
+        assert_eq!(pages_for(head_capacity(256) + cont_capacity(256), 256), 2);
+        assert_eq!(
+            pages_for(head_capacity(256) + cont_capacity(256) + 1, 256),
+            3
+        );
+    }
+}

@@ -10,6 +10,9 @@
 //!         [--frontend <name>] [--check] [--jsonl file] [--out-dir dir]
 //!         [--cache-dir dir] [--no-cache] [shared option flags as above]
 //!
+//! weaverc cache stats <dir>
+//! weaverc cache compact <dir>
+//!
 //! weaverc targets
 //! weaverc frontends
 //! ```
@@ -29,9 +32,13 @@
 //! Batch mode compiles a whole fixture directory or manifest through
 //! `weaver-engine`: jobs run on a work-stealing pool, finished artifacts
 //! land in a content-addressed cache, and results stream as JSONL (each
-//! successful record carrying the per-pass timing trace). `weaverc
-//! targets` lists the registered backends; `weaverc frontends` the
-//! registered front ends. Failures exit nonzero with a one-line
+//! successful record carrying the per-pass timing trace). `weaverc cache
+//! stats` opens a batch cache directory's paged artifact store (running
+//! crash recovery if the last writer died mid-operation), runs a full
+//! checksum scan, and reports layout, counters, and a final
+//! consistent/INCONSISTENT verdict; `weaverc cache compact` rewrites the
+//! store without its free pages. `weaverc targets` lists the registered
+//! backends; `weaverc frontends` the registered front ends. Failures exit nonzero with a one-line
 //! structured `weaverc: error: <kind>: <message>` diagnostic instead of
 //! panicking mid-batch; a bad `--target` value is `unknown-target`, an
 //! unrecognizable input format `unknown-format`, and a circuit sent to a
@@ -61,6 +68,8 @@ struct Args {
     check: bool,
     // Batch-only surface.
     batch: bool,
+    // `weaverc cache <stats|compact> <dir>` maintenance surface.
+    cache_cmd: Option<(String, String)>,
     jobs: usize,
     jsonl: Option<String>,
     out_dir: Option<String>,
@@ -76,6 +85,8 @@ fn usage() -> &'static str {
      \x20      weaverc batch <dir|manifest> [--jobs N] [--target <name>] [--frontend <name>]\n\
      \x20              [--check] [--jsonl file] [--out-dir dir] [--cache-dir dir]\n\
      \x20              [--no-cache] [shared option flags]\n\
+     \x20      weaverc cache stats <dir>\n\
+     \x20      weaverc cache compact <dir>\n\
      \x20      weaverc targets\n\
      \x20      weaverc frontends"
 }
@@ -100,6 +111,7 @@ fn parse_args() -> Result<Args, String> {
         beta: 0.3,
         check: false,
         batch: false,
+        cache_cmd: None,
         jobs: 0,
         jsonl: None,
         out_dir: None,
@@ -110,6 +122,28 @@ fn parse_args() -> Result<Args, String> {
     if it.peek().map(String::as_str) == Some("batch") {
         args.batch = true;
         it.next();
+    }
+    // `weaverc cache <stats|compact> <dir>` — store maintenance; parsed
+    // up front (it shares no flags with the compile modes).
+    if !args.batch && it.peek().map(String::as_str) == Some("cache") {
+        it.next();
+        let action = match it.next() {
+            Some(a) if a == "stats" || a == "compact" => a,
+            Some(a) => return Err(format!("unknown cache action `{a}`\n{}", usage())),
+            None => return Err(format!("missing cache action\n{}", usage())),
+        };
+        let dir = it
+            .next()
+            .ok_or_else(|| format!("missing cache directory\n{}", usage()))?;
+        if let Some(extra) = it.next() {
+            return Err(format!(
+                "`weaverc cache {action}` takes one directory (got `{extra}`)\n{}",
+                usage()
+            ));
+        }
+        args.input = dir.clone();
+        args.cache_cmd = Some((action, dir));
+        return Ok(args);
     }
     // `weaverc batch targets` keeps treating `targets` as a path (same for
     // `frontends`).
@@ -181,7 +215,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if args.input == "targets" && !args.batch {
+    if let Some((action, dir)) = &args.cache_cmd {
+        run_cache(action, dir)
+    } else if args.input == "targets" && !args.batch {
         run_targets()
     } else if args.input == "frontends" && !args.batch {
         run_frontends()
@@ -243,6 +279,116 @@ fn run_frontends() -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// Cache maintenance
+// ---------------------------------------------------------------------------
+
+/// `weaverc cache stats <dir>` / `weaverc cache compact <dir>` — opens the
+/// paged artifact store in a batch cache directory (running crash recovery
+/// if the previous writer died mid-operation) and either reports a full
+/// consistency scan or compacts free pages away.
+fn run_cache(action: &str, dir: &str) -> ExitCode {
+    use weaver::engine::store::{Store, StoreTuning};
+    let path = std::path::Path::new(dir);
+    if !path.join(weaver::engine::store::STORE_FILE).exists() {
+        return error_line("io", &format!("no artifact store in {dir}"));
+    }
+    let mut store = match Store::open(path, StoreTuning::default()) {
+        Ok(s) => s,
+        Err(e) if weaver::engine::store::is_locked(&e) => {
+            return error_line(
+                "busy",
+                &format!("store in {dir} is held by another process"),
+            );
+        }
+        Err(e) => return error_line("io", &format!("cannot open store in {dir}: {e}")),
+    };
+    let recovery = store.recovery();
+    if recovery.recovered() {
+        eprintln!(
+            "weaverc: recovery on open — {} WAL record{} replayed, {} torn WAL byte{} discarded, \
+             {} page{} quarantined, {} chain{} dropped{}",
+            recovery.replayed,
+            if recovery.replayed == 1 { "" } else { "s" },
+            recovery.torn_wal_bytes,
+            if recovery.torn_wal_bytes == 1 {
+                ""
+            } else {
+                "s"
+            },
+            recovery.quarantined_pages,
+            if recovery.quarantined_pages == 1 {
+                ""
+            } else {
+                "s"
+            },
+            recovery.dropped_chains,
+            if recovery.dropped_chains == 1 {
+                ""
+            } else {
+                "s"
+            },
+            if recovery.header_rebuilt {
+                ", header rebuilt"
+            } else {
+                ""
+            },
+        );
+    }
+    match action {
+        "stats" => {
+            let verify = match store.verify() {
+                Ok(v) => v,
+                Err(e) => return error_line("io", &format!("verification scan failed: {e}")),
+            };
+            let stats = store.stats();
+            println!(
+                "store: {}",
+                path.join(weaver::engine::store::STORE_FILE).display()
+            );
+            println!("  page size:       {} B", stats.page_size);
+            println!(
+                "  pages:           {} ({} live, {} free)",
+                stats.page_count, stats.live_pages, stats.free_pages
+            );
+            println!("  artifacts:       {}", stats.artifacts);
+            println!("  file bytes:      {}", stats.file_bytes);
+            println!("  wal bytes:       {}", stats.wal_bytes);
+            println!("  checksum fails:  {}", stats.checksum_failures);
+            println!("  wal replayed:    {}", stats.wal_replayed);
+            println!("  recoveries:      {}", stats.recoveries);
+            if verify.consistent() {
+                println!(
+                    "verify: consistent ({} artifacts checked)",
+                    verify.artifacts_ok
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "verify: INCONSISTENT ({} ok, {} quarantined)",
+                    verify.artifacts_ok, verify.artifacts_failed
+                );
+                ExitCode::FAILURE
+            }
+        }
+        "compact" => match store.compact() {
+            Ok(report) => {
+                println!(
+                    "compacted: {} -> {} bytes, {} artifact{} kept, {} dropped",
+                    report.bytes_before,
+                    report.bytes_after,
+                    report.artifacts,
+                    if report.artifacts == 1 { "" } else { "s" },
+                    report.dropped,
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => error_line("io", &format!("compaction failed: {e}")),
+        },
+        _ => unreachable!("parse_args validated the action"),
+    }
 }
 
 // ---------------------------------------------------------------------------
