@@ -121,6 +121,46 @@ pub struct PassStat {
     pub steps: u64,
 }
 
+impl From<&PassStat> for weaver_obs::PassRecord {
+    fn from(stat: &PassStat) -> Self {
+        weaver_obs::PassRecord {
+            name: stat.name.to_string(),
+            seconds: stat.seconds,
+            steps: stat.steps,
+        }
+    }
+}
+
+/// Runs one named pass body under an obs span (category `"pass"`) and
+/// records its duration into the `weaver_pass_duration_seconds{pass=…}`
+/// histogram. The body returns `(value, steps)`; the caller gets the value
+/// back alongside the canonical [`PassStat`] — every pass in the
+/// workspace, whether driven by a [`PassManager`] or hand-rolled in a
+/// `compile_circuit` path, reports through this single chokepoint.
+pub fn timed_pass<T>(name: &'static str, body: impl FnOnce() -> (T, u64)) -> (T, PassStat) {
+    let mut span = weaver_obs::span::span("pass", name);
+    let start = Instant::now();
+    let (value, steps) = body();
+    let seconds = start.elapsed().as_secs_f64();
+    span.set_arg("steps", steps);
+    drop(span);
+    weaver_obs::metrics::histogram_with(
+        "weaver_pass_duration_seconds",
+        "Wall-clock duration of individual compiler passes.",
+        &[("pass", name)],
+        &weaver_obs::metrics::DEFAULT_LATENCY_BUCKETS,
+    )
+    .observe(seconds);
+    (
+        value,
+        PassStat {
+            name,
+            seconds,
+            steps,
+        },
+    )
+}
+
 /// Read-only inputs shared by every pass of one compilation.
 pub struct PassContext<'a> {
     /// The compiler configuration (target parameters, wOptimizer options).
@@ -162,19 +202,13 @@ impl<S> PassManager<S> {
         self.passes.iter().map(|(n, _)| *n).collect()
     }
 
-    /// Runs every pass in order, returning one [`PassStat`] per pass.
+    /// Runs every pass in order, returning one [`PassStat`] per pass. Each
+    /// pass executes under [`timed_pass`], so it shows up as a `"pass"`
+    /// span in the trace and feeds the per-pass duration histogram.
     pub fn run(&self, state: &mut S, ctx: &PassContext<'_>) -> Vec<PassStat> {
         self.passes
             .iter()
-            .map(|(name, run)| {
-                let start = Instant::now();
-                let steps = run(state, ctx);
-                PassStat {
-                    name,
-                    seconds: start.elapsed().as_secs_f64(),
-                    steps,
-                }
-            })
+            .map(|(name, run)| timed_pass(name, || ((), run(state, ctx))).1)
             .collect()
     }
 }
@@ -752,30 +786,28 @@ impl Backend for SuperconductingBackend {
     ) -> Result<CompileOutput, BackendError> {
         let _ = cache;
         let start = Instant::now();
-        let ingest_start = Instant::now();
-        let circuit =
-            weaver_wqasm::convert::program_to_circuit(program).map_err(|e| BackendError {
-                kind: BackendErrorKind::Unsupported,
-                message: e.to_string(),
-            })?;
-        let ingest = PassStat {
-            name: "ingest-circuit",
-            seconds: ingest_start.elapsed().as_secs_f64(),
-            steps: circuit.gate_count() as u64,
-        };
+        let (ingested, ingest) = timed_pass("ingest-circuit", || {
+            let result =
+                weaver_wqasm::convert::program_to_circuit(program).map_err(|e| BackendError {
+                    kind: BackendErrorKind::Unsupported,
+                    message: e.to_string(),
+                });
+            let steps = result.as_ref().map_or(0, |c| c.gate_count() as u64);
+            (result, steps)
+        });
+        let circuit = ingested?;
         if circuit.num_qubits() > self.coupling.num_qubits() {
             return Err(BackendError::too_many_qubits(
                 circuit.num_qubits(),
                 self.coupling.num_qubits(),
             ));
         }
-        let route_start = Instant::now();
-        let result = transpile(&circuit, &self.coupling, &weaver.superconducting_params)?;
-        let route = PassStat {
-            name: "sabre-transpile",
-            seconds: route_start.elapsed().as_secs_f64(),
-            steps: result.steps,
-        };
+        let (routed, route) = timed_pass("sabre-transpile", || {
+            let result = transpile(&circuit, &self.coupling, &weaver.superconducting_params);
+            let steps = result.as_ref().map_or(0, |r| r.steps);
+            (result, steps)
+        });
+        let result = routed?;
         let metrics = Metrics::for_transpiled(&result, start.elapsed().as_secs_f64());
         Ok(CompileOutput {
             backend: self.info.name.clone(),
@@ -949,59 +981,55 @@ impl Backend for SimulatorBackend {
     ) -> Result<CompileOutput, BackendError> {
         let _ = (weaver, cache);
         let start = Instant::now();
-        let ingest_start = Instant::now();
-        let circuit =
-            weaver_wqasm::convert::program_to_circuit(program).map_err(|e| BackendError {
-                kind: BackendErrorKind::Unsupported,
-                message: e.to_string(),
-            })?;
-        let ingest = PassStat {
-            name: "ingest-circuit",
-            seconds: ingest_start.elapsed().as_secs_f64(),
-            steps: circuit.gate_count() as u64,
-        };
+        let (ingested, ingest) = timed_pass("ingest-circuit", || {
+            let result =
+                weaver_wqasm::convert::program_to_circuit(program).map_err(|e| BackendError {
+                    kind: BackendErrorKind::Unsupported,
+                    message: e.to_string(),
+                });
+            let steps = result.as_ref().map_or(0, |c| c.gate_count() as u64);
+            (result, steps)
+        });
+        let circuit = ingested?;
         if circuit.num_qubits() > SimulatorBackend::MAX_QUBITS {
             return Err(BackendError::too_many_qubits(
                 circuit.num_qubits(),
                 SimulatorBackend::MAX_QUBITS,
             ));
         }
-        let native_start = Instant::now();
-        let native = native::nativize(&circuit, NativeBasis::U3Cz);
-        let nativize_stat = PassStat {
-            name: "nativize",
-            seconds: native_start.elapsed().as_secs_f64(),
-            steps: native.gate_count() as u64,
-        };
-        let sim_start = Instant::now();
-        let vector = native.statevector();
-        let sim_stat = PassStat {
-            name: "statevector",
-            seconds: sim_start.elapsed().as_secs_f64(),
-            steps: (native.gate_count() as u64) << native.num_qubits(),
-        };
+        let (native, nativize_stat) = timed_pass("nativize", || {
+            let native = native::nativize(&circuit, NativeBasis::U3Cz);
+            let steps = native.gate_count() as u64;
+            (native, steps)
+        });
+        let (vector, sim_stat) = timed_pass("statevector", || {
+            let vector = native.statevector();
+            let steps = (native.gate_count() as u64) << native.num_qubits();
+            (vector, steps)
+        });
         // Without a formula objective, "success" is the circuit's most
         // likely outcome: EPS = peak basis-state probability.
-        let peak_start = Instant::now();
-        let optimal_probability = vector
-            .amplitudes()
-            .iter()
-            .map(|amp| amp.norm_sqr())
-            .fold(0.0f64, f64::max);
-        // Nativization rewrites gates into {U3, CZ}, so probabilities that
-        // are equal in exact arithmetic can differ in the last few ulps;
-        // count peaks up to a relative tolerance rather than bitwise.
-        let tolerance = optimal_probability * 1e-9;
-        let num_optimal = vector
-            .amplitudes()
-            .iter()
-            .filter(|amp| amp.norm_sqr() >= optimal_probability - tolerance)
-            .count();
-        let peak = PassStat {
-            name: "peak-probability",
-            seconds: peak_start.elapsed().as_secs_f64(),
-            steps: 1u64 << native.num_qubits(),
-        };
+        let ((optimal_probability, num_optimal), peak) = timed_pass("peak-probability", || {
+            let optimal_probability = vector
+                .amplitudes()
+                .iter()
+                .map(|amp| amp.norm_sqr())
+                .fold(0.0f64, f64::max);
+            // Nativization rewrites gates into {U3, CZ}, so probabilities
+            // that are equal in exact arithmetic can differ in the last few
+            // ulps; count peaks up to a relative tolerance rather than
+            // bitwise.
+            let tolerance = optimal_probability * 1e-9;
+            let num_optimal = vector
+                .amplitudes()
+                .iter()
+                .filter(|amp| amp.norm_sqr() >= optimal_probability - tolerance)
+                .count();
+            (
+                (optimal_probability, num_optimal),
+                1u64 << native.num_qubits(),
+            )
+        });
         let passes = vec![ingest, nativize_stat, sim_stat, peak];
         let metrics = Metrics {
             compilation_seconds: start.elapsed().as_secs_f64(),

@@ -29,10 +29,11 @@ use crate::store::{self, Store, StoreTuning};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use weaver_core::cache::{CacheHandle, Digest};
 use weaver_core::Metrics;
+use weaver_obs::{log, metrics, Counter};
 
 /// On-disk layout of the disk tier.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -109,12 +110,46 @@ enum DiskTier {
     Files(PathBuf),
 }
 
-static DISK_WRITE_WARNED: AtomicBool = AtomicBool::new(false);
-static LOCK_FALLBACK_WARNED: AtomicBool = AtomicBool::new(false);
+/// Process-global cache metric handles, resolved once per cache instance
+/// so the hot lookup/store paths update plain atomics instead of taking
+/// the registry lock. Per-instance [`CacheTierStats`] counters stay
+/// alongside: the registry series aggregate across every cache in the
+/// process, the struct reports this one instance.
+struct CacheMetrics {
+    memory_hits: Arc<Counter>,
+    disk_hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    disk_write_errors: Arc<Counter>,
+}
 
-fn warn_once(flag: &AtomicBool, message: &str) {
-    if !flag.swap(true, Ordering::Relaxed) {
-        eprintln!("weaver-engine: {message}");
+impl CacheMetrics {
+    fn new() -> Self {
+        const HITS_HELP: &str = "Artifact-cache lookups served, by tier.";
+        CacheMetrics {
+            memory_hits: metrics::counter_with(
+                "weaver_cache_hits_total",
+                HITS_HELP,
+                &[("tier", "memory")],
+            ),
+            disk_hits: metrics::counter_with(
+                "weaver_cache_hits_total",
+                HITS_HELP,
+                &[("tier", "disk")],
+            ),
+            misses: metrics::counter(
+                "weaver_cache_misses_total",
+                "Artifact-cache lookups that found nothing.",
+            ),
+            evictions: metrics::counter(
+                "weaver_cache_evictions_total",
+                "Artifacts evicted from the in-memory LRU tier.",
+            ),
+            disk_write_errors: metrics::counter(
+                "weaver_cache_disk_write_errors_total",
+                "Disk-tier write failures (swallowed; the cache is an accelerator).",
+            ),
+        }
     }
 }
 
@@ -143,6 +178,7 @@ pub struct ArtifactCache {
     evictions: AtomicU64,
     disk_write_errors: AtomicU64,
     migrated_legacy: AtomicU64,
+    metrics: CacheMetrics,
 }
 
 impl ArtifactCache {
@@ -161,6 +197,7 @@ impl ArtifactCache {
             evictions: AtomicU64::new(0),
             disk_write_errors: AtomicU64::new(0),
             migrated_legacy: AtomicU64::new(0),
+            metrics: CacheMetrics::new(),
             config,
         };
         let Some(dir) = cache.config.disk_dir.clone() else {
@@ -178,8 +215,9 @@ impl ArtifactCache {
                 // Another live process owns the store: share the directory
                 // through the multi-writer-safe legacy format instead.
                 Err(e) if store::is_locked(&e) => {
-                    warn_once(
-                        &LOCK_FALLBACK_WARNED,
+                    log::warn_once(
+                        "cache-store-lock-fallback",
+                        "weaver-engine",
                         &format!("paged store busy ({e}); using one-file-per-artifact tier"),
                     );
                     DiskTier::Files(dir)
@@ -203,6 +241,7 @@ impl ArtifactCache {
             if let Some(entry) = memory.get_mut(key) {
                 entry.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
                 self.memory_hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics.memory_hits.inc();
                 return Some((entry.artifact.clone(), CacheOutcome::MemoryHit));
             }
         }
@@ -210,9 +249,11 @@ impl ArtifactCache {
             let artifact = Arc::new(artifact);
             self.insert_memory(*key, artifact.clone());
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.disk_hits.inc();
             return Some((artifact, CacheOutcome::DiskHit));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.metrics.misses.inc();
         None
     }
 
@@ -279,8 +320,10 @@ impl ArtifactCache {
 
     fn count_write_error(&self, what: &str, e: &std::io::Error) {
         self.disk_write_errors.fetch_add(1, Ordering::Relaxed);
-        warn_once(
-            &DISK_WRITE_WARNED,
+        self.metrics.disk_write_errors.inc();
+        log::warn_once(
+            "cache-disk-write-error",
+            "weaver-engine",
             &format!("{what} failed ({e}); artifacts may not persist — continuing without"),
         );
     }
@@ -297,6 +340,7 @@ impl ArtifactCache {
                 .expect("nonempty map");
             memory.remove(&oldest);
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.metrics.evictions.inc();
         }
     }
 

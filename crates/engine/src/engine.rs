@@ -13,6 +13,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use weaver_core::cache::CacheStats;
 use weaver_core::{CodegenOptions, FrontendRegistry, Weaver, Workload};
+use weaver_obs::{log, metrics, span, Counter, Histogram};
 use weaver_sat::qaoa::QaoaParams;
 
 /// Engine configuration.
@@ -201,12 +202,51 @@ pub fn job_record(r: &JobResult) -> String {
     record.finish()
 }
 
+/// Process-global job metric handles, resolved once per engine so the
+/// per-job accounting is plain atomics. The `outcome` label mirrors
+/// [`CacheOutcome::name`] plus `error` for failed jobs.
+struct EngineMetrics {
+    /// Counters in label order: memory_hit, disk_hit, miss, bypass, error.
+    jobs_total: [Arc<Counter>; 5],
+    job_duration: Arc<Histogram>,
+}
+
+impl EngineMetrics {
+    const OUTCOMES: [&'static str; 5] = ["memory_hit", "disk_hit", "miss", "bypass", "error"];
+
+    fn new() -> Self {
+        EngineMetrics {
+            jobs_total: EngineMetrics::OUTCOMES.map(|outcome| {
+                metrics::counter_with(
+                    "weaver_jobs_total",
+                    "Batch jobs completed, by cache outcome (`error` = failed).",
+                    &[("outcome", outcome)],
+                )
+            }),
+            job_duration: metrics::latency_histogram(
+                "weaver_job_duration_seconds",
+                "End-to-end duration of one batch job, cache lookups included.",
+            ),
+        }
+    }
+
+    fn record(&self, outcome: &'static str, seconds: f64) {
+        let idx = EngineMetrics::OUTCOMES
+            .iter()
+            .position(|o| *o == outcome)
+            .unwrap_or(4);
+        self.jobs_total[idx].inc();
+        self.job_duration.observe(seconds);
+    }
+}
+
 /// The parallel batch-compilation engine. One engine owns one artifact
 /// cache; running several batches on the same engine keeps the cache warm.
 pub struct Engine {
     config: EngineConfig,
     cache: ArtifactCache,
     disk_disabled: Option<String>,
+    metrics: EngineMetrics,
 }
 
 impl Engine {
@@ -219,7 +259,7 @@ impl Engine {
             Ok(engine) => engine,
             Err(e) => {
                 let reason = e.to_string();
-                eprintln!("weaver-engine: disk cache disabled: {reason}");
+                log::warn("weaver-engine", &format!("disk cache disabled: {reason}"));
                 let mut fallback = config;
                 fallback.cache.disk_dir = None;
                 let mut engine =
@@ -237,6 +277,7 @@ impl Engine {
             config,
             cache,
             disk_disabled: None,
+            metrics: EngineMetrics::new(),
         })
     }
 
@@ -292,12 +333,19 @@ impl Engine {
         let name = job.name();
         let target = job.target.clone();
         let mut timings = StageTimings::default();
+        // The job span lives on the worker thread, so the per-pass spans
+        // the compiler emits nest under it via the thread-local stack.
+        let mut job_span = span::span("job", name.clone())
+            .with_arg("index", index)
+            .with_arg("target", target.name());
 
         let workload = match load_workload(&job.source, job.frontend.as_deref()) {
             Ok(w) => w,
             Err(e) => {
                 timings.parse_seconds = total_start.elapsed().as_secs_f64();
                 timings.total_seconds = timings.parse_seconds;
+                job_span.set_arg("outcome", "error");
+                self.metrics.record("error", timings.total_seconds);
                 return JobResult {
                     index,
                     name,
@@ -315,6 +363,8 @@ impl Engine {
         if self.config.use_cache {
             if let Some((artifact, outcome)) = self.cache.lookup(&key) {
                 timings.total_seconds = total_start.elapsed().as_secs_f64();
+                job_span.set_arg("outcome", outcome.name());
+                self.metrics.record(outcome.name(), timings.total_seconds);
                 return JobResult {
                     index,
                     name,
@@ -358,16 +408,24 @@ impl Engine {
             }
         };
         timings.total_seconds = total_start.elapsed().as_secs_f64();
+        let cache = if self.config.use_cache {
+            CacheOutcome::Miss
+        } else {
+            CacheOutcome::Bypass
+        };
+        let outcome = if artifact.is_err() {
+            "error"
+        } else {
+            cache.name()
+        };
+        job_span.set_arg("outcome", outcome);
+        self.metrics.record(outcome, timings.total_seconds);
         JobResult {
             index,
             name,
             target,
             key: key.to_hex(),
-            cache: if self.config.use_cache {
-                CacheOutcome::Miss
-            } else {
-                CacheOutcome::Bypass
-            },
+            cache,
             timings,
             artifact,
         }

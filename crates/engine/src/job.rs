@@ -312,28 +312,14 @@ pub struct StageTimings {
 }
 
 /// One lowering pass of the producing compile, with its wall-clock time and
-/// work-step count — an owned mirror of
-/// [`weaver_core::backend::PassStat`] so cached artifacts round-trip
-/// through the disk tier.
-#[derive(Clone, Debug, PartialEq)]
-pub struct PassTiming {
-    /// Pass name, unique within the producing backend's pipeline.
-    pub name: String,
-    /// Wall-clock seconds the pass took in the producing compile.
-    pub seconds: f64,
-    /// Work steps the pass reported (0 when uninstrumented).
-    pub steps: u64,
-}
-
-impl From<&weaver_core::backend::PassStat> for PassTiming {
-    fn from(stat: &weaver_core::backend::PassStat) -> Self {
-        PassTiming {
-            name: stat.name.to_string(),
-            seconds: stat.seconds,
-            steps: stat.steps,
-        }
-    }
-}
+/// work-step count, so cached artifacts round-trip through the disk tier.
+///
+/// This is the canonical [`weaver_obs::PassRecord`] under the engine's
+/// historical name — the owned mirror of
+/// [`weaver_core::backend::PassStat`] (which converts via `From<&PassStat>`)
+/// with identical field names, keeping the `weaver-artifact` disk format
+/// byte-stable.
+pub type PassTiming = weaver_obs::PassRecord;
 
 /// The cacheable output of one successful job. Wall-clock metrics inside
 /// refer to the compile that produced the artifact, not to the lookup that

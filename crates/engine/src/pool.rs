@@ -47,16 +47,31 @@ where
             let queues = &queues;
             let results = &results;
             let run = &run;
-            scope.spawn(move || loop {
-                // Own deque first (front), then steal (back of the fullest).
-                let next = queues[me].lock().unwrap().pop_front();
-                let (index, item) = match next.or_else(|| steal(queues, me)) {
-                    Some(job) => job,
-                    None => return,
-                };
-                let result = run(index, item);
-                *results[index].lock().unwrap() = Some(result);
-            });
+            // Named threads give trace spans (and debuggers) a stable
+            // worker identity: spans recorded on this thread report
+            // `weaver-worker-<n>` as their thread name.
+            std::thread::Builder::new()
+                .name(format!("weaver-worker-{me}"))
+                .spawn_scoped(scope, move || loop {
+                    // Own deque first (front), then steal (back of the
+                    // fullest).
+                    let next = queues[me].lock().unwrap().pop_front();
+                    let (index, item) = match next.or_else(|| steal(queues, me)) {
+                        Some(job) => job,
+                        None => {
+                            // Must happen inside the closure: the scope
+                            // unblocks before this thread's TLS destructors
+                            // run, so a drop-time flush could lose the last
+                            // buffered spans to a caller draining the trace
+                            // right after the batch returns.
+                            weaver_obs::span::flush_thread();
+                            return;
+                        }
+                    };
+                    let result = run(index, item);
+                    *results[index].lock().unwrap() = Some(result);
+                })
+                .expect("spawn batch worker");
         }
     });
 

@@ -184,6 +184,47 @@ struct Counters {
     recoveries: u64,
 }
 
+/// Process-global store metric handles, resolved once per open so the
+/// mutation paths update plain atomics instead of taking the registry
+/// lock. The per-instance [`Counters`] stay authoritative for
+/// [`StoreStats`]; these series aggregate across every store handle the
+/// process opens.
+#[derive(Debug)]
+struct StoreMetrics {
+    wal_fsync: Arc<weaver_obs::Histogram>,
+    page_write: Arc<weaver_obs::Histogram>,
+    checksum_failures: Arc<weaver_obs::Counter>,
+    wal_replayed: Arc<weaver_obs::Counter>,
+    recoveries: Arc<weaver_obs::Counter>,
+}
+
+impl StoreMetrics {
+    fn new() -> Self {
+        StoreMetrics {
+            wal_fsync: weaver_obs::metrics::latency_histogram(
+                "weaver_store_wal_fsync_seconds",
+                "WAL append+fsync latency (the commit point of every mutation).",
+            ),
+            page_write: weaver_obs::metrics::latency_histogram(
+                "weaver_store_page_write_seconds",
+                "Latency of applying a committed put to the page file.",
+            ),
+            checksum_failures: weaver_obs::metrics::counter(
+                "weaver_store_checksum_failures_total",
+                "Pages or chains quarantined for checksum/structure failures.",
+            ),
+            wal_replayed: weaver_obs::metrics::counter(
+                "weaver_store_wal_replayed_total",
+                "Committed WAL records replayed during store opens.",
+            ),
+            recoveries: weaver_obs::metrics::counter(
+                "weaver_store_recoveries_total",
+                "Store opens that had crash damage to repair.",
+            ),
+        }
+    }
+}
+
 /// Returns whether an open failed because another live process (or another
 /// handle in this process) holds the store.
 pub fn is_locked(e: &std::io::Error) -> bool {
@@ -289,6 +330,7 @@ pub struct Store {
     next_lsn: u64,
     poisoned: bool,
     counters: Counters,
+    metrics: StoreMetrics,
     recovery: RecoveryReport,
     _lock: DirLock,
 }
@@ -384,6 +426,12 @@ impl Store {
         }
         let free: Vec<u64> = (1..page_count).filter(|p| !claimed.contains(p)).collect();
 
+        let metrics = StoreMetrics::new();
+        metrics
+            .checksum_failures
+            .add(report.quarantined_pages + report.dropped_chains);
+        metrics.wal_replayed.add(report.replayed);
+        metrics.recoveries.add(u64::from(report.recovered()));
         let mut store = Store {
             dir: dir.to_path_buf(),
             page_size,
@@ -401,6 +449,7 @@ impl Store {
                 wal_replayed: report.replayed,
                 recoveries: u64::from(report.recovered()),
             },
+            metrics,
             recovery: report,
             _lock: lock,
         };
@@ -484,9 +533,17 @@ impl Store {
             pages: pages.clone(),
             payload: payload.to_vec(),
         };
+        let fsync_start = std::time::Instant::now();
         let committed = self.wal.append(&record);
+        self.metrics
+            .wal_fsync
+            .observe(fsync_start.elapsed().as_secs_f64());
         self.poison(committed)?;
+        let write_start = std::time::Instant::now();
         self.apply_put(&record)?;
+        self.metrics
+            .page_write
+            .observe(write_start.elapsed().as_secs_f64());
         self.maybe_checkpoint()
     }
 
@@ -504,7 +561,11 @@ impl Store {
             key: *key,
             head_page: chain.pages[0],
         };
+        let fsync_start = std::time::Instant::now();
         let committed = self.wal.append(&record);
+        self.metrics
+            .wal_fsync
+            .observe(fsync_start.elapsed().as_secs_f64());
         self.poison(committed)?;
         let image = format::encode_free(self.page_size, lsn);
         let write = self.file.write_page(chain.pages[0], &image);
@@ -704,6 +765,48 @@ impl Store {
         }
     }
 
+    /// Publishes the current [`StoreStats`] into the process-global metrics
+    /// registry as `weaver_store_*` gauges, so a [`weaver_obs::metrics`]
+    /// snapshot (CLI `cache stats`, the future daemon admin surface)
+    /// carries the store's size and health alongside the counters.
+    pub fn publish_metrics(&self) {
+        let stats = self.stats();
+        for (name, help, value) in [
+            (
+                "weaver_store_artifacts",
+                "Live artifacts in the paged store.",
+                stats.artifacts as f64,
+            ),
+            (
+                "weaver_store_file_bytes",
+                "Page-file length in bytes.",
+                stats.file_bytes as f64,
+            ),
+            (
+                "weaver_store_wal_bytes",
+                "WAL length in bytes (header included).",
+                stats.wal_bytes as f64,
+            ),
+            (
+                "weaver_store_live_pages",
+                "Pages holding live artifact data.",
+                stats.live_pages as f64,
+            ),
+            (
+                "weaver_store_free_pages",
+                "Reclaimable pages on the free list.",
+                stats.free_pages as f64,
+            ),
+            (
+                "weaver_store_buffer_evictions",
+                "Buffer-pool LRU evictions.",
+                stats.buffer_evictions as f64,
+            ),
+        ] {
+            weaver_obs::metrics::gauge(name, help).set(value);
+        }
+    }
+
     fn apply_put(&mut self, record: &WalRecord) -> std::io::Result<()> {
         let WalRecord::Put {
             lsn,
@@ -744,6 +847,13 @@ impl Store {
 
     fn quarantine(&mut self, key: &Digest, chain: &Chain) -> Option<Vec<u8>> {
         self.counters.checksum_failures += 1;
+        self.metrics.checksum_failures.inc();
+        // Debug, not warn: crash-recovery tests quarantine deliberately and
+        // the condition is already surfaced via counters and StoreStats.
+        weaver_obs::log::debug(
+            "weaver-store",
+            &format!("artifact {} failed verification; quarantined", key.to_hex()),
+        );
         self.index.remove(key);
         self.free_chain(chain);
         None

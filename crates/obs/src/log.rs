@@ -1,0 +1,202 @@
+//! Leveled, warn-once-capable structured logging to stderr.
+//!
+//! The maximum level is read once from `WEAVER_LOG`
+//! (`error|warn|info|debug|off`, default `warn`) and can be overridden
+//! programmatically with [`set_max_level`]. Every emitted message also
+//! increments the `weaver_log_messages_total{level=…}` counter, so log
+//! volume shows up in the metrics snapshot.
+//!
+//! [`warn_once`] deduplicates by caller-chosen key — the replacement for
+//! the repo's old `static AtomicBool + eprintln!` warn-once pattern.
+//!
+//! # Examples
+//!
+//! ```
+//! use weaver_obs::log::{self, Level};
+//!
+//! log::set_max_level(Level::Info);
+//! log::info("doctest", "engine started");
+//! assert!(log::warn_once("doctest-key", "doctest", "first time: printed"));
+//! assert!(!log::warn_once("doctest-key", "doctest", "second time: suppressed"));
+//! ```
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-affecting problems.
+    Error,
+    /// Degraded behavior the user should know about.
+    Warn,
+    /// High-level lifecycle events.
+    Info,
+    /// Detailed diagnostics.
+    Debug,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Encoding for the atomic: 0 = uninitialized, 1 = off, 2..=5 = levels.
+const UNINIT: u8 = 0;
+const OFF: u8 = 1;
+
+fn encode(level: Level) -> u8 {
+    match level {
+        Level::Error => 2,
+        Level::Warn => 3,
+        Level::Info => 4,
+        Level::Debug => 5,
+    }
+}
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
+
+fn level_from_env() -> u8 {
+    match std::env::var("WEAVER_LOG").as_deref() {
+        Ok("error") => encode(Level::Error),
+        Ok("warn") => encode(Level::Warn),
+        Ok("info") => encode(Level::Info),
+        Ok("debug") => encode(Level::Debug),
+        Ok("off") | Ok("none") => OFF,
+        _ => encode(Level::Warn),
+    }
+}
+
+fn max_level_encoded() -> u8 {
+    let cur = MAX_LEVEL.load(Ordering::Relaxed);
+    if cur != UNINIT {
+        return cur;
+    }
+    let from_env = level_from_env();
+    // First caller wins; a racing set_max_level is fine either way.
+    let _ = MAX_LEVEL.compare_exchange(UNINIT, from_env, Ordering::Relaxed, Ordering::Relaxed);
+    MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Overrides the maximum emitted level (wins over `WEAVER_LOG`).
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(encode(level), Ordering::Relaxed);
+}
+
+/// Silences all logging (equivalent to `WEAVER_LOG=off`).
+pub fn set_off() {
+    MAX_LEVEL.store(OFF, Ordering::Relaxed);
+}
+
+/// Whether a message at `level` would currently be emitted.
+pub fn enabled(level: Level) -> bool {
+    encode(level) <= max_level_encoded()
+}
+
+/// Logs `message` from `module` at `level`. Format:
+/// `weaver[<level>] <module>: <message>` on stderr.
+pub fn log(level: Level, module: &str, message: &str) {
+    crate::metrics::counter_with(
+        "weaver_log_messages_total",
+        "Log messages emitted or suppressed, by level.",
+        &[("level", level.as_str())],
+    )
+    .inc();
+    if enabled(level) {
+        eprintln!("weaver[{level}] {module}: {message}");
+    }
+}
+
+/// Logs at [`Level::Error`].
+pub fn error(module: &str, message: &str) {
+    log(Level::Error, module, message);
+}
+
+/// Logs at [`Level::Warn`].
+pub fn warn(module: &str, message: &str) {
+    log(Level::Warn, module, message);
+}
+
+/// Logs at [`Level::Info`].
+pub fn info(module: &str, message: &str) {
+    log(Level::Info, module, message);
+}
+
+/// Logs at [`Level::Debug`].
+pub fn debug(module: &str, message: &str) {
+    log(Level::Debug, module, message);
+}
+
+fn once_keys() -> &'static Mutex<BTreeSet<String>> {
+    static KEYS: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    KEYS.get_or_init(|| Mutex::new(BTreeSet::new()))
+}
+
+/// Logs a warning the first time `key` is seen in this process and
+/// suppresses every repeat. Returns `true` iff this call emitted.
+pub fn warn_once(key: &str, module: &str, message: &str) -> bool {
+    let fresh = once_keys()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .insert(key.to_string());
+    if fresh {
+        warn(module, message);
+    }
+    fresh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_matches_severity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn set_max_level_gates_enabled() {
+        set_max_level(Level::Error);
+        assert!(enabled(Level::Error));
+        assert!(!enabled(Level::Warn));
+        set_max_level(Level::Debug);
+        assert!(enabled(Level::Debug));
+        set_max_level(Level::Warn);
+    }
+
+    #[test]
+    fn warn_once_dedupes_by_key() {
+        set_max_level(Level::Warn);
+        assert!(warn_once("log-test-a", "log-test", "emitted"));
+        assert!(!warn_once("log-test-a", "log-test", "suppressed"));
+        assert!(warn_once("log-test-b", "log-test", "different key emits"));
+    }
+
+    #[test]
+    fn logging_increments_metrics() {
+        let c = crate::metrics::counter_with(
+            "weaver_log_messages_total",
+            "Log messages emitted or suppressed, by level.",
+            &[("level", "debug")],
+        );
+        let before = c.get();
+        debug("log-test", "counted even when suppressed");
+        assert_eq!(c.get(), before + 1);
+    }
+}

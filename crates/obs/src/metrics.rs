@@ -1,0 +1,509 @@
+//! Process-global metrics registry: counters, gauges, and fixed-bucket
+//! latency histograms with a Prometheus exposition-format snapshot.
+//!
+//! Series are registered on first use and live for the life of the
+//! process. Lookup takes a registry mutex, so hot paths should resolve
+//! their series once (e.g. in a constructor) and keep the returned
+//! [`Counter`] / [`Gauge`] / [`Histogram`] handle — updates on a handle
+//! are plain atomics.
+//!
+//! # Examples
+//!
+//! ```
+//! use weaver_obs::metrics;
+//!
+//! let hits = metrics::counter_with(
+//!     "doctest_cache_hits_total",
+//!     "Cache hits.",
+//!     &[("tier", "memory")],
+//! );
+//! hits.inc();
+//! let lat = metrics::latency_histogram("doctest_lookup_seconds", "Lookup latency.");
+//! lat.observe(0.000_25);
+//! let text = metrics::snapshot();
+//! assert!(text.contains("doctest_cache_hits_total{tier=\"memory\"} 1"));
+//! assert!(text.contains("doctest_lookup_seconds_bucket"));
+//! let parsed = metrics::parse_snapshot(&text);
+//! assert_eq!(
+//!     parsed.get("doctest_cache_hits_total{tier=\"memory\"}"),
+//!     Some(&1.0)
+//! );
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: an instantaneous `f64` value that can go up or down.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (compare-and-swap loop over the f64 bit pattern).
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Default latency buckets: powers of 4 from 1µs to ~17s. Wide enough for
+/// everything from a WAL fsync to a full batch, cheap enough to snapshot.
+pub const DEFAULT_LATENCY_BUCKETS: [f64; 13] = [
+    1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1.024e-3, 4.096e-3, 16.384e-3, 65.536e-3, 0.262_144,
+    1.048_576, 4.194_304, 16.777_216,
+];
+
+/// A fixed-bucket histogram of `f64` observations (typically seconds).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One slot per bound plus a final overflow (+Inf) slot.
+    buckets: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0.0_f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// inside the bucket that crosses the target rank — the standard
+    /// Prometheus `histogram_quantile` estimate. Returns `None` if the
+    /// histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+        let mut cumulative = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            let in_bucket = bucket.load(Ordering::Relaxed);
+            if in_bucket == 0 {
+                cumulative += in_bucket;
+                continue;
+            }
+            if (cumulative + in_bucket) as f64 >= target {
+                let lower = if idx == 0 { 0.0 } else { self.bounds[idx - 1] };
+                let upper = if idx < self.bounds.len() {
+                    self.bounds[idx]
+                } else {
+                    // +Inf bucket: report its lower bound.
+                    return Some(lower);
+                };
+                let frac = (target - cumulative as f64) / in_bucket as f64;
+                return Some(lower + (upper - lower) * frac);
+            }
+            cumulative += in_bucket;
+        }
+        self.bounds.last().copied()
+    }
+}
+
+enum Series {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    help: &'static str,
+    series: Series,
+}
+
+/// Registry key: `name` or `name{k="v",…}` with labels sorted by key.
+fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted = labels.to_vec();
+    sorted.sort();
+    let rendered: Vec<String> = sorted
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{v}\"", v = v.replace('"', "\\\"")))
+        .collect();
+    format!("{name}{{{}}}", rendered.join(","))
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, Entry>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Entry>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Registers (or retrieves) an unlabeled counter.
+pub fn counter(name: &str, help: &'static str) -> Arc<Counter> {
+    counter_with(name, help, &[])
+}
+
+/// Registers (or retrieves) a counter with labels.
+///
+/// # Panics
+/// Panics if the same series name+labels was registered as a different
+/// kind.
+pub fn counter_with(name: &str, help: &'static str, labels: &[(&str, &str)]) -> Arc<Counter> {
+    let key = series_key(name, labels);
+    let mut reg = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let entry = reg.entry(key.clone()).or_insert_with(|| Entry {
+        help,
+        series: Series::Counter(Arc::new(Counter::default())),
+    });
+    match &entry.series {
+        Series::Counter(c) => Arc::clone(c),
+        _ => panic!("metric {key} already registered as a non-counter"),
+    }
+}
+
+/// Registers (or retrieves) an unlabeled gauge.
+pub fn gauge(name: &str, help: &'static str) -> Arc<Gauge> {
+    gauge_with(name, help, &[])
+}
+
+/// Registers (or retrieves) a gauge with labels.
+///
+/// # Panics
+/// Panics if the same series name+labels was registered as a different
+/// kind.
+pub fn gauge_with(name: &str, help: &'static str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+    let key = series_key(name, labels);
+    let mut reg = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let entry = reg.entry(key.clone()).or_insert_with(|| Entry {
+        help,
+        series: Series::Gauge(Arc::new(Gauge::default())),
+    });
+    match &entry.series {
+        Series::Gauge(g) => Arc::clone(g),
+        _ => panic!("metric {key} already registered as a non-gauge"),
+    }
+}
+
+/// Registers (or retrieves) a histogram with [`DEFAULT_LATENCY_BUCKETS`].
+pub fn latency_histogram(name: &str, help: &'static str) -> Arc<Histogram> {
+    histogram_with(name, help, &[], &DEFAULT_LATENCY_BUCKETS)
+}
+
+/// Registers (or retrieves) a histogram with explicit labels and bucket
+/// bounds. Bounds must be sorted ascending; a `+Inf` bucket is implicit.
+///
+/// # Panics
+/// Panics if the same series name+labels was registered as a different
+/// kind.
+pub fn histogram_with(
+    name: &str,
+    help: &'static str,
+    labels: &[(&str, &str)],
+    bounds: &[f64],
+) -> Arc<Histogram> {
+    let key = series_key(name, labels);
+    let mut reg = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let entry = reg.entry(key.clone()).or_insert_with(|| Entry {
+        help,
+        series: Series::Histogram(Arc::new(Histogram::new(bounds))),
+    });
+    match &entry.series {
+        Series::Histogram(h) => Arc::clone(h),
+        _ => panic!("metric {key} already registered as a non-histogram"),
+    }
+}
+
+/// Formats a float the way Prometheus expects (`+Inf`, integral values
+/// without an exponent, everything else via `{}`).
+fn fmt_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Splits a registry key back into `(name, label-block)` where the label
+/// block includes braces (empty string when unlabeled).
+fn split_key(key: &str) -> (&str, &str) {
+    match key.find('{') {
+        Some(idx) => key.split_at(idx),
+        None => (key, ""),
+    }
+}
+
+/// Merges an extra label into a rendered label block.
+fn with_extra_label(label_block: &str, extra: &str) -> String {
+    if label_block.is_empty() {
+        format!("{{{extra}}}")
+    } else {
+        let inner = &label_block[1..label_block.len() - 1];
+        format!("{{{inner},{extra}}}")
+    }
+}
+
+/// Renders a point-in-time snapshot of every registered series in the
+/// Prometheus text exposition format (`# HELP`/`# TYPE` per family,
+/// histogram `_bucket`/`_sum`/`_count` expansion).
+pub fn snapshot() -> String {
+    let reg = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut out = String::new();
+    let mut last_family = String::new();
+    for (key, entry) in reg.iter() {
+        let (name, labels) = split_key(key);
+        if name != last_family {
+            let kind = match entry.series {
+                Series::Counter(_) => "counter",
+                Series::Gauge(_) => "gauge",
+                Series::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# HELP {name} {}", entry.help);
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            last_family = name.to_string();
+        }
+        match &entry.series {
+            Series::Counter(c) => {
+                let _ = writeln!(out, "{name}{labels} {}", c.get());
+            }
+            Series::Gauge(g) => {
+                let _ = writeln!(out, "{name}{labels} {}", fmt_value(g.get()));
+            }
+            Series::Histogram(h) => {
+                let mut cumulative = 0u64;
+                for (idx, bucket) in h.buckets.iter().enumerate() {
+                    cumulative += bucket.load(Ordering::Relaxed);
+                    let bound = h.bounds.get(idx).copied().unwrap_or(f64::INFINITY);
+                    let le = with_extra_label(labels, &format!("le=\"{}\"", fmt_value(bound)));
+                    let _ = writeln!(out, "{name}_bucket{le} {cumulative}");
+                }
+                let _ = writeln!(out, "{name}_sum{labels} {}", fmt_value(h.sum()));
+                let _ = writeln!(out, "{name}_count{labels} {}", h.count());
+            }
+        }
+    }
+    out
+}
+
+/// Parses a snapshot produced by [`snapshot`] back into a map from series
+/// (`name` or `name{labels}`) to value. Comment lines are skipped;
+/// malformed lines are ignored. Useful for tests and for the CLI's
+/// round-trip checks.
+pub fn parse_snapshot(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // The value is the suffix after the last space *outside* braces;
+        // label values never contain spaces in our encoder, so a plain
+        // rsplit is enough.
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let value = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => match v.parse::<f64>() {
+                Ok(v) => v,
+                Err(_) => continue,
+            },
+        };
+        out.insert(series.to_string(), value);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let c = counter("metrics_test_total", "Test counter.");
+        c.add(3);
+        c.inc();
+        assert_eq!(c.get(), 4);
+        let g = gauge("metrics_test_gauge", "Test gauge.");
+        g.set(2.5);
+        g.add(-1.0);
+        assert!((g.get() - 1.5).abs() < 1e-12);
+        let snap = snapshot();
+        let parsed = parse_snapshot(&snap);
+        assert_eq!(parsed.get("metrics_test_total"), Some(&4.0));
+        assert_eq!(parsed.get("metrics_test_gauge"), Some(&1.5));
+    }
+
+    #[test]
+    fn labeled_series_are_distinct() {
+        let a = counter_with(
+            "metrics_test_labeled_total",
+            "Labeled.",
+            &[("tier", "memory")],
+        );
+        let b = counter_with(
+            "metrics_test_labeled_total",
+            "Labeled.",
+            &[("tier", "disk")],
+        );
+        a.add(2);
+        b.add(5);
+        let parsed = parse_snapshot(&snapshot());
+        assert_eq!(
+            parsed.get("metrics_test_labeled_total{tier=\"memory\"}"),
+            Some(&2.0)
+        );
+        assert_eq!(
+            parsed.get("metrics_test_labeled_total{tier=\"disk\"}"),
+            Some(&5.0)
+        );
+    }
+
+    #[test]
+    fn same_handle_for_same_key() {
+        let a = counter("metrics_test_shared_total", "Shared.");
+        let b = counter("metrics_test_shared_total", "Shared.");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_sum_count_and_quantiles() {
+        let h = histogram_with(
+            "metrics_test_seconds",
+            "Test histogram.",
+            &[],
+            &[0.001, 0.01, 0.1, 1.0],
+        );
+        for _ in 0..90 {
+            h.observe(0.005);
+        }
+        for _ in 0..10 {
+            h.observe(0.5);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.sum() - (90.0 * 0.005 + 10.0 * 0.5)).abs() < 1e-9);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 > 0.001 && p50 <= 0.01, "p50 = {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 > 0.1 && p99 <= 1.0, "p99 = {p99}");
+
+        let snap = snapshot();
+        assert!(snap.contains("# TYPE metrics_test_seconds histogram"));
+        let parsed = parse_snapshot(&snap);
+        assert_eq!(parsed.get("metrics_test_seconds_count"), Some(&100.0));
+        assert_eq!(
+            parsed.get("metrics_test_seconds_bucket{le=\"0.01\"}"),
+            Some(&90.0)
+        );
+        assert_eq!(
+            parsed.get("metrics_test_seconds_bucket{le=\"+Inf\"}"),
+            Some(&100.0)
+        );
+    }
+
+    #[test]
+    fn overflow_observations_land_in_inf_bucket() {
+        let h = histogram_with("metrics_test_inf_seconds", "Overflow.", &[], &[0.001]);
+        h.observe(5.0);
+        assert_eq!(h.count(), 1);
+        // Quantile of an all-overflow histogram reports the top bound.
+        assert_eq!(h.quantile(0.5), Some(0.001));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        counter("metrics_test_kind_clash", "As counter.");
+        gauge("metrics_test_kind_clash", "As gauge.");
+    }
+}

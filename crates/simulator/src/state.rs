@@ -111,6 +111,13 @@ impl State {
     /// target repeats, or if a target is out of range.
     pub fn apply(&mut self, gate: &Matrix, targets: &[usize]) {
         kernels::validate_targets(self.num_qubits, gate, targets);
+        // Trace only the registers big enough to go parallel — per-gate
+        // spans on tiny registers would swamp a trace with noise.
+        let _span = (self.amplitudes.len() >= kernels::PAR_MIN_AMPLITUDES).then(|| {
+            weaver_obs::span::span("kernel", "apply-gate")
+                .with_arg("qubits", self.num_qubits)
+                .with_arg("targets", targets.len())
+        });
         // Bit position (from LSB) of each target in the basis index.
         let bits: Vec<usize> = targets.iter().map(|&t| self.num_qubits - 1 - t).collect();
         kernels::apply_gate(&mut self.amplitudes, gate, &bits);

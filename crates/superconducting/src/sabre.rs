@@ -111,6 +111,10 @@ impl Layout {
 /// and [`RouteError::UnsupportedArity`] for gates of arity > 2.
 pub fn route(circuit: &Circuit, coupling: &CouplingMap) -> Result<RoutedCircuit, RouteError> {
     const TRIALS: u64 = 5;
+    let mut span = weaver_obs::span::span("route", "sabre-route")
+        .with_arg("qubits", circuit.num_qubits())
+        .with_arg("gates", circuit.gate_count())
+        .with_arg("trials", TRIALS);
     if circuit.num_qubits() > coupling.num_qubits() {
         return Err(RouteError::TooManyQubits {
             needed: circuit.num_qubits(),
@@ -140,6 +144,7 @@ pub fn route(circuit: &Circuit, coupling: &CouplingMap) -> Result<RoutedCircuit,
     }
     let mut best = best.expect("at least one trial ran");
     best.steps = total_steps;
+    span.set_arg("swaps", best.swap_count);
     Ok(best)
 }
 

@@ -10,11 +10,15 @@
 //!         [--frontend <name>] [--check] [--jsonl file] [--out-dir dir]
 //!         [--cache-dir dir] [--no-cache] [shared option flags as above]
 //!
+//! weaverc profile <dir|manifest> [batch flags]
+//!
 //! weaverc cache stats <dir>
 //! weaverc cache compact <dir>
 //!
 //! weaverc targets
 //! weaverc frontends
+//!
+//! global flags: [--trace file.json|file.jsonl] [--metrics file|-]
 //! ```
 //!
 //! Single-shot mode reads one workload file in any registered frontend
@@ -38,7 +42,14 @@
 //! checksum scan, and reports layout, counters, and a final
 //! consistent/INCONSISTENT verdict; `weaverc cache compact` rewrites the
 //! store without its free pages. `weaverc targets` lists the registered
-//! backends; `weaverc frontends` the registered front ends. Failures exit nonzero with a one-line
+//! backends; `weaverc frontends` the registered front ends. The global
+//! `--trace` flag drains the span collector into a Chrome
+//! `chrome://tracing` / Perfetto JSON file (flat JSONL with a `.jsonl`
+//! extension) and `--metrics` dumps the Prometheus metric snapshot to a
+//! file (`-` = stderr); `weaverc profile` runs a batch with tracing
+//! forced on and prints a per-pass breakdown (calls, total vs self time,
+//! p50/p99 read back from the pass-duration histograms) instead of the
+//! JSONL stream. Failures exit nonzero with a one-line
 //! structured `weaverc: error: <kind>: <message>` diagnostic instead of
 //! panicking mid-batch; a bad `--target` value is `unknown-target`, an
 //! unrecognizable input format `unknown-format`, and a circuit sent to a
@@ -66,6 +77,11 @@ struct Args {
     gamma: f64,
     beta: f64,
     check: bool,
+    // Observability surface (any mode): Chrome-trace / JSONL span export,
+    // Prometheus metrics dump, and the `profile` per-pass breakdown.
+    trace: Option<String>,
+    metrics_out: Option<String>,
+    profile: bool,
     // Batch-only surface.
     batch: bool,
     // `weaverc cache <stats|compact> <dir>` maintenance surface.
@@ -85,10 +101,12 @@ fn usage() -> &'static str {
      \x20      weaverc batch <dir|manifest> [--jobs N] [--target <name>] [--frontend <name>]\n\
      \x20              [--check] [--jsonl file] [--out-dir dir] [--cache-dir dir]\n\
      \x20              [--no-cache] [shared option flags]\n\
+     \x20      weaverc profile <dir|manifest> [batch flags]\n\
      \x20      weaverc cache stats <dir>\n\
      \x20      weaverc cache compact <dir>\n\
      \x20      weaverc targets\n\
-     \x20      weaverc frontends"
+     \x20      weaverc frontends\n\
+     \x20      global: [--trace file.json|file.jsonl] [--metrics file|-]"
 }
 
 /// Prints the one-line structured diagnostic every failure path uses.
@@ -110,6 +128,9 @@ fn parse_args() -> Result<Args, String> {
         gamma: 0.7,
         beta: 0.3,
         check: false,
+        trace: None,
+        metrics_out: None,
+        profile: false,
         batch: false,
         cache_cmd: None,
         jobs: 0,
@@ -121,6 +142,14 @@ fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1).peekable();
     if it.peek().map(String::as_str) == Some("batch") {
         args.batch = true;
+        it.next();
+    }
+    // `weaverc profile <dir|manifest>` is batch mode with tracing forced on
+    // and a per-pass breakdown instead of the JSONL stream; it accepts
+    // every batch flag.
+    if !args.batch && it.peek().map(String::as_str) == Some("profile") {
+        args.batch = true;
+        args.profile = true;
         it.next();
     }
     // `weaverc cache <stats|compact> <dir>` — store maintenance; parsed
@@ -185,6 +214,8 @@ fn parse_args() -> Result<Args, String> {
             "--gamma" => args.gamma = number(value(&mut it, "--gamma")?, "--gamma")?,
             "--beta" => args.beta = number(value(&mut it, "--beta")?, "--beta")?,
             "--check" => args.check = true,
+            "--trace" => args.trace = Some(value(&mut it, "--trace")?),
+            "--metrics" => args.metrics_out = Some(value(&mut it, "--metrics")?),
             "--jobs" if args.batch => {
                 args.jobs = value(&mut it, "--jobs")?
                     .parse()
@@ -215,7 +246,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Some((action, dir)) = &args.cache_cmd {
+    // Span collection must be live before the first compile; `profile`
+    // implies it even without an export file.
+    if args.trace.is_some() || args.profile {
+        weaver::obs::span::set_enabled(true);
+    }
+    let code = if let Some((action, dir)) = &args.cache_cmd {
         run_cache(action, dir)
     } else if args.input == "targets" && !args.batch {
         run_targets()
@@ -225,7 +261,42 @@ fn main() -> ExitCode {
         run_batch(&args)
     } else {
         run_single(&args)
+    };
+    finish_observability(&args, code)
+}
+
+/// Drains the span collector into `--trace` (profile mode drains it
+/// itself) and dumps the Prometheus snapshot to `--metrics` (`-` =
+/// stderr). Runs after every mode so both flags are global.
+fn finish_observability(args: &Args, code: ExitCode) -> ExitCode {
+    let mut code = code;
+    if !args.profile {
+        if let Some(path) = &args.trace {
+            if let Err(msg) = write_trace(path, &weaver::obs::span::take()) {
+                code = error_line("io", &msg);
+            }
+        }
     }
+    if let Some(dest) = &args.metrics_out {
+        let snapshot = weaver::obs::metrics::snapshot();
+        if dest == "-" {
+            eprint!("{snapshot}");
+        } else if let Err(e) = std::fs::write(dest, snapshot) {
+            code = error_line("io", &format!("cannot write {dest}: {e}"));
+        }
+    }
+    code
+}
+
+/// Writes a drained trace to `path`: flat JSONL for a `.jsonl` extension,
+/// Chrome `chrome://tracing` / Perfetto JSON otherwise.
+fn write_trace(path: &str, trace: &weaver::obs::Trace) -> Result<(), String> {
+    let body = if path.ends_with(".jsonl") {
+        trace.to_jsonl()
+    } else {
+        trace.chrome_json()
+    };
+    std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 /// `weaverc targets` — lists the backend registry (name, aliases,
@@ -359,6 +430,11 @@ fn run_cache(action: &str, dir: &str) -> ExitCode {
             println!("  checksum fails:  {}", stats.checksum_failures);
             println!("  wal replayed:    {}", stats.wal_replayed);
             println!("  recoveries:      {}", stats.recoveries);
+            // Same numbers again in Prometheus exposition format, for
+            // scraping / diffing against a live process.
+            store.publish_metrics();
+            println!();
+            print!("{}", weaver::obs::metrics::snapshot());
             if verify.consistent() {
                 println!(
                     "verify: consistent ({} artifacts checked)",
@@ -472,12 +548,25 @@ fn run_batch(args: &Args) -> ExitCode {
         Some(file) => {
             let _ = writeln!(file.lock().unwrap(), "{line}");
         }
+        // Profile mode prints a table instead of a JSONL stream; records
+        // still land in --jsonl when asked for.
+        None if args.profile => {}
         None => {
             let _ = writeln!(stdout.lock().unwrap(), "{line}");
         }
     };
     let report = engine.run_streaming(jobs, &|result| emit_record(&job_record(result)));
     emit_record(&report.batch_record());
+
+    if args.profile {
+        let trace = weaver::obs::span::take();
+        print_profile(&trace);
+        if let Some(path) = &args.trace {
+            if let Err(msg) = write_trace(path, &trace) {
+                return error_line("io", &msg);
+            }
+        }
+    }
 
     // Optionally materialize artifacts next to their job names. Stems can
     // collide (same file name in two directories, or one file listed twice
@@ -533,6 +622,69 @@ fn run_batch(args: &Args) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// `weaverc profile` — aggregates the drained trace into a per-pass table:
+/// call count, total wall time, self time (total minus nested child
+/// spans), and p50/p99 latencies read back from the process-global
+/// `weaver_pass_duration_seconds` histograms.
+fn print_profile(trace: &weaver::obs::Trace) {
+    use std::collections::{BTreeMap, HashMap};
+
+    // Sum of direct-child durations per span, for self-time.
+    let mut child_us: HashMap<u64, u64> = HashMap::new();
+    for s in &trace.spans {
+        if s.parent != 0 {
+            *child_us.entry(s.parent).or_default() += s.dur_us;
+        }
+    }
+    #[derive(Default)]
+    struct Row {
+        calls: u64,
+        total_us: u64,
+        self_us: u64,
+    }
+    let mut rows: BTreeMap<&str, Row> = BTreeMap::new();
+    for s in trace.spans.iter().filter(|s| s.cat == "pass") {
+        let row = rows.entry(s.name.as_str()).or_default();
+        row.calls += 1;
+        row.total_us += s.dur_us;
+        row.self_us += s
+            .dur_us
+            .saturating_sub(child_us.get(&s.id).copied().unwrap_or(0));
+    }
+    if rows.is_empty() {
+        println!("profile: no pass spans recorded (every job served from cache?)");
+        return;
+    }
+    let mut rows: Vec<(&str, Row)> = rows.into_iter().collect();
+    rows.sort_by_key(|row| std::cmp::Reverse(row.1.total_us));
+
+    let quantile_ms = |name: &str, q: f64| -> String {
+        weaver::obs::metrics::histogram_with(
+            "weaver_pass_duration_seconds",
+            "Wall-clock duration of individual compiler passes.",
+            &[("pass", name)],
+            &weaver::obs::metrics::DEFAULT_LATENCY_BUCKETS,
+        )
+        .quantile(q)
+        .map_or_else(|| "-".to_string(), |v| format!("{:.3}", v * 1e3))
+    };
+    println!(
+        "{:<26} {:>7} {:>11} {:>11} {:>11} {:>11}",
+        "pass", "calls", "total s", "self s", "p50 ms", "p99 ms"
+    );
+    for (name, row) in rows {
+        println!(
+            "{:<26} {:>7} {:>11.6} {:>11.6} {:>11} {:>11}",
+            name,
+            row.calls,
+            row.total_us as f64 * 1e-6,
+            row.self_us as f64 * 1e-6,
+            quantile_ms(name, 0.50),
+            quantile_ms(name, 0.99),
+        );
     }
 }
 

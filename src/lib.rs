@@ -14,6 +14,7 @@
 //! | [`superconducting`] | `weaver-superconducting` | coupling maps, SABRE transpiler |
 //! | [`core`] | `weaver-core` | wOptimizer, wQasm codegen, wChecker, pipeline |
 //! | [`engine`] | `weaver-engine` | parallel batch compilation + artifact cache |
+//! | [`obs`] | `weaver-obs` | span tracing, metrics registry, structured logging |
 //! | [`baselines`] | `weaver-baselines` | Geyser, Atomique, DPQA baselines |
 //!
 //! # Quickstart
@@ -45,6 +46,7 @@ pub use weaver_circuit as circuit;
 pub use weaver_core as core;
 pub use weaver_engine as engine;
 pub use weaver_fpqa as fpqa;
+pub use weaver_obs as obs;
 pub use weaver_sat as sat;
 pub use weaver_simulator as simulator;
 pub use weaver_superconducting as superconducting;
