@@ -19,7 +19,7 @@
 use crate::common::{BaselineOutput, FpqaCompiler, Timeout};
 use std::time::Instant;
 use weaver_core::codegen::{self, CodegenOptions};
-use weaver_core::coloring::{conflict_graph, dsatur, ClauseColoring};
+use weaver_core::coloring::{conflict_graph, dsatur, ClauseColoring, ConflictGraph};
 use weaver_fpqa::FpqaParams;
 use weaver_sat::{qaoa, Formula};
 
@@ -53,8 +53,8 @@ impl Dpqa {
 /// Exact minimum graph coloring by DSatur-style branch and bound.
 /// Returns `Some((coloring, nodes))` when optimality is proven within the
 /// node budget, `None` otherwise.
-pub fn exact_coloring(adjacency: &[Vec<usize>], budget: u64) -> Option<(ClauseColoring, u64)> {
-    let (coloring, nodes, proven) = branch_and_bound(adjacency, budget);
+pub fn exact_coloring(graph: &ConflictGraph, budget: u64) -> Option<(ClauseColoring, u64)> {
+    let (coloring, nodes, proven) = branch_and_bound(graph, budget);
     if proven {
         Some((coloring, nodes))
     } else {
@@ -65,29 +65,22 @@ pub fn exact_coloring(adjacency: &[Vec<usize>], budget: u64) -> Option<(ClauseCo
 /// Anytime variant: always returns the best coloring found within the
 /// budget (at worst the DSatur heuristic), plus nodes explored and whether
 /// optimality was proven.
-pub fn anytime_coloring(adjacency: &[Vec<usize>], budget: u64) -> (ClauseColoring, u64, bool) {
-    branch_and_bound(adjacency, budget)
+pub fn anytime_coloring(graph: &ConflictGraph, budget: u64) -> (ClauseColoring, u64, bool) {
+    branch_and_bound(graph, budget)
 }
 
-fn branch_and_bound(adjacency: &[Vec<usize>], budget: u64) -> (ClauseColoring, u64, bool) {
-    let n = adjacency.len();
+fn branch_and_bound(graph: &ConflictGraph, budget: u64) -> (ClauseColoring, u64, bool) {
+    let n = graph.len();
     if n == 0 {
-        return (
-            ClauseColoring {
-                colors: Vec::new(),
-                num_colors: 0,
-            },
-            0,
-            true,
-        );
+        return (ClauseColoring::new(Vec::new()), 0, true);
     }
-    let heuristic = dsatur(adjacency);
+    let heuristic = dsatur(graph);
     let mut best = heuristic.colors.clone();
     let mut best_k = heuristic.num_colors;
-    let clique = greedy_clique(adjacency);
+    let clique = greedy_clique(graph);
 
     struct Search<'a> {
-        adjacency: &'a [Vec<usize>],
+        graph: &'a ConflictGraph,
         colors: Vec<usize>,
         best: Vec<usize>,
         best_k: usize,
@@ -107,21 +100,23 @@ fn branch_and_bound(adjacency: &[Vec<usize>], budget: u64) -> (ClauseColoring, u
                 return true; // clique bound met: provably optimal
             }
             // Most saturated uncolored vertex.
-            let n = self.adjacency.len();
+            let n = self.graph.len();
             let mut pick = None;
             let mut pick_key = (0usize, 0usize);
             for v in 0..n {
                 if self.colors[v] != usize::MAX {
                     continue;
                 }
-                let mut sat: Vec<usize> = self.adjacency[v]
+                let mut sat: Vec<usize> = self
+                    .graph
+                    .neighbors(v)
                     .iter()
                     .map(|&u| self.colors[u])
                     .filter(|&c| c != usize::MAX)
                     .collect();
                 sat.sort_unstable();
                 sat.dedup();
-                let key = (sat.len(), self.adjacency[v].len());
+                let key = (sat.len(), self.graph.degree(v));
                 if pick.is_none() || key > pick_key {
                     pick = Some(v);
                     pick_key = key;
@@ -134,7 +129,9 @@ fn branch_and_bound(adjacency: &[Vec<usize>], budget: u64) -> (ClauseColoring, u
                 }
                 return true;
             };
-            let forbidden: Vec<usize> = self.adjacency[v]
+            let forbidden: Vec<usize> = self
+                .graph
+                .neighbors(v)
                 .iter()
                 .map(|&u| self.colors[u])
                 .filter(|&c| c != usize::MAX)
@@ -157,7 +154,7 @@ fn branch_and_bound(adjacency: &[Vec<usize>], budget: u64) -> (ClauseColoring, u
     }
 
     let mut search = Search {
-        adjacency,
+        graph,
         colors: vec![usize::MAX; n],
         best: std::mem::take(&mut best),
         best_k,
@@ -168,23 +165,24 @@ fn branch_and_bound(adjacency: &[Vec<usize>], budget: u64) -> (ClauseColoring, u
     let proven = search.branch(0);
     best = search.best;
     best_k = search.best_k;
-    (
-        ClauseColoring {
-            colors: best,
-            num_colors: best_k,
-        },
-        search.nodes,
-        proven,
-    )
+    debug_assert_eq!(
+        best_k,
+        best.iter().copied().max().map_or(0, |m| m + 1),
+        "branch-and-bound colors are dense"
+    );
+    (ClauseColoring::new(best), search.nodes, proven)
 }
 
-fn greedy_clique(adjacency: &[Vec<usize>]) -> usize {
-    let n = adjacency.len();
+fn greedy_clique(graph: &ConflictGraph) -> usize {
+    let n = graph.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by_key(|&v| std::cmp::Reverse(adjacency[v].len()));
+    order.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
     let mut clique: Vec<usize> = Vec::new();
     for &v in &order {
-        if clique.iter().all(|&u| adjacency[v].contains(&u)) {
+        if clique
+            .iter()
+            .all(|&u| graph.neighbors(v).binary_search(&u).is_ok())
+        {
             clique.push(v);
         }
     }
@@ -202,8 +200,8 @@ impl FpqaCompiler for Dpqa {
         // Intractability cliff: encoding size = 2q gates × stage bound.
         let circuit = qaoa::build_circuit(formula, &self.qaoa, false);
         let two_qubit = circuit.two_qubit_count() as u64;
-        let adjacency = conflict_graph(formula);
-        let stage_bound = dsatur(&adjacency).num_colors as u64;
+        let graph = conflict_graph(formula);
+        let stage_bound = dsatur(&graph).num_colors as u64;
         let encoding = two_qubit * stage_bound;
         if encoding > self.encoding_cap {
             return Err(Timeout {
@@ -216,7 +214,7 @@ impl FpqaCompiler for Dpqa {
         }
 
         // Anytime exact stage minimization.
-        let (coloring, nodes, _proven) = anytime_coloring(&adjacency, self.node_budget);
+        let (coloring, nodes, _proven) = anytime_coloring(&graph, self.node_budget);
 
         // Execute the optimal stages with 2-qubit gates only and maximal
         // movement (the DPQA execution style).
@@ -251,11 +249,12 @@ mod tests {
     #[test]
     fn exact_coloring_on_known_graphs() {
         // Triangle: 3 colors.
-        let triangle = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+        let triangle = ConflictGraph::from_adjacency(&[vec![1, 2], vec![0, 2], vec![0, 1]]);
         let (c, _) = exact_coloring(&triangle, 1_000_000).unwrap();
         assert_eq!(c.num_colors, 3);
         // 5-cycle: chromatic number 3 (odd cycle).
         let c5: Vec<Vec<usize>> = (0..5).map(|i| vec![(i + 4) % 5, (i + 1) % 5]).collect();
+        let c5 = ConflictGraph::from_adjacency(&c5);
         let (c, _) = exact_coloring(&c5, 1_000_000).unwrap();
         assert_eq!(c.num_colors, 3);
         assert!(is_valid_coloring(&c5, &c));
@@ -267,7 +266,7 @@ mod tests {
                 k33[b].push(a);
             }
         }
-        let (c, _) = exact_coloring(&k33, 1_000_000).unwrap();
+        let (c, _) = exact_coloring(&ConflictGraph::from_adjacency(&k33), 1_000_000).unwrap();
         assert_eq!(c.num_colors, 2);
     }
 

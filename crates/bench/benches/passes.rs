@@ -3,7 +3,10 @@
 //! DESIGN.md §6.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use weaver_core::coloring::{color_clauses, conflict_graph, dsatur, greedy_first_fit};
+use weaver_core::coloring::{
+    color_clauses, conflict_graph, conflict_graph_reference, dsatur, dsatur_reference,
+    greedy_first_fit,
+};
 use weaver_core::{checker, CodegenOptions, Weaver};
 use weaver_fpqa::FpqaParams;
 use weaver_sat::generator;
@@ -24,6 +27,14 @@ fn bench_coloring(c: &mut Criterion) {
             b.iter(|| dsatur(g))
         });
     }
+    // Old-vs-new at the largest paper size: CSR build + heap DSatur against
+    // the adjacency-list + argmax references preserved for the
+    // differential tests.
+    let f = generator::instance(250, 1);
+    group.bench_function("csr_dsatur_250", |b| b.iter(|| dsatur(&conflict_graph(&f))));
+    group.bench_function("reference_dsatur_250", |b| {
+        b.iter(|| dsatur_reference(&conflict_graph_reference(&f)))
+    });
     group.finish();
 }
 

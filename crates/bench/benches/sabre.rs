@@ -1,0 +1,56 @@
+//! Criterion benches for SABRE routing on the `sc:eagle` topology — the
+//! superconducting baseline's hot path (Table 2's O(N³) row).
+//!
+//! Routes the QAOA circuits of 100–127-variable Max-3SAT instances (the
+//! largest paper sizes that fit Eagle's 127 qubits) through both the
+//! optimized `sabre::route` and the preserved `sabre::route_reference`, so
+//! a single run shows the old-vs-new gap the `BENCH_figures.json` baseline
+//! tracks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use weaver_circuit::{native, Circuit, NativeBasis};
+use weaver_sat::{generator, qaoa};
+use weaver_superconducting::{sabre, CouplingMap, DeviceSpec};
+
+fn qaoa_on_eagle(vars: usize) -> (Circuit, CouplingMap) {
+    let f = generator::instance(vars, 1);
+    let circuit = native::nativize(
+        &qaoa::build_circuit(&f, &Default::default(), false),
+        NativeBasis::U3Cz,
+    );
+    (circuit, DeviceSpec::eagle().coupling())
+}
+
+fn bench_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sabre_route_eagle");
+    group.sample_size(10);
+    for vars in [100usize, 127] {
+        let (circuit, coupling) = qaoa_on_eagle(vars);
+        group.bench_with_input(
+            BenchmarkId::new("optimized", vars),
+            &(&circuit, &coupling),
+            |b, (circuit, coupling)| b.iter(|| sabre::route(circuit, coupling).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference", vars),
+            &(&circuit, &coupling),
+            |b, (circuit, coupling)| b.iter(|| sabre::route_reference(circuit, coupling).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_distance_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device_coupling");
+    group.sample_size(20);
+    // First call per device expands the topology and runs all-pairs BFS;
+    // the process-global cache makes every later call a map lookup + Arc
+    // clone. Benching the steady state shows what routing actually pays.
+    group.bench_function("eagle_cached_lookup", |b| {
+        b.iter(|| DeviceSpec::eagle().coupling())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_route, bench_distance_cache);
+criterion_main!(benches);

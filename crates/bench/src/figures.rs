@@ -2,8 +2,16 @@
 //!
 //! Every function renders one figure's data as an aligned text table whose
 //! rows/series match the paper's plots; the `figures` binary prints them.
+//!
+//! The size-sweep figures (8, 10a/b, 11, 12) read their points from a
+//! precompiled [`SizeSweep`] — one engine batch over the whole evaluation —
+//! so regenerating several figures never recompiles a point twice and the
+//! sweep parallelizes under `--jobs N`. The modes that need per-point
+//! parameter or workload variations (`fig10c`'s fidelity sweep, `weighted`,
+//! `graphs`, `devices`, `ablation`) still compile inline.
 
 use crate::harness::{run_compiler, CompilerId, RunOutcome, Suite};
+use crate::sweep::SizeSweep;
 use weaver_core::{compress, BackendRegistry, CompiledArtifact, Weaver};
 use weaver_fpqa::FpqaParams;
 use weaver_sat::{generator, Formula};
@@ -51,14 +59,14 @@ fn sci(v: f64) -> String {
 
 /// Fig. 8a — compilation time in seconds for the ten fixed-size (20-variable)
 /// benchmarks plus their mean.
-pub fn fig8a(suite: &Suite) -> String {
+pub fn fig8a(sweep: &SizeSweep) -> String {
+    let suite = sweep.suite();
     let mut rows = Vec::new();
     let mut sums: Vec<(f64, usize)> = vec![(0.0, 0); CompilerId::ALL.len()];
     for variant in 1..=suite.variants {
-        let f = generator::instance(20, variant);
         let mut row = vec![generator::instance_name(20, variant)];
         for (ci, id) in CompilerId::ALL.into_iter().enumerate() {
-            let out = run_compiler(id, &f, &suite.params);
+            let out = sweep.outcome(id, 20, variant);
             if let Some(m) = out.metrics() {
                 sums[ci].0 += m.compilation_seconds.max(1e-300).ln();
                 sums[ci].1 += 1;
@@ -87,9 +95,9 @@ pub fn fig8a(suite: &Suite) -> String {
 }
 
 /// Fig. 8b — compilation time in seconds vs number of variables.
-pub fn fig8b(suite: &Suite) -> String {
+pub fn fig8b(sweep: &SizeSweep) -> String {
     metric_vs_size(
-        suite,
+        sweep,
         "Figure 8(b): Compilation time [seconds] vs circuit size",
         &CompilerId::ALL,
         |m| m.compilation_seconds,
@@ -97,13 +105,12 @@ pub fn fig8b(suite: &Suite) -> String {
 }
 
 /// Fig. 11a — execution time in seconds, fixed 20-variable suite.
-pub fn fig11a(suite: &Suite) -> String {
+pub fn fig11a(sweep: &SizeSweep) -> String {
     let mut rows = Vec::new();
-    for variant in 1..=suite.variants {
-        let f = generator::instance(20, variant);
+    for variant in 1..=sweep.suite().variants {
         let mut row = vec![generator::instance_name(20, variant)];
         for id in CompilerId::ALL {
-            let out = run_compiler(id, &f, &suite.params);
+            let out = sweep.outcome(id, 20, variant);
             row.push(out.cell(|m| sci(m.execution_micros * 1e-6)));
         }
         rows.push(row);
@@ -119,9 +126,9 @@ pub fn fig11a(suite: &Suite) -> String {
 }
 
 /// Fig. 11b — execution time in seconds vs number of variables.
-pub fn fig11b(suite: &Suite) -> String {
+pub fn fig11b(sweep: &SizeSweep) -> String {
     metric_vs_size(
-        suite,
+        sweep,
         "Figure 11(b): Execution time [seconds] vs circuit size",
         &CompilerId::ALL,
         |m| m.execution_micros * 1e-6,
@@ -130,14 +137,13 @@ pub fn fig11b(suite: &Suite) -> String {
 
 /// Fig. 12a — EPS, fixed 20-variable suite (Geyser excluded as in the
 /// paper: its block approximation makes EPS computation unfair).
-pub fn fig12a(suite: &Suite) -> String {
+pub fn fig12a(sweep: &SizeSweep) -> String {
     let systems = [CompilerId::Atomique, CompilerId::Weaver, CompilerId::Dpqa];
     let mut rows = Vec::new();
-    for variant in 1..=suite.variants {
-        let f = generator::instance(20, variant);
+    for variant in 1..=sweep.suite().variants {
         let mut row = vec![generator::instance_name(20, variant)];
         for id in systems {
-            let out = run_compiler(id, &f, &suite.params);
+            let out = sweep.outcome(id, 20, variant);
             row.push(out.cell(|m| sci(m.eps)));
         }
         rows.push(row);
@@ -153,9 +159,9 @@ pub fn fig12a(suite: &Suite) -> String {
 }
 
 /// Fig. 12b — EPS vs number of variables (all systems).
-pub fn fig12b(suite: &Suite) -> String {
+pub fn fig12b(sweep: &SizeSweep) -> String {
     metric_vs_size(
-        suite,
+        sweep,
         "Figure 12(b): Estimated probability of success vs circuit size",
         &CompilerId::ALL,
         |m| m.eps,
@@ -163,7 +169,7 @@ pub fn fig12b(suite: &Suite) -> String {
 }
 
 /// Fig. 10b — mean number of pulses vs size (FPQA systems only).
-pub fn fig10b(suite: &Suite) -> String {
+pub fn fig10b(sweep: &SizeSweep) -> String {
     let systems = [
         CompilerId::Atomique,
         CompilerId::Weaver,
@@ -171,7 +177,7 @@ pub fn fig10b(suite: &Suite) -> String {
         CompilerId::Dpqa,
     ];
     metric_vs_size(
-        suite,
+        sweep,
         "Figure 10(b): Number of pulses vs circuit size",
         &systems,
         |m| m.pulses as f64,
@@ -180,14 +186,14 @@ pub fn fig10b(suite: &Suite) -> String {
 
 /// Fig. 10a — compilation complexity: measured work steps vs size next to
 /// the analytic classes of Table 2.
-pub fn fig10a(suite: &Suite) -> String {
+pub fn fig10a(sweep: &SizeSweep) -> String {
     let mut rows = Vec::new();
-    for &size in &suite.sizes {
+    for &size in &sweep.suite().sizes {
         let f = generator::instance(size, 1);
         let k = weaver_sat::qaoa::build_circuit(&f, &Default::default(), false).gate_count();
         let mut row = vec![size.to_string(), k.to_string()];
         for id in CompilerId::ALL {
-            let out = run_compiler(id, &f, &suite.params);
+            let out = sweep.outcome(id, size, 1);
             row.push(out.cell(|m| sci(m.steps as f64)));
         }
         // Analytic curves of Table 2 (up to constants).
@@ -450,18 +456,18 @@ pub fn table2() -> String {
     )
 }
 
-/// Shared size-sweep rendering.
+/// Shared size-sweep rendering over the precompiled batch.
 fn metric_vs_size(
-    suite: &Suite,
+    sweep: &SizeSweep,
     title: &str,
     systems: &[CompilerId],
     metric: impl Fn(&weaver_core::Metrics) -> f64 + Copy,
 ) -> String {
     let mut rows = Vec::new();
-    for &size in &suite.sizes {
+    for &size in &sweep.suite().sizes {
         let mut row = vec![size.to_string()];
         for &id in systems {
-            row.push(match suite.mean_at_size(id, size, metric) {
+            row.push(match sweep.mean_at_size(id, size, metric) {
                 Some(v) => sci(v),
                 None => "✗".to_string(),
             });
@@ -564,7 +570,8 @@ mod tests {
             variants: 1,
             params: FpqaParams::default(),
         };
-        let text = fig8a(&s);
+        let sweep = SizeSweep::run(&s, 1);
+        let text = fig8a(&sweep);
         for name in [
             "Superconducting",
             "Atomique",
@@ -579,7 +586,8 @@ mod tests {
 
     #[test]
     fn fig10b_has_pulse_numbers() {
-        let text = fig10b(&tiny_suite());
+        let sweep = SizeSweep::run(&tiny_suite(), 1);
+        let text = fig10b(&sweep);
         assert!(text.contains("pulses"));
         assert!(text.lines().count() >= 4);
     }

@@ -6,7 +6,10 @@
 
 pub mod enginebench;
 pub mod figures;
+pub mod figuresbench;
 pub mod harness;
 pub mod simbench;
+pub mod sweep;
 
 pub use harness::{run_compiler, CompilerId, RunOutcome, Suite};
+pub use sweep::SizeSweep;

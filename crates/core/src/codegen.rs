@@ -361,11 +361,13 @@ impl<'a> Emitter<'a> {
     // ---- cost evolution -----------------------------------------------------
 
     fn emit_cost_evolution(&mut self, gamma: f64) {
-        let groups: Vec<Vec<usize>> = self.coloring.groups().collect();
-        for group in groups {
-            let execs: Vec<ClauseExec> = group
-                .iter()
-                .map(|&ci| {
+        for color in 0..self.coloring.num_colors {
+            let group_len = self.coloring.clauses_of_color(color).len();
+            let execs: Vec<ClauseExec> = (0..group_len)
+                .map(|k| {
+                    // Copy the clause index out so the coloring borrow ends
+                    // before the mutable plan_clause call.
+                    let ci = self.coloring.clauses_of_color(color)[k];
                     // Weighted MAX-SAT: a clause of effective weight w
                     // evolves under w·(its satisfaction polynomial), and the
                     // fragment builders are linear in gamma — so lowering at

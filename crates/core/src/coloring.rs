@@ -3,44 +3,294 @@
 //! Clauses that share no variable can have their cost-Hamiltonian fragments
 //! executed in parallel under one global Rydberg pulse. Building the clause
 //! conflict graph (edge ⇔ shared variable) turns clustering into graph
-//! coloring, solved greedily with DSatur (Brélaz 1979) in `O(N²)`.
+//! coloring, solved greedily with DSatur (Brélaz 1979).
+//!
+//! The hot path is tuned for the paper's full-scale sweep (250-variable
+//! formulas, ~1000 clauses): the conflict graph is a deduplicated CSR
+//! adjacency built by sorting the shared-variable pair list once, DSatur
+//! picks its next vertex from a lazy max-heap keyed on (saturation, degree)
+//! with per-vertex color bitsets instead of an `O(n)` argmax + `HashSet`
+//! per step, and [`ClauseColoring`] precomputes its color groups at
+//! construction so `clauses_of_color`/`groups` return slices. The
+//! pre-optimization implementations survive as
+//! [`conflict_graph_reference`]/[`dsatur_reference`], the oracles for
+//! `tests/coloring_equivalence.rs` and the speedup baseline for
+//! `figures bench-figures`.
 
-use std::collections::HashSet;
+use std::collections::{BinaryHeap, HashSet};
 use weaver_sat::Formula;
 
 /// The coloring produced by Algorithm 1.
+///
+/// Color groups are materialized once at construction (a counting sort of
+/// clause indices by color), so group accessors are allocation-free.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ClauseColoring {
     /// Color of each clause, indexed by clause position in the formula.
     pub colors: Vec<usize>,
     /// Number of colors used (= number of sequential execution rounds).
     pub num_colors: usize,
+    /// CSR offsets into `group_members`, one row per color.
+    group_offsets: Vec<usize>,
+    /// Clause indices grouped by color, each group in formula order.
+    group_members: Vec<usize>,
 }
 
 impl ClauseColoring {
+    /// Builds a coloring from per-clause colors, precomputing the color
+    /// groups. Colors must be dense: every value in `0..max+1` is a group.
+    pub fn new(colors: Vec<usize>) -> Self {
+        let num_colors = colors.iter().copied().max().map_or(0, |m| m + 1);
+        let mut group_offsets = vec![0usize; num_colors + 1];
+        for &c in &colors {
+            group_offsets[c + 1] += 1;
+        }
+        for k in 1..=num_colors {
+            group_offsets[k] += group_offsets[k - 1];
+        }
+        let mut cursor = group_offsets.clone();
+        let mut group_members = vec![0usize; colors.len()];
+        for (i, &c) in colors.iter().enumerate() {
+            group_members[cursor[c]] = i;
+            cursor[c] += 1;
+        }
+        ClauseColoring {
+            colors,
+            num_colors,
+            group_offsets,
+            group_members,
+        }
+    }
+
     /// Clause indices of one color, in formula order.
-    pub fn clauses_of_color(&self, color: usize) -> Vec<usize> {
-        self.colors
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c == color)
-            .map(|(i, _)| i)
-            .collect()
+    pub fn clauses_of_color(&self, color: usize) -> &[usize] {
+        &self.group_members[self.group_offsets[color]..self.group_offsets[color + 1]]
     }
 
     /// Iterator over color groups `0..num_colors`.
-    pub fn groups(&self) -> impl Iterator<Item = Vec<usize>> + '_ {
+    pub fn groups(&self) -> impl Iterator<Item = &[usize]> + '_ {
         (0..self.num_colors).map(|c| self.clauses_of_color(c))
     }
 }
 
-/// The clause conflict graph: `adjacency[i]` lists clauses sharing a
-/// variable with clause `i`.
-pub fn conflict_graph(formula: &Formula) -> Vec<Vec<usize>> {
+/// The clause conflict graph as a compact CSR adjacency: `neighbors(i)`
+/// lists the clauses sharing a variable with clause `i`, sorted and
+/// deduplicated (clause pairs sharing several variables contribute one
+/// edge).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConflictGraph {
+    /// Row offsets into `neighbors`, length `len() + 1`.
+    offsets: Vec<usize>,
+    /// Concatenated neighbor lists, each row sorted ascending.
+    neighbors: Vec<usize>,
+}
+
+impl ConflictGraph {
+    /// Builds a CSR graph from per-vertex adjacency lists (as produced by
+    /// [`conflict_graph_reference`] or hand-written in tests). Lists are
+    /// sorted and deduplicated on the way in.
+    pub fn from_adjacency(adjacency: &[Vec<usize>]) -> Self {
+        let mut offsets = Vec::with_capacity(adjacency.len() + 1);
+        offsets.push(0);
+        let mut neighbors = Vec::new();
+        let mut row_scratch = Vec::new();
+        for row in adjacency {
+            row_scratch.clone_from(row);
+            row_scratch.sort_unstable();
+            row_scratch.dedup();
+            neighbors.extend_from_slice(&row_scratch);
+            offsets.push(neighbors.len());
+        }
+        ConflictGraph { offsets, neighbors }
+    }
+
+    /// Number of vertices (clauses).
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The sorted, deduplicated neighbor list of vertex `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Maximum vertex degree (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.len()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+}
+
+/// Builds the clause conflict graph of a formula (edge ⇔ shared variable).
+///
+/// Clauses are bucketed by variable (`O(M·k)`), then each CSR row is built
+/// directly: clause `i`'s row is every other clause in the buckets of its
+/// variables, deduplicated with an `O(1)` stamp array and sorted in place.
+/// Rows are emitted in vertex order, so the offsets fall out of the
+/// construction — no per-clause `HashSet`s, no global pair list, and no
+/// `O(E log E)` sort over all directed edges.
+pub fn conflict_graph(formula: &Formula) -> ConflictGraph {
     let clauses = formula.clauses();
     let n = clauses.len();
-    // Index clauses by variable for O(M·k) construction instead of O(M²)
-    // pair scans on large formulas.
+    let mut by_var: Vec<Vec<u32>> = vec![Vec::new(); formula.num_vars()];
+    for (i, c) in clauses.iter().enumerate() {
+        for v in c.vars() {
+            by_var[v].push(i as u32);
+        }
+    }
+    let mut offsets = vec![0usize; n + 1];
+    let mut neighbors: Vec<usize> = Vec::new();
+    // seen[j] == stamp of the row currently being built ⇔ j already pushed.
+    let mut seen: Vec<u32> = vec![u32::MAX; n];
+    for (i, c) in clauses.iter().enumerate() {
+        let stamp = i as u32;
+        seen[i] = stamp; // exclude the self-edge
+        let start = neighbors.len();
+        for v in c.vars() {
+            for &j in &by_var[v] {
+                if seen[j as usize] != stamp {
+                    seen[j as usize] = stamp;
+                    neighbors.push(j as usize);
+                }
+            }
+        }
+        neighbors[start..].sort_unstable();
+        offsets[i + 1] = neighbors.len();
+    }
+    ConflictGraph { offsets, neighbors }
+}
+
+/// Colors the clause conflict graph with DSatur: repeatedly pick the
+/// uncolored vertex with the highest saturation degree (number of distinct
+/// neighbour colors), tie-broken by degree, and give it the smallest free
+/// color.
+///
+/// Vertex selection pops a lazy max-heap of `(saturation, degree, vertex)`
+/// entries (stale entries are skipped), and per-vertex neighbour-color sets
+/// are flat bitsets — any vertex needs at most `max_degree + 1` colors, so
+/// the bitsets have fixed width. Produces exactly the coloring of
+/// [`dsatur_reference`].
+///
+/// # Examples
+///
+/// ```
+/// use weaver_core::coloring::color_clauses;
+/// use weaver_sat::generator;
+/// let f = generator::instance(20, 1);
+/// let coloring = color_clauses(&f);
+/// assert!(coloring.num_colors >= 1);
+/// ```
+pub fn dsatur(graph: &ConflictGraph) -> ClauseColoring {
+    let n = graph.len();
+    const UNCOLORED: usize = usize::MAX;
+    let mut colors = vec![UNCOLORED; n];
+    // Any vertex sees at most max_degree neighbour colors, so the smallest
+    // free color is ≤ max_degree; one extra slot keeps the "all lower bits
+    // set" scan in range.
+    let words = (graph.max_degree() + 2).div_ceil(64);
+    let mut sat_bits = vec![0u64; n * words];
+    let mut sat_count = vec![0usize; n];
+    // The heap is lazy: a vertex is re-pushed whenever its saturation
+    // grows, and pops not matching the current (uncolored, saturation)
+    // state are discarded. Max-lexicographic `(sat, degree, vertex)` order
+    // reproduces the reference's `max_by_key` tie-breaking exactly (last
+    // maximal element = largest index).
+    let mut heap: BinaryHeap<(usize, usize, usize)> =
+        (0..n).map(|v| (0, graph.degree(v), v)).collect();
+
+    let mut colored = 0usize;
+    while colored < n {
+        let (sat, _deg, v) = heap.pop().expect("every uncolored vertex has a live entry");
+        if colors[v] != UNCOLORED || sat != sat_count[v] {
+            continue;
+        }
+        // Smallest color not used by neighbours: first zero bit.
+        let bits = &sat_bits[v * words..(v + 1) * words];
+        let mut c = 0;
+        for (w, &word) in bits.iter().enumerate() {
+            if word != u64::MAX {
+                c = w * 64 + (!word).trailing_zeros() as usize;
+                break;
+            }
+        }
+        colors[v] = c;
+        colored += 1;
+        for &u in graph.neighbors(v) {
+            if colors[u] != UNCOLORED {
+                continue;
+            }
+            let slot = &mut sat_bits[u * words + c / 64];
+            let bit = 1u64 << (c % 64);
+            if *slot & bit == 0 {
+                *slot |= bit;
+                sat_count[u] += 1;
+                heap.push((sat_count[u], graph.degree(u), u));
+            }
+        }
+    }
+
+    ClauseColoring::new(colors)
+}
+
+/// A naive first-fit greedy coloring in input order — the ablation baseline
+/// against DSatur (DESIGN.md §6). Used colors are tracked with a stamp
+/// array instead of a per-vertex `HashSet`.
+pub fn greedy_first_fit(graph: &ConflictGraph) -> ClauseColoring {
+    let n = graph.len();
+    const UNCOLORED: usize = usize::MAX;
+    let mut colors = vec![UNCOLORED; n];
+    // mark[c] == v ⇔ color c is used by a neighbour of the current vertex.
+    let mut mark = vec![usize::MAX; n + 1];
+    for v in 0..n {
+        for &u in graph.neighbors(v) {
+            if colors[u] != UNCOLORED {
+                mark[colors[u]] = v;
+            }
+        }
+        let mut c = 0;
+        while mark[c] == v {
+            c += 1;
+        }
+        colors[v] = c;
+    }
+    ClauseColoring::new(colors)
+}
+
+/// Checks that no two adjacent vertices share a color.
+pub fn is_valid_coloring(graph: &ConflictGraph, coloring: &ClauseColoring) -> bool {
+    (0..graph.len()).all(|v| {
+        graph
+            .neighbors(v)
+            .iter()
+            .all(|&u| coloring.colors[v] != coloring.colors[u])
+    })
+}
+
+/// Builds the conflict graph and colors it (the §5.2 pipeline entry point).
+pub fn color_clauses(formula: &Formula) -> ClauseColoring {
+    dsatur(&conflict_graph(formula))
+}
+
+// ---- reference implementations ---------------------------------------------
+
+/// The pre-optimization conflict-graph construction (per-clause `HashSet`
+/// adjacency), preserved as the equivalence oracle for the CSR builder and
+/// the speedup baseline for `figures bench-figures`. Not for production
+/// use.
+pub fn conflict_graph_reference(formula: &Formula) -> Vec<Vec<usize>> {
+    let clauses = formula.clauses();
+    let n = clauses.len();
     let mut by_var: Vec<Vec<usize>> = vec![Vec::new(); formula.num_vars()];
     for (i, c) in clauses.iter().enumerate() {
         for v in c.vars() {
@@ -66,27 +316,10 @@ pub fn conflict_graph(formula: &Formula) -> Vec<Vec<usize>> {
         .collect()
 }
 
-/// Colors the clause conflict graph with DSatur: repeatedly pick the
-/// uncolored vertex with the highest saturation degree (number of distinct
-/// neighbour colors), tie-broken by degree, and give it the smallest free
-/// color.
-///
-/// # Examples
-///
-/// ```
-/// use weaver_core::coloring::color_clauses;
-/// use weaver_sat::generator;
-/// let f = generator::instance(20, 1);
-/// let coloring = color_clauses(&f);
-/// assert!(coloring.num_colors >= 1);
-/// ```
-pub fn color_clauses(formula: &Formula) -> ClauseColoring {
-    let adjacency = conflict_graph(formula);
-    dsatur(&adjacency)
-}
-
-/// DSatur graph coloring over an adjacency list.
-pub fn dsatur(adjacency: &[Vec<usize>]) -> ClauseColoring {
+/// The pre-optimization DSatur (`O(n)` argmax scan per step, `HashSet`
+/// saturation sets), preserved as the oracle proving the heap-based
+/// [`dsatur`] picks identical vertices and colors. Not for production use.
+pub fn dsatur_reference(adjacency: &[Vec<usize>]) -> ClauseColoring {
     let n = adjacency.len();
     const UNCOLORED: usize = usize::MAX;
     let mut colors = vec![UNCOLORED; n];
@@ -109,39 +342,7 @@ pub fn dsatur(adjacency: &[Vec<usize>]) -> ClauseColoring {
         }
     }
 
-    let num_colors = colors.iter().copied().max().map_or(0, |m| m + 1);
-    ClauseColoring { colors, num_colors }
-}
-
-/// A naive first-fit greedy coloring in input order — the ablation baseline
-/// against DSatur (DESIGN.md §6).
-pub fn greedy_first_fit(adjacency: &[Vec<usize>]) -> ClauseColoring {
-    let n = adjacency.len();
-    const UNCOLORED: usize = usize::MAX;
-    let mut colors = vec![UNCOLORED; n];
-    for v in 0..n {
-        let used: HashSet<usize> = adjacency[v]
-            .iter()
-            .map(|&u| colors[u])
-            .filter(|&c| c != UNCOLORED)
-            .collect();
-        let mut c = 0;
-        while used.contains(&c) {
-            c += 1;
-        }
-        colors[v] = c;
-    }
-    let num_colors = colors.iter().copied().max().map_or(0, |m| m + 1);
-    ClauseColoring { colors, num_colors }
-}
-
-/// Checks that no two adjacent vertices share a color.
-pub fn is_valid_coloring(adjacency: &[Vec<usize>], coloring: &ClauseColoring) -> bool {
-    adjacency.iter().enumerate().all(|(v, neighbors)| {
-        neighbors
-            .iter()
-            .all(|&u| coloring.colors[v] != coloring.colors[u])
-    })
+    ClauseColoring::new(colors)
 }
 
 #[cfg(test)]
@@ -175,9 +376,29 @@ mod tests {
     fn conflict_graph_matches_intersections() {
         let f = paper_formula();
         let g = conflict_graph(&f);
-        assert_eq!(g[0], vec![2]);
-        assert_eq!(g[1], vec![2]);
-        assert_eq!(g[2], vec![0, 1]);
+        assert_eq!(g.neighbors(0), &[2]);
+        assert_eq!(g.neighbors(1), &[2]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+    }
+
+    #[test]
+    fn csr_matches_reference_adjacency() {
+        for variant in 1..=5 {
+            let f = generator::instance(30, variant);
+            let reference = conflict_graph_reference(&f);
+            let csr = conflict_graph(&f);
+            assert_eq!(csr, ConflictGraph::from_adjacency(&reference));
+        }
+    }
+
+    #[test]
+    fn heap_dsatur_matches_reference() {
+        for variant in 1..=5 {
+            let f = generator::instance(30, variant);
+            let reference = dsatur_reference(&conflict_graph_reference(&f));
+            let fast = dsatur(&conflict_graph(&f));
+            assert_eq!(fast, reference, "variant {variant}");
+        }
     }
 
     #[test]
@@ -209,24 +430,27 @@ mod tests {
     #[test]
     fn dsatur_optimal_on_known_graphs() {
         // Triangle needs 3 colors.
-        let triangle = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+        let triangle = ConflictGraph::from_adjacency(&[vec![1, 2], vec![0, 2], vec![0, 1]]);
         assert_eq!(dsatur(&triangle).num_colors, 3);
         // Even cycle is 2-chromatic; DSatur is exact on bipartite graphs.
         let c6: Vec<Vec<usize>> = (0..6).map(|i| vec![(i + 5) % 6, (i + 1) % 6]).collect();
-        assert_eq!(dsatur(&c6).num_colors, 2);
+        assert_eq!(dsatur(&ConflictGraph::from_adjacency(&c6)).num_colors, 2);
         // Star graph: 2 colors.
         let mut star = vec![vec![]; 7];
         star[0] = (1..7).collect();
         for leaf in star.iter_mut().skip(1) {
             *leaf = vec![0];
         }
-        assert_eq!(dsatur(&star).num_colors, 2);
+        assert_eq!(dsatur(&ConflictGraph::from_adjacency(&star)).num_colors, 2);
     }
 
     #[test]
     fn empty_and_singleton() {
-        assert_eq!(dsatur(&[]).num_colors, 0);
-        assert_eq!(dsatur(&[vec![]]).num_colors, 1);
+        assert_eq!(dsatur(&ConflictGraph::from_adjacency(&[])).num_colors, 0);
+        assert_eq!(
+            dsatur(&ConflictGraph::from_adjacency(&[vec![]])).num_colors,
+            1
+        );
     }
 
     #[test]
@@ -235,7 +459,7 @@ mod tests {
         let coloring = color_clauses(&f);
         let mut seen = vec![false; f.num_clauses()];
         for group in coloring.groups() {
-            for idx in group {
+            for &idx in group {
                 assert!(!seen[idx], "clause {idx} in two groups");
                 seen[idx] = true;
             }
@@ -244,11 +468,22 @@ mod tests {
     }
 
     #[test]
+    fn groups_are_slices_in_formula_order() {
+        let f = generator::instance(20, 2);
+        let coloring = color_clauses(&f);
+        for color in 0..coloring.num_colors {
+            let group = coloring.clauses_of_color(color);
+            assert!(!group.is_empty(), "dense colors: every group inhabited");
+            assert!(group.windows(2).all(|w| w[0] < w[1]));
+            assert!(group.iter().all(|&i| coloring.colors[i] == color));
+        }
+    }
+
+    #[test]
     fn colors_bounded_by_max_degree_plus_one() {
         let f = generator::instance(50, 6);
         let g = conflict_graph(&f);
-        let max_deg = g.iter().map(|n| n.len()).max().unwrap_or(0);
         let coloring = dsatur(&g);
-        assert!(coloring.num_colors <= max_deg + 1);
+        assert!(coloring.num_colors <= g.max_degree() + 1);
     }
 }

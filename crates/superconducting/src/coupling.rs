@@ -6,14 +6,32 @@
 //! 127-qubit IBM Washington backend (§8.1).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// An undirected coupling graph over physical qubits.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// The adjacency lists and the all-pairs BFS distance matrix live behind a
+/// shared [`Arc`], so cloning a map (the batch engine hands one to every
+/// job, the lowering pipeline threads one through every pass) copies a
+/// pointer instead of re-materialising `O(n²)` distances.
+#[derive(Clone, Debug)]
 pub struct CouplingMap {
+    inner: Arc<CouplingData>,
+}
+
+#[derive(Debug, PartialEq)]
+struct CouplingData {
     num_qubits: usize,
     adjacency: Vec<Vec<usize>>,
-    /// All-pairs shortest-path distances (BFS, precomputed).
-    distances: Vec<Vec<usize>>,
+    /// All-pairs shortest-path distances (BFS, precomputed), flattened
+    /// row-major with stride `num_qubits`; `u32::MAX` marks unreachable.
+    distances: Vec<u32>,
+}
+
+impl PartialEq for CouplingMap {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner) || self.inner == other.inner
+    }
 }
 
 impl CouplingMap {
@@ -41,26 +59,28 @@ impl CouplingMap {
         }
         let distances = all_pairs_bfs(&adjacency);
         CouplingMap {
-            num_qubits,
-            adjacency,
-            distances,
+            inner: Arc::new(CouplingData {
+                num_qubits,
+                adjacency,
+                distances,
+            }),
         }
     }
 
     /// Number of physical qubits.
     pub fn num_qubits(&self) -> usize {
-        self.num_qubits
+        self.inner.num_qubits
     }
 
     /// Neighbours of a physical qubit.
     pub fn neighbors(&self, q: usize) -> &[usize] {
-        &self.adjacency[q]
+        &self.inner.adjacency[q]
     }
 
     /// All edges (each once, `a < b`).
     pub fn edges(&self) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
-        for (a, adj) in self.adjacency.iter().enumerate() {
+        for (a, adj) in self.inner.adjacency.iter().enumerate() {
             for &b in adj {
                 if a < b {
                     out.push((a, b));
@@ -70,19 +90,34 @@ impl CouplingMap {
         out
     }
 
-    /// Whether two physical qubits are directly coupled.
+    /// Whether two physical qubits are directly coupled. `O(1)`: an edge is
+    /// exactly a BFS distance of 1 in the precomputed matrix.
+    #[inline]
     pub fn are_coupled(&self, a: usize, b: usize) -> bool {
-        self.adjacency[a].contains(&b)
+        self.inner.distances[a * self.inner.num_qubits + b] == 1
     }
 
     /// Shortest-path distance in edges (`usize::MAX` if disconnected).
+    #[inline]
     pub fn distance(&self, a: usize, b: usize) -> usize {
-        self.distances[a][b]
+        match self.inner.distances[a * self.inner.num_qubits + b] {
+            u32::MAX => usize::MAX,
+            d => d as usize,
+        }
+    }
+
+    /// Crate-internal view of the flat distance matrix (row-major with
+    /// stride `num_qubits`, `u32::MAX` marks unreachable) for hot loops
+    /// that cannot afford the per-lookup match in [`Self::distance`].
+    #[inline]
+    pub(crate) fn distance_table(&self) -> (&[u32], usize) {
+        (&self.inner.distances, self.inner.num_qubits)
     }
 
     /// Whether the graph is connected.
     pub fn is_connected(&self) -> bool {
-        self.distances[0].iter().all(|&d| d != usize::MAX)
+        let n = self.inner.num_qubits;
+        self.inner.distances[..n].iter().all(|&d| d != u32::MAX)
     }
 
     // ---- standard topologies ----------------------------------------------
@@ -218,15 +253,16 @@ impl CouplingMap {
     }
 }
 
-fn all_pairs_bfs(adjacency: &[Vec<usize>]) -> Vec<Vec<usize>> {
+fn all_pairs_bfs(adjacency: &[Vec<usize>]) -> Vec<u32> {
     let n = adjacency.len();
-    let mut out = vec![vec![usize::MAX; n]; n];
-    for (start, row) in out.iter_mut().enumerate() {
+    let mut out = vec![u32::MAX; n * n];
+    for start in 0..n {
+        let row = &mut out[start * n..(start + 1) * n];
         row[start] = 0;
         let mut queue = VecDeque::from([start]);
         while let Some(u) = queue.pop_front() {
             for &v in &adjacency[u] {
-                if row[v] == usize::MAX {
+                if row[v] == u32::MAX {
                     row[v] = row[u] + 1;
                     queue.push_back(v);
                 }

@@ -35,7 +35,9 @@
 //! ```
 
 use crate::CouplingMap;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 
 /// The `sc:` namespace every device-family target name lives under.
 pub const FAMILY_PREFIX: &str = "sc:";
@@ -275,7 +277,30 @@ impl DeviceSpec {
     }
 
     /// Expands the topology into a coupling map.
+    ///
+    /// Maps are memoized process-globally by canonical device name (the
+    /// same pattern the backend registry uses), so a batch that compiles a
+    /// thousand `sc:eagle` jobs expands the heavy-hex lattice and runs the
+    /// all-pairs BFS exactly once; every further call is a cache hit that
+    /// clones an [`Arc`](std::sync::Arc). The cache key is
+    /// [`DeviceSpec::full_name`], which
+    /// is canonical even for alias-resolved and minted grid devices.
     pub fn coupling(&self) -> CouplingMap {
+        static CACHE: OnceLock<Mutex<HashMap<String, CouplingMap>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let key = self.full_name();
+        if let Some(hit) = cache.lock().unwrap().get(&key) {
+            return hit.clone();
+        }
+        // Expand outside the lock: heavy-hex sizing rebuilds the BFS table
+        // several times and must not stall concurrent workers resolving
+        // other devices.
+        let map = self.expand_topology();
+        cache.lock().unwrap().entry(key).or_insert(map).clone()
+    }
+
+    /// Expands the topology into a fresh, uncached coupling map.
+    fn expand_topology(&self) -> CouplingMap {
         match self.topology {
             DeviceTopology::Line(n) => CouplingMap::line(n),
             DeviceTopology::Grid { rows, cols } => CouplingMap::grid(rows, cols),
@@ -329,6 +354,17 @@ mod tests {
             DeviceSpec::resolve("sc:grid").unwrap().topology,
             DeviceTopology::Grid { rows: 11, cols: 11 }
         );
+    }
+
+    #[test]
+    fn coupling_cache_serves_aliases_and_repeat_lookups() {
+        // Alias resolution lands on the canonical name, so `sc:washington`
+        // and `sc:eagle` share one cache entry; repeated lookups are
+        // Arc-clone cheap and compare equal.
+        let a = DeviceSpec::eagle().coupling();
+        let b = DeviceSpec::resolve("sc:washington").unwrap().coupling();
+        assert_eq!(a, b);
+        assert_eq!(a, DeviceSpec::eagle().coupling());
     }
 
     #[test]

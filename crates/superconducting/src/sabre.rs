@@ -99,10 +99,113 @@ impl Layout {
     }
 }
 
+/// Per-node gate shape extracted from the dependency DAG once per route and
+/// shared by all trials, so the hot loops index flat arrays instead of
+/// chasing `Instruction` qubit vectors.
+struct GateTable {
+    /// `qubits[node] = [q0, q1]`; `q1 == usize::MAX` for 1-qubit gates.
+    qubits: Vec<[usize; 2]>,
+    /// Whether the node is a 2-qubit gate.
+    is_two_qubit: Vec<bool>,
+}
+
+impl GateTable {
+    fn new(dag: &DependencyDag) -> Self {
+        let mut qubits = Vec::with_capacity(dag.len());
+        let mut is_two_qubit = Vec::with_capacity(dag.len());
+        for node in 0..dag.len() {
+            let qs = &dag.instruction(node).qubits;
+            match qs.len() {
+                1 => {
+                    qubits.push([qs[0], usize::MAX]);
+                    is_two_qubit.push(false);
+                }
+                2 => {
+                    qubits.push([qs[0], qs[1]]);
+                    is_two_qubit.push(true);
+                }
+                _ => unreachable!("arity checked by route()"),
+            }
+        }
+        GateTable {
+            qubits,
+            is_two_qubit,
+        }
+    }
+}
+
+/// Scratch buffers reused across the routing trials of one [`route`] call;
+/// nothing here is reallocated inside the search loop.
+struct RouteBuffers {
+    pending_preds: Vec<usize>,
+    front: Vec<usize>,
+    next_front: Vec<usize>,
+    executed: Vec<bool>,
+    /// Decay factors, valid only where `decay_epoch == epoch` (everything
+    /// else reads as 1.0) — an O(1) reset instead of an O(n) refill after
+    /// every round that makes progress.
+    decay: Vec<f64>,
+    decay_epoch: Vec<u32>,
+    epoch: u32,
+    candidates: Vec<(usize, usize)>,
+    /// Stamp matrix deduplicating candidate edges per stall round (indexed
+    /// `a * n + b` with `a < b`), replacing a linear `contains` scan.
+    edge_stamp: Vec<u32>,
+    stamp: u32,
+    /// Physical qubit pairs of the 2-qubit front gates under the layout at
+    /// the start of the stall round, in front order.
+    front_pairs: Vec<(u32, u32)>,
+    /// Physical qubit pairs of the 2-qubit extended-set gates, in order,
+    /// duplicates retained (the heuristic divides by the total size).
+    extended_pairs: Vec<(u32, u32)>,
+}
+
+impl RouteBuffers {
+    fn new(num_nodes: usize, num_physical: usize) -> Self {
+        RouteBuffers {
+            pending_preds: vec![0; num_nodes],
+            front: Vec::new(),
+            next_front: Vec::new(),
+            executed: vec![false; num_nodes],
+            decay: vec![1.0; num_physical],
+            decay_epoch: vec![0; num_physical],
+            epoch: 0,
+            candidates: Vec::new(),
+            edge_stamp: vec![0; num_physical * num_physical],
+            stamp: 0,
+            front_pairs: Vec::new(),
+            extended_pairs: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn decay_of(&self, q: usize) -> f64 {
+        if self.decay_epoch[q] == self.epoch {
+            self.decay[q]
+        } else {
+            1.0
+        }
+    }
+
+    #[inline]
+    fn bump_decay(&mut self, q: usize) {
+        let current = self.decay_of(q);
+        self.decay[q] = current + 0.001;
+        self.decay_epoch[q] = self.epoch;
+    }
+}
+
 /// Routes a circuit onto `coupling` with the SABRE look-ahead heuristic,
 /// running several randomized initial-layout trials and keeping the lowest
 /// swap count — exactly what production SABRE pipelines do (and the reason
 /// the baseline's compile time carries a large constant).
+///
+/// The search is the optimized rewrite of [`route_reference`]: the
+/// dependency DAG is built once and shared by all trials, candidate scoring
+/// swaps the live layout and reverts it instead of cloning, and every
+/// per-round collection (`front`, `candidates`, `extended`) lives in
+/// reusable flat buffers. Output is byte-identical to the reference router
+/// (`tests/sabre_differential.rs` proves it per device).
 ///
 /// # Errors
 ///
@@ -129,10 +232,13 @@ pub fn route(circuit: &Circuit, coupling: &CouplingMap) -> Result<RoutedCircuit,
             arity: wide.qubits.len(),
         });
     }
+    let dag = DependencyDag::from_circuit(circuit);
+    let gates = GateTable::new(&dag);
+    let mut buffers = RouteBuffers::new(dag.len(), coupling.num_qubits());
     let mut best: Option<RoutedCircuit> = None;
     let mut total_steps = 0u64;
     for trial in 0..TRIALS {
-        let mut result = route_once(circuit, coupling, trial);
+        let mut result = route_once(circuit, &dag, &gates, coupling, trial, &mut buffers);
         total_steps += result.steps;
         if best
             .as_ref()
@@ -151,9 +257,14 @@ pub fn route(circuit: &Circuit, coupling: &CouplingMap) -> Result<RoutedCircuit,
 /// One SABRE routing pass with a seeded initial layout (`seed = 0` is the
 /// trivial layout; other seeds shuffle deterministically). Preconditions
 /// (width, connectivity, arity) are checked by [`route`].
-fn route_once(circuit: &Circuit, coupling: &CouplingMap, seed: u64) -> RoutedCircuit {
-    let dag = DependencyDag::from_circuit(circuit);
-
+fn route_once(
+    circuit: &Circuit,
+    dag: &DependencyDag,
+    gates: &GateTable,
+    coupling: &CouplingMap,
+    seed: u64,
+    buffers: &mut RouteBuffers,
+) -> RoutedCircuit {
     let mut layout = Layout::trivial(circuit.num_qubits(), coupling.num_qubits());
     // Deterministic Fisher–Yates-style shuffle of the initial placement for
     // trials beyond the first (splitmix64 stream).
@@ -177,38 +288,47 @@ fn route_once(circuit: &Circuit, coupling: &CouplingMap, seed: u64) -> RoutedCir
     let mut steps: u64 = 0;
     let mut swap_count = 0usize;
 
-    // Remaining-predecessor counts drive the front layer.
-    let mut pending_preds: Vec<usize> = (0..dag.len()).map(|i| dag.predecessors(i).len()).collect();
-    let mut front: Vec<usize> = (0..dag.len()).filter(|&i| pending_preds[i] == 0).collect();
-    let mut executed = vec![false; dag.len()];
+    // Remaining-predecessor counts drive the front layer; fresh trial state
+    // written into the shared buffers.
+    for (node, pending) in buffers.pending_preds.iter_mut().enumerate() {
+        *pending = dag.predecessors(node).len();
+    }
+    buffers.front.clear();
+    buffers
+        .front
+        .extend((0..dag.len()).filter(|&i| buffers.pending_preds[i] == 0));
+    buffers.executed.iter_mut().for_each(|e| *e = false);
+    // Decay factors discourage ping-ponging the same qubit (as in SABRE);
+    // bumping the epoch resets every factor to 1.0.
+    buffers.epoch += 1;
 
-    // Decay factors discourage ping-ponging the same qubit (as in SABRE).
-    let mut decay = vec![1.0f64; coupling.num_qubits()];
-
-    while !front.is_empty() {
+    while !buffers.front.is_empty() {
         // Execute every front gate that is executable under current layout.
         let mut progress = false;
-        let mut next_front = Vec::new();
-        for &node in &front {
-            let instr = dag.instruction(node);
-            let executable = match instr.qubits.len() {
-                1 => true,
-                2 => {
-                    let p0 = layout.l2p[instr.qubits[0]];
-                    let p1 = layout.l2p[instr.qubits[1]];
-                    coupling.are_coupled(p0, p1)
-                }
-                _ => unreachable!(),
+        buffers.next_front.clear();
+        let mut next_front = std::mem::take(&mut buffers.next_front);
+        for &node in &buffers.front {
+            let [q0, q1] = gates.qubits[node];
+            let executable = if gates.is_two_qubit[node] {
+                coupling.are_coupled(layout.l2p[q0], layout.l2p[q1])
+            } else {
+                true
             };
             steps += 1;
             if executable {
-                let phys: Vec<usize> = instr.qubits.iter().map(|&q| layout.l2p[q]).collect();
-                out.push(instr.gate.clone(), &phys);
-                executed[node] = true;
+                if gates.is_two_qubit[node] {
+                    out.push(
+                        dag.instruction(node).gate.clone(),
+                        &[layout.l2p[q0], layout.l2p[q1]],
+                    );
+                } else {
+                    out.push(dag.instruction(node).gate.clone(), &[layout.l2p[q0]]);
+                }
+                buffers.executed[node] = true;
                 progress = true;
                 for &succ in dag.successors(node) {
-                    pending_preds[succ] -= 1;
-                    if pending_preds[succ] == 0 {
+                    buffers.pending_preds[succ] -= 1;
+                    if buffers.pending_preds[succ] == 0 {
                         next_front.push(succ);
                     }
                 }
@@ -216,78 +336,115 @@ fn route_once(circuit: &Circuit, coupling: &CouplingMap, seed: u64) -> RoutedCir
                 next_front.push(node);
             }
         }
-        front = next_front;
-        front.sort_unstable();
-        front.dedup();
+        buffers.next_front = next_front;
+        std::mem::swap(&mut buffers.front, &mut buffers.next_front);
+        buffers.front.sort_unstable();
+        buffers.front.dedup();
 
         if progress {
             // Reset decay after progress, as SABRE does periodically.
-            decay.iter_mut().for_each(|d| *d = 1.0);
+            buffers.epoch += 1;
             continue;
         }
-        if front.is_empty() {
+        if buffers.front.is_empty() {
             break;
         }
 
         // No front gate executable: insert the best SWAP.
-        // Candidate swaps: edges adjacent to any qubit of a front 2q gate.
-        let mut candidates: Vec<(usize, usize)> = Vec::new();
-        for &node in &front {
-            let instr = dag.instruction(node);
-            if instr.qubits.len() != 2 {
+        // Candidate swaps: edges adjacent to any qubit of a front 2q gate
+        // (insertion-ordered, stamp-deduplicated).
+        let n = coupling.num_qubits();
+        buffers.stamp += 1;
+        buffers.candidates.clear();
+        buffers.front_pairs.clear();
+        for &node in &buffers.front {
+            if !gates.is_two_qubit[node] {
                 continue;
             }
-            for &lq in &instr.qubits {
+            let [a, b] = gates.qubits[node];
+            buffers
+                .front_pairs
+                .push((layout.l2p[a] as u32, layout.l2p[b] as u32));
+            for &lq in &[a, b] {
                 let p = layout.l2p[lq];
                 for &nb in coupling.neighbors(p) {
                     let e = (p.min(nb), p.max(nb));
-                    if !candidates.contains(&e) {
-                        candidates.push(e);
+                    let slot = &mut buffers.edge_stamp[e.0 * n + e.1];
+                    if *slot != buffers.stamp {
+                        *slot = buffers.stamp;
+                        buffers.candidates.push(e);
                     }
                 }
             }
         }
-        // Extended set: successors of front gates, for look-ahead.
-        let extended: Vec<usize> = front
-            .iter()
-            .flat_map(|&n| dag.successors(n).iter().copied())
-            .filter(|&n| !executed[n])
-            .collect();
-
-        let score = |layout: &Layout, steps: &mut u64| -> f64 {
-            let mut s = 0.0;
-            for &n in &front {
-                let i = dag.instruction(n);
-                if i.qubits.len() == 2 {
-                    *steps += 1;
-                    s += coupling.distance(layout.l2p[i.qubits[0]], layout.l2p[i.qubits[1]]) as f64;
+        // Extended set: successors of front gates, for look-ahead. The
+        // reference keeps duplicates and 1-qubit members (they count toward
+        // the normalizing size), so track the total separately from the
+        // 2-qubit pairs that contribute distance.
+        buffers.extended_pairs.clear();
+        let mut extended_total = 0usize;
+        for &node in &buffers.front {
+            for &succ in dag.successors(node) {
+                if buffers.executed[succ] {
+                    continue;
                 }
-            }
-            let mut ext = 0.0;
-            for &n in &extended {
-                let i = dag.instruction(n);
-                if i.qubits.len() == 2 {
-                    *steps += 1;
-                    ext +=
-                        coupling.distance(layout.l2p[i.qubits[0]], layout.l2p[i.qubits[1]]) as f64;
+                extended_total += 1;
+                if gates.is_two_qubit[succ] {
+                    let [a, b] = gates.qubits[succ];
+                    buffers
+                        .extended_pairs
+                        .push((layout.l2p[a] as u32, layout.l2p[b] as u32));
                 }
-            }
-            s + 0.5 * ext / (extended.len().max(1) as f64)
-        };
-
-        let mut best: Option<((usize, usize), f64)> = None;
-        for &(a, b) in &candidates {
-            let mut trial = layout.clone();
-            trial.swap_physical(a, b);
-            let h = score(&trial, &mut steps) * decay[a].max(decay[b]);
-            if best.is_none() || h < best.unwrap().1 {
-                best = Some(((a, b), h));
             }
         }
-        let ((a, b), _) = best.expect("at least one candidate swap exists");
+
+        let per_score_steps = (buffers.front_pairs.len() + buffers.extended_pairs.len()) as u64;
+        assert!(
+            !buffers.candidates.is_empty(),
+            "at least one candidate swap exists"
+        );
+        // A candidate swap of physical qubits (a, b) only relabels those two
+        // endpoints, so score against the unchanged layout with the labels
+        // exchanged — no layout mutation at all. Distances are integers, so
+        // the u64 accumulators equal the reference's sequential f64 sums
+        // exactly (every partial sum is an exact small integer), keeping the
+        // scores — and therefore the routing — byte-identical.
+        let (dist, dn) = coupling.distance_table();
+        let ext_div = extended_total.max(1) as f64;
+        let mut best_edge = (usize::MAX, usize::MAX);
+        let mut best_h = f64::INFINITY;
+        for idx in 0..buffers.candidates.len() {
+            let (a, b) = buffers.candidates[idx];
+            let (a32, b32) = (a as u32, b as u32);
+            let fix = |p: u32| {
+                if p == a32 {
+                    b32
+                } else if p == b32 {
+                    a32
+                } else {
+                    p
+                }
+            };
+            let mut s: u64 = 0;
+            for &(pa, pb) in &buffers.front_pairs {
+                s += dist[fix(pa) as usize * dn + fix(pb) as usize] as u64;
+            }
+            let mut ext: u64 = 0;
+            for &(pa, pb) in &buffers.extended_pairs {
+                ext += dist[fix(pa) as usize * dn + fix(pb) as usize] as u64;
+            }
+            let score = s as f64 + 0.5 * (ext as f64) / ext_div;
+            let h = score * buffers.decay_of(a).max(buffers.decay_of(b));
+            if h < best_h {
+                best_h = h;
+                best_edge = (a, b);
+            }
+        }
+        steps += per_score_steps * buffers.candidates.len() as u64;
+        let (a, b) = best_edge;
         layout.swap_physical(a, b);
-        decay[a] += 0.001;
-        decay[b] += 0.001;
+        buffers.bump_decay(a);
+        buffers.bump_decay(b);
         out.push(Gate::Swap, &[a, b]);
         swap_count += 1;
     }
@@ -372,6 +529,203 @@ pub fn unroute(routed: &RoutedCircuit, initial_logical: usize) -> Circuit {
         }
     }
     out
+}
+
+/// The straightforward SABRE implementation this module's [`route`] was
+/// optimized from, preserved verbatim as the semantics oracle: it rebuilds
+/// the dependency DAG per trial, clones the layout per candidate swap, and
+/// reallocates `front`/`candidates`/`extended` every round.
+///
+/// `tests/sabre_differential.rs` asserts `route` produces byte-identical
+/// circuits, layouts, swap counts, and step counts; `benches/sabre.rs` and
+/// the `figures bench-figures` report measure the speedup against it. Not
+/// for production use.
+///
+/// # Errors
+///
+/// Identical to [`route`].
+pub fn route_reference(
+    circuit: &Circuit,
+    coupling: &CouplingMap,
+) -> Result<RoutedCircuit, RouteError> {
+    const TRIALS: u64 = 5;
+    if circuit.num_qubits() > coupling.num_qubits() {
+        return Err(RouteError::TooManyQubits {
+            needed: circuit.num_qubits(),
+            available: coupling.num_qubits(),
+        });
+    }
+    if coupling.num_qubits() > 0 && !coupling.is_connected() {
+        return Err(RouteError::Disconnected);
+    }
+    if let Some(wide) = circuit.instructions().find(|i| i.qubits.len() > 2) {
+        return Err(RouteError::UnsupportedArity {
+            arity: wide.qubits.len(),
+        });
+    }
+    let mut best: Option<RoutedCircuit> = None;
+    let mut total_steps = 0u64;
+    for trial in 0..TRIALS {
+        let mut result = route_once_reference(circuit, coupling, trial);
+        total_steps += result.steps;
+        if best
+            .as_ref()
+            .is_none_or(|b| result.swap_count < b.swap_count)
+        {
+            result.steps = 0; // replaced with the total below
+            best = Some(result);
+        }
+    }
+    let mut best = best.expect("at least one trial ran");
+    best.steps = total_steps;
+    Ok(best)
+}
+
+/// One reference routing pass (the pre-optimization `route_once`).
+fn route_once_reference(circuit: &Circuit, coupling: &CouplingMap, seed: u64) -> RoutedCircuit {
+    let dag = DependencyDag::from_circuit(circuit);
+
+    let mut layout = Layout::trivial(circuit.num_qubits(), coupling.num_qubits());
+    if seed > 0 {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for l in 0..circuit.num_qubits() {
+            let p = (next() % coupling.num_qubits() as u64) as usize;
+            let other = layout.l2p[l];
+            layout.swap_physical(other, p);
+        }
+    }
+    let initial_layout = layout.l2p.clone();
+    let mut out = Circuit::new(coupling.num_qubits());
+    let mut steps: u64 = 0;
+    let mut swap_count = 0usize;
+
+    let mut pending_preds: Vec<usize> = (0..dag.len()).map(|i| dag.predecessors(i).len()).collect();
+    let mut front: Vec<usize> = (0..dag.len()).filter(|&i| pending_preds[i] == 0).collect();
+    let mut executed = vec![false; dag.len()];
+    let mut decay = vec![1.0f64; coupling.num_qubits()];
+
+    while !front.is_empty() {
+        let mut progress = false;
+        let mut next_front = Vec::new();
+        for &node in &front {
+            let instr = dag.instruction(node);
+            let executable = match instr.qubits.len() {
+                1 => true,
+                2 => {
+                    let p0 = layout.l2p[instr.qubits[0]];
+                    let p1 = layout.l2p[instr.qubits[1]];
+                    coupling.are_coupled(p0, p1)
+                }
+                _ => unreachable!(),
+            };
+            steps += 1;
+            if executable {
+                let phys: Vec<usize> = instr.qubits.iter().map(|&q| layout.l2p[q]).collect();
+                out.push(instr.gate.clone(), &phys);
+                executed[node] = true;
+                progress = true;
+                for &succ in dag.successors(node) {
+                    pending_preds[succ] -= 1;
+                    if pending_preds[succ] == 0 {
+                        next_front.push(succ);
+                    }
+                }
+            } else {
+                next_front.push(node);
+            }
+        }
+        front = next_front;
+        front.sort_unstable();
+        front.dedup();
+
+        if progress {
+            decay.iter_mut().for_each(|d| *d = 1.0);
+            continue;
+        }
+        if front.is_empty() {
+            break;
+        }
+
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        for &node in &front {
+            let instr = dag.instruction(node);
+            if instr.qubits.len() != 2 {
+                continue;
+            }
+            for &lq in &instr.qubits {
+                let p = layout.l2p[lq];
+                for &nb in coupling.neighbors(p) {
+                    let e = (p.min(nb), p.max(nb));
+                    if !candidates.contains(&e) {
+                        candidates.push(e);
+                    }
+                }
+            }
+        }
+        let extended: Vec<usize> = front
+            .iter()
+            .flat_map(|&n| dag.successors(n).iter().copied())
+            .filter(|&n| !executed[n])
+            .collect();
+
+        let score = |layout: &Layout, steps: &mut u64| -> f64 {
+            let mut s = 0.0;
+            for &n in &front {
+                let i = dag.instruction(n);
+                if i.qubits.len() == 2 {
+                    *steps += 1;
+                    s += coupling.distance(layout.l2p[i.qubits[0]], layout.l2p[i.qubits[1]]) as f64;
+                }
+            }
+            let mut ext = 0.0;
+            for &n in &extended {
+                let i = dag.instruction(n);
+                if i.qubits.len() == 2 {
+                    *steps += 1;
+                    ext +=
+                        coupling.distance(layout.l2p[i.qubits[0]], layout.l2p[i.qubits[1]]) as f64;
+                }
+            }
+            s + 0.5 * ext / (extended.len().max(1) as f64)
+        };
+
+        let mut best: Option<((usize, usize), f64)> = None;
+        for &(a, b) in &candidates {
+            let mut trial = layout.clone();
+            trial.swap_physical(a, b);
+            let h = score(&trial, &mut steps) * decay[a].max(decay[b]);
+            if best.is_none() || h < best.unwrap().1 {
+                best = Some(((a, b), h));
+            }
+        }
+        let ((a, b), _) = best.expect("at least one candidate swap exists");
+        layout.swap_physical(a, b);
+        decay[a] += 0.001;
+        decay[b] += 0.001;
+        out.push(Gate::Swap, &[a, b]);
+        swap_count += 1;
+    }
+
+    for op in circuit.operations() {
+        if let Operation::Measure(q) = op {
+            out.measure(layout.l2p[*q]);
+        }
+    }
+
+    RoutedCircuit {
+        circuit: out,
+        swap_count,
+        initial_layout,
+        final_layout: layout.l2p,
+        steps,
+    }
 }
 
 #[cfg(test)]
@@ -507,6 +861,28 @@ mod tests {
             route(&c, &CouplingMap::line(3)).unwrap_err(),
             RouteError::UnsupportedArity { arity: 3 }
         );
+    }
+
+    #[test]
+    fn optimized_route_matches_reference_on_grid() {
+        let mut c = Circuit::new(9);
+        for a in 0..9 {
+            c.h(a);
+            for b in (a + 1)..9 {
+                if (a * 7 + b * 3) % 4 != 0 {
+                    c.cz(a, b);
+                }
+            }
+        }
+        c.measure_all();
+        let coupling = CouplingMap::grid(3, 4);
+        let fast = route(&c, &coupling).unwrap();
+        let slow = route_reference(&c, &coupling).unwrap();
+        assert_eq!(fast.circuit, slow.circuit);
+        assert_eq!(fast.swap_count, slow.swap_count);
+        assert_eq!(fast.initial_layout, slow.initial_layout);
+        assert_eq!(fast.final_layout, slow.final_layout);
+        assert_eq!(fast.steps, slow.steps);
     }
 
     #[test]

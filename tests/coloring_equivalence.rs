@@ -1,0 +1,111 @@
+//! Differential suite for the clause-coloring overhaul: the deduplicated
+//! CSR conflict graph must describe exactly the edge set of the reference
+//! adjacency-list construction, and the heap-based DSatur must stay a valid
+//! coloring that never uses more colors than the reference argmax
+//! implementation (on this codebase it is identical, which the unit tests
+//! in `weaver-core` already pin; here we assert the contract).
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use weaver::core::coloring::{
+    conflict_graph, conflict_graph_reference, dsatur, dsatur_reference, is_valid_coloring,
+};
+use weaver::sat::{generator, Clause, Formula, Lit};
+
+/// Undirected edge set of the CSR graph.
+fn csr_edges(g: &weaver::core::coloring::ConflictGraph) -> BTreeSet<(usize, usize)> {
+    let mut edges = BTreeSet::new();
+    for v in 0..g.len() {
+        for &u in g.neighbors(v) {
+            edges.insert((v.min(u), v.max(u)));
+        }
+    }
+    edges
+}
+
+/// Undirected edge set of the reference adjacency lists.
+fn reference_edges(adjacency: &[Vec<usize>]) -> BTreeSet<(usize, usize)> {
+    let mut edges = BTreeSet::new();
+    for (v, row) in adjacency.iter().enumerate() {
+        for &u in row {
+            edges.insert((v.min(u), v.max(u)));
+        }
+    }
+    edges
+}
+
+fn arb_clause(num_vars: usize) -> impl Strategy<Value = Clause> {
+    prop::collection::hash_set(0..num_vars, 1..=3.min(num_vars)).prop_flat_map(|vars| {
+        let vars: Vec<usize> = vars.into_iter().collect();
+        prop::collection::vec(any::<bool>(), vars.len()).prop_map(move |signs| {
+            Clause::new(
+                vars.iter()
+                    .zip(&signs)
+                    .map(|(&v, &neg)| if neg { Lit::neg(v) } else { Lit::pos(v) })
+                    .collect(),
+            )
+        })
+    })
+}
+
+fn arb_formula(num_vars: usize, max_clauses: usize) -> impl Strategy<Value = Formula> {
+    prop::collection::vec(arb_clause(num_vars), 1..max_clauses)
+        .prop_map(move |clauses| Formula::new(num_vars, clauses))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR adjacency ≡ reference adjacency as undirected edge sets, with
+    /// sorted, duplicate-free rows.
+    #[test]
+    fn csr_graph_matches_reference_edge_set(f in arb_formula(12, 30)) {
+        let csr = conflict_graph(&f);
+        let reference = conflict_graph_reference(&f);
+        prop_assert_eq!(csr.len(), reference.len());
+        prop_assert_eq!(csr_edges(&csr), reference_edges(&reference));
+        for v in 0..csr.len() {
+            let row = csr.neighbors(v);
+            prop_assert!(row.windows(2).all(|w| w[0] < w[1]),
+                "row {} must be sorted and deduplicated", v);
+            prop_assert_eq!(row.len(), csr.degree(v));
+        }
+    }
+
+    /// Heap DSatur stays valid and never spends more colors than the
+    /// reference implementation.
+    #[test]
+    fn heap_dsatur_is_valid_and_no_worse(f in arb_formula(12, 30)) {
+        let csr = conflict_graph(&f);
+        let fast = dsatur(&csr);
+        let slow = dsatur_reference(&conflict_graph_reference(&f));
+        prop_assert!(is_valid_coloring(&csr, &fast));
+        prop_assert!(fast.num_colors <= slow.num_colors,
+            "heap DSatur used {} colors, reference {}", fast.num_colors, slow.num_colors);
+        // Precomputed color groups partition the clause set.
+        let mut seen = vec![false; f.clauses().len()];
+        for group in fast.groups() {
+            for &ci in group {
+                prop_assert!(!seen[ci], "clause {} appears in two groups", ci);
+                seen[ci] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}
+
+/// The SATLIB-style generator instances — the actual benchmark inputs —
+/// color identically under both implementations at several sizes.
+#[test]
+fn generator_instances_color_identically() {
+    for (size, variant) in [(20, 1), (20, 5), (50, 1), (75, 3)] {
+        let f = generator::instance(size, variant);
+        let fast = dsatur(&conflict_graph(&f));
+        let slow = dsatur_reference(&conflict_graph_reference(&f));
+        assert_eq!(
+            fast.colors, slow.colors,
+            "uf{size}-{variant:02}: per-clause colors diverged"
+        );
+        assert_eq!(fast.num_colors, slow.num_colors);
+    }
+}

@@ -1,0 +1,154 @@
+//! Seeded differential suite proving the optimized SABRE router
+//! (`sabre::route` — cached distance matrix, reusable flat buffers,
+//! incremental front maintenance, clone-free candidate scoring) emits
+//! byte-identical output to the preserved reference implementation
+//! (`sabre::route_reference`) on real device topologies and on random
+//! connected coupling maps.
+
+use proptest::prelude::*;
+use weaver::circuit::{native, Circuit, NativeBasis};
+use weaver::sat::{generator, qaoa};
+use weaver::superconducting::sabre::{self, RoutedCircuit};
+use weaver::superconducting::{CouplingMap, DeviceSpec};
+
+/// Full structural equality: circuit operations, SWAP count, both layouts,
+/// and the heuristic step counter (Fig. 10a instrumentation) must all agree
+/// — any divergence in FP accumulation order, tie-breaking, or decay
+/// bookkeeping shows up in at least one of these.
+fn assert_identical(new: &RoutedCircuit, old: &RoutedCircuit, context: &str) {
+    assert_eq!(
+        new.circuit, old.circuit,
+        "{context}: routed circuit differs"
+    );
+    assert_eq!(
+        new.swap_count, old.swap_count,
+        "{context}: swap count differs"
+    );
+    assert_eq!(
+        new.initial_layout, old.initial_layout,
+        "{context}: initial layout differs"
+    );
+    assert_eq!(
+        new.final_layout, old.final_layout,
+        "{context}: final layout differs"
+    );
+    assert_eq!(new.steps, old.steps, "{context}: step counter differs");
+}
+
+fn qaoa_circuit(vars: usize, variant: usize) -> Circuit {
+    let f = generator::instance(vars, variant);
+    native::nativize(
+        &qaoa::build_circuit(&f, &Default::default(), false),
+        NativeBasis::U3Cz,
+    )
+}
+
+#[test]
+fn route_matches_reference_on_eagle() {
+    let coupling = DeviceSpec::eagle().coupling();
+    for (vars, variant) in [(20, 1), (20, 7), (50, 1), (75, 2)] {
+        let c = qaoa_circuit(vars, variant);
+        let new = sabre::route(&c, &coupling).unwrap();
+        let old = sabre::route_reference(&c, &coupling).unwrap();
+        assert_identical(&new, &old, &format!("uf{vars}-{variant:02} on sc:eagle"));
+    }
+}
+
+#[test]
+fn route_matches_reference_on_heron() {
+    let coupling = DeviceSpec::heron().coupling();
+    for (vars, variant) in [(20, 3), (50, 2)] {
+        let c = qaoa_circuit(vars, variant);
+        let new = sabre::route(&c, &coupling).unwrap();
+        let old = sabre::route_reference(&c, &coupling).unwrap();
+        assert_identical(&new, &old, &format!("uf{vars}-{variant:02} on sc:heron"));
+    }
+}
+
+#[test]
+fn route_matches_reference_on_line_and_grid() {
+    for coupling in [
+        CouplingMap::line(12),
+        CouplingMap::grid(3, 4),
+        CouplingMap::grid(4, 5),
+    ] {
+        let c = qaoa_circuit(10, 4);
+        let new = sabre::route(&c, &coupling).unwrap();
+        let old = sabre::route_reference(&c, &coupling).unwrap();
+        assert_identical(&new, &old, "uf10-04 on small topology");
+    }
+}
+
+// ---- randomized maps and circuits -------------------------------------------
+
+/// A random connected coupling map: a random spanning tree (connectivity)
+/// plus extra random chords (routing choice).
+fn arb_connected_map(max_qubits: usize) -> impl Strategy<Value = CouplingMap> {
+    (4..=max_qubits)
+        .prop_flat_map(|n| {
+            let tree = prop::collection::vec(0usize..usize::MAX, n - 1);
+            let chords = prop::collection::vec((0..n, 0..n), 0..2 * n);
+            (Just(n), tree, chords)
+        })
+        .prop_map(|(n, tree, chords)| {
+            let mut edges: Vec<(usize, usize)> = tree
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| (i + 1, r % (i + 1)))
+                .collect();
+            edges.extend(chords.into_iter().filter(|&(a, b)| a != b));
+            CouplingMap::new(n, &edges)
+        })
+}
+
+/// A random two-qubit-heavy circuit on `n` logical qubits.
+fn arb_routable_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec((0..n, 0..n, any::<bool>()), 1..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for (a, b, one_q) in gates {
+            if one_q {
+                c.h(a);
+            } else if a != b {
+                c.cz(a, b);
+            }
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Byte-identity on random connected maps with random circuits.
+    #[test]
+    fn route_matches_reference_on_random_maps(
+        coupling in arb_connected_map(16),
+        seed in 1usize..64,
+    ) {
+        // The spanning-tree construction makes every generated map connected.
+        prop_assert!(coupling.is_connected());
+        let n = coupling.num_qubits().min(12);
+        let c = {
+            let f = generator::instance(n, seed);
+            native::nativize(
+                &qaoa::build_circuit(&f, &Default::default(), false),
+                NativeBasis::U3Cz,
+            )
+        };
+        let new = sabre::route(&c, &coupling).unwrap();
+        let old = sabre::route_reference(&c, &coupling).unwrap();
+        assert_identical(&new, &old, "random map");
+        prop_assert!(sabre::respects_coupling(&new.circuit, &coupling));
+    }
+
+    /// Byte-identity on random gate sequences (not just QAOA shapes).
+    #[test]
+    fn route_matches_reference_on_random_circuits(
+        c in arb_routable_circuit(9, 40),
+    ) {
+        let coupling = CouplingMap::grid(3, 3);
+        let new = sabre::route(&c, &coupling).unwrap();
+        let old = sabre::route_reference(&c, &coupling).unwrap();
+        assert_identical(&new, &old, "random circuit on grid(3,3)");
+    }
+}
