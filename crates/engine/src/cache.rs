@@ -153,6 +153,12 @@ impl CacheMetrics {
     }
 }
 
+/// Locks a mutex, recovering the guard if a panicking holder poisoned it —
+/// the protected state is counters/maps the cache can keep serving.
+fn lock_poison_ok<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Parses a 64-hex-digit artifact key (legacy disk file stem).
 fn digest_from_hex(s: &str) -> Option<Digest> {
     if s.len() != 64 {
@@ -170,6 +176,13 @@ pub struct ArtifactCache {
     config: CacheConfig,
     memory: Mutex<HashMap<Digest, MemoryEntry>>,
     disk: DiskTier,
+    /// Rendered entries parked for the paged tier's group commit: writers
+    /// park here first, and whoever holds the store lock next commits
+    /// everything parked under one WAL fsync.
+    pending: Mutex<Vec<(Digest, Vec<u8>)>>,
+    /// Scopes warn-once keys to this cache's directory, so a process
+    /// serving many stores warns once *per store*, not once overall.
+    warn_scope: String,
     clock: AtomicU64,
     core: CacheHandle,
     memory_hits: AtomicU64,
@@ -186,9 +199,15 @@ impl ArtifactCache {
     /// including paged-store crash recovery and legacy-format migration —
     /// so store failures surface here rather than mid-batch.
     pub fn new(config: CacheConfig) -> std::io::Result<Self> {
+        let warn_scope = config
+            .disk_dir
+            .as_ref()
+            .map_or_else(|| "memory".to_string(), |d| d.display().to_string());
         let mut cache = ArtifactCache {
             memory: Mutex::new(HashMap::new()),
             disk: DiskTier::None,
+            pending: Mutex::new(Vec::new()),
+            warn_scope,
             clock: AtomicU64::new(0),
             core: CacheHandle::new(),
             memory_hits: AtomicU64::new(0),
@@ -215,8 +234,11 @@ impl ArtifactCache {
                 // Another live process owns the store: share the directory
                 // through the multi-writer-safe legacy format instead.
                 Err(e) if store::is_locked(&e) => {
+                    // Keyed per directory: a daemon opening many stores
+                    // must warn for each one that falls back, not just
+                    // the first.
                     log::warn_once(
-                        "cache-store-lock-fallback",
+                        &format!("cache-store-lock-fallback:{}", dir.display()),
                         "weaver-engine",
                         &format!("paged store busy ({e}); using one-file-per-artifact tier"),
                     );
@@ -237,7 +259,7 @@ impl ArtifactCache {
     /// entry into memory on a disk hit).
     pub fn lookup(&self, key: &Digest) -> Option<(Arc<Artifact>, CacheOutcome)> {
         {
-            let mut memory = self.memory.lock().unwrap();
+            let mut memory = lock_poison_ok(&self.memory);
             if let Some(entry) = memory.get_mut(key) {
                 entry.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
                 self.memory_hits.fetch_add(1, Ordering::Relaxed);
@@ -263,7 +285,7 @@ impl ArtifactCache {
             DiskTier::Paged(store) => {
                 // Torn or damaged chains come back as `None` (quarantined
                 // inside the store), never as corrupt bytes.
-                let bytes = store.lock().unwrap().get(key).ok().flatten()?;
+                let bytes = lock_poison_ok(store).get(key).ok().flatten()?;
                 String::from_utf8(bytes).ok()?
             }
             DiskTier::Files(dir) => {
@@ -281,9 +303,18 @@ impl ArtifactCache {
         match &self.disk {
             DiskTier::None => {}
             DiskTier::Paged(store) => {
-                let text = render_artifact(&artifact);
-                if let Err(e) = store.lock().unwrap().put(&key, text.as_bytes()) {
-                    self.count_write_error("paged store put", &e);
+                // Write-combining group commit: park the rendered entry,
+                // then commit *everything* parked once the store lock is
+                // ours. While one writer fsyncs, concurrent writers pile
+                // into `pending`; the next lock holder commits them all
+                // under a single WAL fsync ([`Store::put_many`]).
+                lock_poison_ok(&self.pending).push((key, render_artifact(&artifact).into_bytes()));
+                let mut store = lock_poison_ok(store);
+                let batch = std::mem::take(&mut *lock_poison_ok(&self.pending));
+                if !batch.is_empty() {
+                    if let Err(e) = store.put_many(&batch) {
+                        self.count_write_error("paged store put", &e);
+                    }
                 }
             }
             DiskTier::Files(dir) => {
@@ -322,22 +353,22 @@ impl ArtifactCache {
         self.disk_write_errors.fetch_add(1, Ordering::Relaxed);
         self.metrics.disk_write_errors.inc();
         log::warn_once(
-            "cache-disk-write-error",
+            &format!("cache-disk-write-error:{}", self.warn_scope),
             "weaver-engine",
             &format!("{what} failed ({e}); artifacts may not persist — continuing without"),
         );
     }
 
     fn insert_memory(&self, key: Digest, artifact: Arc<Artifact>) {
-        let mut memory = self.memory.lock().unwrap();
+        let mut memory = lock_poison_ok(&self.memory);
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         memory.insert(key, MemoryEntry { artifact, stamp });
         while memory.len() > self.config.memory_capacity.max(1) {
-            let oldest = memory
-                .iter()
-                .min_by_key(|(_, e)| e.stamp)
-                .map(|(k, _)| *k)
-                .expect("nonempty map");
+            // `len > max(1) ≥ 1` makes the map nonempty, but stay defensive
+            // rather than panic on a request path.
+            let Some(oldest) = memory.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| *k) else {
+                break;
+            };
             memory.remove(&oldest);
             self.evictions.fetch_add(1, Ordering::Relaxed);
             self.metrics.evictions.inc();
@@ -348,7 +379,7 @@ impl ArtifactCache {
     /// disk tier is absent or legacy-format.
     pub fn verify_disk(&self) -> Option<store::VerifyReport> {
         match &self.disk {
-            DiskTier::Paged(store) => store.lock().unwrap().verify().ok(),
+            DiskTier::Paged(store) => lock_poison_ok(store).verify().ok(),
             _ => None,
         }
     }
@@ -357,7 +388,17 @@ impl ArtifactCache {
     /// for other tiers.
     pub fn checkpoint_disk(&self) {
         if let DiskTier::Paged(store) = &self.disk {
-            let _ = store.lock().unwrap().checkpoint();
+            let _ = lock_poison_ok(store).checkpoint();
+        }
+    }
+
+    /// Point-in-time paged-store statistics for introspection surfaces
+    /// (`weaverc cache stats`, the daemon admin verb); `None` when the
+    /// disk tier is absent or legacy-format.
+    pub fn store_stats(&self) -> Option<store::StoreStats> {
+        match &self.disk {
+            DiskTier::Paged(store) => Some(lock_poison_ok(store).stats()),
+            _ => None,
         }
     }
 
@@ -373,7 +414,7 @@ impl ArtifactCache {
             ..CacheTierStats::default()
         };
         if let DiskTier::Paged(store) = &self.disk {
-            let s = store.lock().unwrap().stats();
+            let s = lock_poison_ok(store).stats();
             stats.checksum_failures = s.checksum_failures;
             stats.wal_replayed = s.wal_replayed;
             stats.recoveries = s.recoveries;
@@ -388,6 +429,16 @@ impl Drop for ArtifactCache {
     /// next open replays nothing. A crash skips this — that's what the WAL
     /// is for.
     fn drop(&mut self) {
+        // `store` drains `pending` under the store lock on every call, so
+        // it is normally empty here — but flush defensively in case a
+        // parked batch was orphaned by a panicking writer.
+        if let DiskTier::Paged(store) = &self.disk {
+            let mut store = lock_poison_ok(store);
+            let batch = std::mem::take(&mut *lock_poison_ok(&self.pending));
+            if !batch.is_empty() {
+                let _ = store.put_many(&batch);
+            }
+        }
         self.checkpoint_disk();
     }
 }
@@ -717,6 +768,48 @@ mod tests {
         assert_eq!(wvart.len(), 1);
         assert!(paged.verify_disk().expect("paged tier").consistent());
         drop(paged);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_group_commit_consistently() {
+        let dir = test_dir("groupcommit");
+        let config = CacheConfig {
+            memory_capacity: 64,
+            disk_dir: Some(dir.clone()),
+            ..CacheConfig::default()
+        };
+        let cache = ArtifactCache::new(config.clone()).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..8u64 {
+                        let tag = 1000 + t * 100 + i;
+                        cache.store(key(tag), Arc::new(sample_artifact(tag as usize)));
+                    }
+                });
+            }
+        });
+        let stats = cache.store_stats().expect("paged tier");
+        assert_eq!(stats.artifacts, 32);
+        // Every store() call commits (possibly batched with others), so the
+        // fsync count never exceeds the write count; batching is timing-
+        // dependent, so equality is allowed but not required.
+        assert!(stats.wal_fsyncs <= 32, "stats: {stats:?}");
+        drop(cache);
+        // All 32 artifacts are durable and byte-identical after reopen.
+        let reopened = ArtifactCache::new(config).unwrap();
+        for t in 0..4u64 {
+            for i in 0..8u64 {
+                let tag = 1000 + t * 100 + i;
+                let (artifact, outcome) = reopened.lookup(&key(tag)).expect("disk hit");
+                assert_eq!(outcome, CacheOutcome::DiskHit);
+                assert_eq!(*artifact, sample_artifact(tag as usize));
+            }
+        }
+        assert!(reopened.verify_disk().expect("paged tier").consistent());
+        drop(reopened);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

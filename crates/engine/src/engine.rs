@@ -139,6 +139,13 @@ impl BatchReport {
 /// compile's per-pass timing trace as a `passes` array (name, seconds,
 /// steps per lowering pass, in execution order).
 pub fn job_record(r: &JobResult) -> String {
+    job_record_fields(r).finish()
+}
+
+/// The builder behind [`job_record`], left unfinished so callers (the
+/// server response path) can append fields like a request `id` before
+/// closing the object.
+pub fn job_record_fields(r: &JobResult) -> JsonObject {
     let timings = JsonObject::new()
         .f64("parse_seconds", r.timings.parse_seconds)
         .f64("compile_seconds", r.timings.compile_seconds)
@@ -199,7 +206,7 @@ pub fn job_record(r: &JobResult) -> String {
                 .str("error", &e.message);
         }
     }
-    record.finish()
+    record
 }
 
 /// Process-global job metric handles, resolved once per engine so the
@@ -327,8 +334,9 @@ impl Engine {
 
     /// Runs one job end to end: load → key → cache lookup → compile →
     /// (check) → store. Panics inside the compiler are contained and
-    /// reported as structured `compile` errors.
-    fn run_job(&self, index: usize, job: CompileJob) -> JobResult {
+    /// reported as structured `compile` errors. `pub(crate)` so the server
+    /// can drive single jobs through its persistent pool.
+    pub(crate) fn run_job(&self, index: usize, job: CompileJob) -> JobResult {
         let total_start = Instant::now();
         let name = job.name();
         let target = job.target.clone();

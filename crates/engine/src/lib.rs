@@ -18,6 +18,9 @@
 //!   file,
 //! * [`jsonl`] — structured JSONL result streaming for `crates/bench` and
 //!   external consumers,
+//! * [`server`] — the `weaverd` compile daemon: a framed JSON protocol
+//!   over Unix sockets or TCP that multiplexes concurrent clients onto
+//!   the worker pool while the caches stay hot across requests,
 //! * [`engine`] — the [`Engine`] driver tying it all together.
 //!
 //! # Example
@@ -44,12 +47,14 @@ pub mod job;
 pub mod jsonl;
 pub mod manifest;
 pub mod pool;
+pub mod server;
 pub mod store;
 
 pub use cache::{ArtifactCache, CacheConfig, CacheTierStats};
-pub use engine::{job_record, BatchReport, Engine, EngineConfig};
+pub use engine::{job_record, job_record_fields, BatchReport, Engine, EngineConfig};
 pub use job::{
     Artifact, CacheOutcome, CompileJob, JobError, JobErrorKind, JobOptions, JobResult, JobSource,
     PassTiming, StageTimings, Target,
 };
 pub use manifest::discover_jobs;
+pub use server::{ClientStream, ListenAddr, Server, ServerConfig};

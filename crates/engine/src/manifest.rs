@@ -106,7 +106,9 @@ fn parse_manifest(
         }
         let at = |msg: String| format!("{} line {}: {msg}", manifest.display(), lineno + 1);
         let mut fields = line.split_whitespace();
-        let file = fields.next().expect("non-empty line has a first token");
+        let Some(file) = fields.next() else {
+            continue; // unreachable: the line is non-empty after trim
+        };
         let mut target = default_target.clone();
         let mut frontend = None;
         let mut options = defaults.clone();

@@ -6,9 +6,23 @@
 //! deque empty" is a stable termination condition. Results land in a slot
 //! array indexed by submission order, so the output is deterministic and
 //! independent of scheduling, thread count, and completion order.
+//!
+//! [`run_jobs`] is the one-shot batch driver; [`ServicePool`] is its
+//! long-lived sibling for the daemon: the same per-worker deques and
+//! stealing discipline, but workers persist across submissions, the queue
+//! is bounded (backpressure instead of unbounded growth), and
+//! [`ServicePool::drain`] finishes queued work before the threads exit.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Locks a mutex, recovering the guard if a panicking holder poisoned it —
+/// pool queues stay structurally valid across a payload panic.
+fn lock_poison_ok<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Runs every item of `items` through `run` on `workers` threads and
 /// returns the results in submission order. `workers` is clamped to
@@ -38,7 +52,7 @@ where
     let queues: Vec<Mutex<VecDeque<(usize, T)>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
     for (i, item) in items.into_iter().enumerate() {
-        queues[i % workers].lock().unwrap().push_back((i, item));
+        lock_poison_ok(&queues[i % workers]).push_back((i, item));
     }
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
@@ -55,7 +69,7 @@ where
                 .spawn_scoped(scope, move || loop {
                     // Own deque first (front), then steal (back of the
                     // fullest).
-                    let next = queues[me].lock().unwrap().pop_front();
+                    let next = lock_poison_ok(&queues[me]).pop_front();
                     let (index, item) = match next.or_else(|| steal(queues, me)) {
                         Some(job) => job,
                         None => {
@@ -69,7 +83,7 @@ where
                         }
                     };
                     let result = run(index, item);
-                    *results[index].lock().unwrap() = Some(result);
+                    *lock_poison_ok(&results[index]) = Some(result);
                 })
                 .expect("spawn batch worker");
         }
@@ -79,7 +93,7 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .unwrap()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .expect("every job ran exactly once")
         })
         .collect()
@@ -93,13 +107,220 @@ fn steal<T>(queues: &[Mutex<VecDeque<(usize, T)>>], me: usize) -> Option<(usize,
         if w == me {
             continue;
         }
-        let len = queue.lock().unwrap().len();
+        let len = lock_poison_ok(queue).len();
         if len > longest {
             longest = len;
             victim = Some(w);
         }
     }
-    queues[victim?].lock().unwrap().pop_back()
+    lock_poison_ok(&queues[victim?]).pop_back()
+}
+
+// ---------------------------------------------------------------------------
+// The persistent service pool
+// ---------------------------------------------------------------------------
+
+/// Why [`ServicePool::submit`] rejected an item; the item is handed back so
+/// the caller can report structured backpressure instead of losing it.
+#[derive(Debug)]
+pub enum SubmitError<T> {
+    /// The queue is at its bound — the caller should shed load.
+    Full(T),
+    /// The pool is draining and accepts no further work.
+    ShuttingDown(T),
+}
+
+struct ServiceInner<T> {
+    queues: Vec<Mutex<VecDeque<T>>>,
+    /// Items pushed but not yet popped by a worker (the bounded quantity).
+    queued: AtomicUsize,
+    bound: usize,
+    rr: AtomicUsize,
+    stop: AtomicBool,
+    /// Wakes idle workers on submit and drain. The gate mutex carries no
+    /// data: `queued`/`stop` are re-checked under it so a notify between
+    /// check and wait cannot be missed.
+    gate: Mutex<()>,
+    available: Condvar,
+}
+
+/// A long-lived work-stealing pool: `workers` persistent threads service a
+/// bounded multi-queue of submitted items. Same stealing discipline as
+/// [`run_jobs`]; unlike it, the pool outlives any one batch, so the daemon
+/// keeps its caches hot across requests.
+///
+/// Results travel through whatever channel the `run` closure captures (the
+/// server hands each item a reply sender) — the pool itself only schedules.
+pub struct ServicePool<T> {
+    inner: Arc<ServiceInner<T>>,
+    run: Arc<dyn Fn(T) + Send + Sync>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl<T: Send + 'static> ServicePool<T> {
+    /// Spawns `workers` threads (min 1) servicing a queue bounded at
+    /// `bound` items (min 1). `run` is invoked once per submitted item, on
+    /// some worker thread.
+    pub fn new<F>(workers: usize, bound: usize, run: F) -> ServicePool<T>
+    where
+        F: Fn(T) + Send + Sync + 'static,
+    {
+        let workers = workers.max(1);
+        let inner = Arc::new(ServiceInner {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicUsize::new(0),
+            bound: bound.max(1),
+            rr: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            gate: Mutex::new(()),
+            available: Condvar::new(),
+        });
+        let run: Arc<dyn Fn(T) + Send + Sync> = Arc::new(run);
+        let mut handles = Vec::with_capacity(workers);
+        for me in 0..workers {
+            let inner = inner.clone();
+            let run = run.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("weaver-service-{me}"))
+                .spawn(move || service_worker(me, &inner, &*run))
+                .expect("spawn service worker");
+            handles.push(handle);
+        }
+        ServicePool {
+            inner,
+            run,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Enqueues `item`, or returns it inside a [`SubmitError`] when the
+    /// pool is at its bound or draining.
+    pub fn submit(&self, item: T) -> Result<(), SubmitError<T>> {
+        if self.inner.stop.load(Ordering::SeqCst) {
+            return Err(SubmitError::ShuttingDown(item));
+        }
+        // Reserve a queue slot before pushing so concurrent submitters
+        // cannot overshoot the bound.
+        let mut depth = self.inner.queued.load(Ordering::SeqCst);
+        loop {
+            if depth >= self.inner.bound {
+                return Err(SubmitError::Full(item));
+            }
+            match self.inner.queued.compare_exchange(
+                depth,
+                depth + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(current) => depth = current,
+            }
+        }
+        let w = self.inner.rr.fetch_add(1, Ordering::Relaxed) % self.inner.queues.len();
+        lock_poison_ok(&self.inner.queues[w]).push_back(item);
+        let _gate = lock_poison_ok(&self.inner.gate);
+        self.inner.available.notify_one();
+        Ok(())
+    }
+
+    /// Items queued but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queued.load(Ordering::SeqCst)
+    }
+
+    /// Whether [`ServicePool::drain`] has started.
+    pub fn is_draining(&self) -> bool {
+        self.inner.stop.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting new work, finishes everything already queued, and
+    /// joins the worker threads. Idempotent.
+    pub fn drain(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        {
+            let _gate = lock_poison_ok(&self.inner.gate);
+            self.inner.available.notify_all();
+        }
+        let handles = std::mem::take(&mut *lock_poison_ok(&self.handles));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        // A submit racing the shutdown can slip an item in after the
+        // workers observed empty queues and exited; run it inline so every
+        // accepted item is serviced.
+        while let Some(item) = pop_any(&self.inner.queues) {
+            self.inner.queued.fetch_sub(1, Ordering::SeqCst);
+            (self.run)(item);
+        }
+    }
+}
+
+impl<T> Drop for ServicePool<T> {
+    fn drop(&mut self) {
+        // Workers hold `Arc<ServiceInner>`, so without a drain they would
+        // outlive the handle and idle forever.
+        self.inner.stop.store(true, Ordering::SeqCst);
+        {
+            let _gate = lock_poison_ok(&self.inner.gate);
+            self.inner.available.notify_all();
+        }
+        let handles = std::mem::take(&mut *lock_poison_ok(&self.handles));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn service_worker<T>(me: usize, inner: &ServiceInner<T>, run: &(dyn Fn(T) + Send + Sync)) {
+    loop {
+        let next = lock_poison_ok(&inner.queues[me])
+            .pop_front()
+            .or_else(|| steal_service(&inner.queues, me));
+        match next {
+            Some(item) => {
+                inner.queued.fetch_sub(1, Ordering::SeqCst);
+                run(item);
+            }
+            None => {
+                if inner.stop.load(Ordering::SeqCst) {
+                    // Flush buffered trace spans before the thread exits
+                    // (same reasoning as the batch workers above).
+                    weaver_obs::span::flush_thread();
+                    return;
+                }
+                let gate = lock_poison_ok(&inner.gate);
+                if inner.queued.load(Ordering::SeqCst) == 0 && !inner.stop.load(Ordering::SeqCst) {
+                    // Timeout is a backstop against a lost wakeup, not the
+                    // scheduling mechanism.
+                    let _ = inner
+                        .available
+                        .wait_timeout(gate, Duration::from_millis(100));
+                }
+            }
+        }
+    }
+}
+
+/// Steals one item from the back of the fullest deque other than `me`.
+fn steal_service<T>(queues: &[Mutex<VecDeque<T>>], me: usize) -> Option<T> {
+    let mut victim: Option<usize> = None;
+    let mut longest = 0usize;
+    for (w, queue) in queues.iter().enumerate() {
+        if w == me {
+            continue;
+        }
+        let len = lock_poison_ok(queue).len();
+        if len > longest {
+            longest = len;
+            victim = Some(w);
+        }
+    }
+    lock_poison_ok(&queues[victim?]).pop_back()
+}
+
+/// Pops one item from any non-empty deque.
+fn pop_any<T>(queues: &[Mutex<VecDeque<T>>]) -> Option<T> {
+    queues.iter().find_map(|q| lock_poison_ok(q).pop_front())
 }
 
 #[cfg(test)]
@@ -138,6 +359,77 @@ mod tests {
     fn empty_batch_returns_empty() {
         let out = run_jobs(Vec::<u32>::new(), 4, |_, item| item);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn service_pool_runs_everything_submitted() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let pool = {
+            let seen = seen.clone();
+            ServicePool::new(3, 64, move |item: usize| {
+                lock_poison_ok(&seen).push(item);
+            })
+        };
+        for i in 0..40 {
+            pool.submit(i).unwrap();
+        }
+        pool.drain();
+        let mut got = lock_poison_ok(&seen).clone();
+        got.sort_unstable();
+        assert_eq!(got, (0..40).collect::<Vec<_>>());
+        assert_eq!(pool.queue_depth(), 0);
+        assert!(pool.is_draining());
+    }
+
+    #[test]
+    fn service_pool_bounds_the_queue_and_hands_items_back() {
+        let release = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let release = release.clone();
+            ServicePool::new(1, 2, move |_item: usize| {
+                while release.load(Ordering::SeqCst) == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+            })
+        };
+        // One item occupies the worker; fill the queue behind it, then the
+        // next submit must bounce with the item intact.
+        pool.submit(0).unwrap();
+        let mut bounced = None;
+        for i in 1..20 {
+            if let Err(SubmitError::Full(item)) = pool.submit(i) {
+                bounced = Some(item);
+                break;
+            }
+        }
+        let bounced = bounced.expect("a tiny bound must bounce a flood");
+        assert!(pool.queue_depth() <= 2);
+        release.store(1, Ordering::SeqCst);
+        pool.drain();
+        assert!(matches!(
+            pool.submit(bounced),
+            Err(SubmitError::ShuttingDown(_))
+        ));
+    }
+
+    #[test]
+    fn service_pool_drain_finishes_queued_work() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let done = done.clone();
+            ServicePool::new(2, 128, move |_item: usize| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        let mut accepted = 0;
+        for i in 0..64 {
+            if pool.submit(i).is_ok() {
+                accepted += 1;
+            }
+        }
+        pool.drain();
+        assert_eq!(done.load(Ordering::SeqCst), accepted);
     }
 
     #[test]

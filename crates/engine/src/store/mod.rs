@@ -139,6 +139,12 @@ pub struct StoreStats {
     pub recoveries: u64,
     /// Buffer-pool LRU evictions.
     pub buffer_evictions: u64,
+    /// WAL commit fsyncs issued by this handle (each is one commit point;
+    /// with group commit several puts can share one).
+    pub wal_fsyncs: u64,
+    /// [`Store::put_many`] batches that committed more than one record
+    /// under a single fsync.
+    pub group_commits: u64,
 }
 
 /// Result of a full-store verification scan.
@@ -182,6 +188,8 @@ struct Counters {
     checksum_failures: u64,
     wal_replayed: u64,
     recoveries: u64,
+    wal_fsyncs: u64,
+    group_commits: u64,
 }
 
 /// Process-global store metric handles, resolved once per open so the
@@ -240,22 +248,45 @@ fn locked_dirs() -> &'static Mutex<HashSet<PathBuf>> {
     DIRS.get_or_init(|| Mutex::new(HashSet::new()))
 }
 
-fn pid_alive(pid: u32) -> bool {
+/// What a liveness probe of a lock-holding PID concluded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Liveness {
+    /// The process demonstrably exists.
+    Alive,
+    /// The process demonstrably does not exist: the lock is stale.
+    Dead,
+    /// No probe is possible (non-Linux, or `/proc` not mounted). Treated
+    /// as *live*: wrongly stealing a live holder's lock races the WAL and
+    /// corrupts the store, while wrongly respecting a dead holder's lock
+    /// merely degrades this opener to the legacy tier.
+    Unknown,
+}
+
+/// Probes whether the process that wrote `pid` into the lock file still
+/// exists. Liveness-unknown conservatively reads as alive (see
+/// [`Liveness::Unknown`]).
+fn probe_pid(pid: u32) -> Liveness {
     if pid == std::process::id() {
         // Same process but not in the in-process registry: the previous
         // holder died without Drop (e.g. a crash-injection trial) — stale.
-        return false;
+        return Liveness::Dead;
     }
     #[cfg(target_os = "linux")]
     {
-        Path::new(&format!("/proc/{pid}")).exists()
+        if !Path::new("/proc/self").exists() {
+            // Linux without /proc mounted (minimal chroot/container):
+            // nothing to probe against.
+            return Liveness::Unknown;
+        }
+        if Path::new(&format!("/proc/{pid}")).exists() {
+            Liveness::Alive
+        } else {
+            Liveness::Dead
+        }
     }
     #[cfg(not(target_os = "linux"))]
     {
-        // No portable liveness probe: treat on-disk locks as stale. The
-        // in-process registry above still serializes handles within one
-        // process, which is the case the test suite exercises.
-        false
+        Liveness::Unknown
     }
 }
 
@@ -270,7 +301,9 @@ impl DirLock {
         let canonical = dir.canonicalize()?;
         let lock_path = dir.join(LOCK_FILE);
         {
-            let mut held = locked_dirs().lock().unwrap();
+            let mut held = locked_dirs()
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             if held.contains(&canonical) {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::WouldBlock,
@@ -278,15 +311,40 @@ impl DirLock {
                 ));
             }
             if let Ok(text) = std::fs::read_to_string(&lock_path) {
-                match text.trim().parse::<u32>() {
-                    Ok(pid) if pid_alive(pid) => {
-                        return Err(std::io::Error::new(
-                            std::io::ErrorKind::WouldBlock,
-                            format!("store at {} is locked by live process {pid}", dir.display()),
-                        ));
+                // An unparseable file was not written by a weaver store
+                // holder — steal it below, same as a dead holder's.
+                if let Ok(pid) = text.trim().parse::<u32>() {
+                    match probe_pid(pid) {
+                        Liveness::Alive => {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::WouldBlock,
+                                format!(
+                                    "store at {} is locked by live process {pid}",
+                                    dir.display()
+                                ),
+                            ));
+                        }
+                        Liveness::Unknown => {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::WouldBlock,
+                                format!(
+                                    "store at {} is locked by process {pid} \
+                                     (liveness unknown; assuming live)",
+                                    dir.display()
+                                ),
+                            ));
+                        }
+                        // Provably dead: reclaim the stale lock below.
+                        Liveness::Dead => {
+                            weaver_obs::log::debug(
+                                "weaver-store",
+                                &format!(
+                                    "reclaiming stale lock at {} left by dead process {pid}",
+                                    lock_path.display()
+                                ),
+                            );
+                        }
                     }
-                    // Stale (dead pid or unparseable): steal it below.
-                    _ => {}
                 }
             }
             std::fs::write(&lock_path, format!("{}\n", std::process::id()))?;
@@ -302,7 +360,10 @@ impl DirLock {
 impl Drop for DirLock {
     fn drop(&mut self) {
         let _ = std::fs::remove_file(&self.lock_path);
-        locked_dirs().lock().unwrap().remove(&self.dir);
+        locked_dirs()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(&self.dir);
     }
 }
 
@@ -404,7 +465,12 @@ impl Store {
         let mut claimed: HashSet<u64> = HashSet::new();
         let mut max_lsn = wal_max_lsn;
         for (pid, head) in heads {
-            let key = head.key.expect("head page has a key");
+            // A Valid head always decodes a key; treat a missing one as
+            // structural damage rather than panicking mid-recovery.
+            let Some(key) = head.key else {
+                report.dropped_chains += 1;
+                continue;
+            };
             if index.contains_key(&key) {
                 continue; // stale duplicate — a newer LSN already won
             }
@@ -448,6 +514,7 @@ impl Store {
                 checksum_failures: report.quarantined_pages + report.dropped_chains,
                 wal_replayed: report.replayed,
                 recoveries: u64::from(report.recovered()),
+                ..Counters::default()
             },
             metrics,
             recovery: report,
@@ -519,28 +586,66 @@ impl Store {
     /// return the write is committed (WAL fsynced): a crash at any later
     /// point preserves it.
     pub fn put(&mut self, key: &Digest, payload: &[u8]) -> std::io::Result<()> {
+        self.put_many_ref(&[(key, payload)])
+    }
+
+    /// Stores every `(key, payload)` pair under a *single* WAL fsync —
+    /// group commit. Later entries for the same key win, exactly as if the
+    /// puts ran in order. A crash mid-batch preserves a prefix of the
+    /// batch (each record is individually framed in the WAL), never a torn
+    /// record.
+    pub fn put_many(&mut self, items: &[(Digest, Vec<u8>)]) -> std::io::Result<()> {
+        let refs: Vec<(&Digest, &[u8])> = items.iter().map(|(k, p)| (k, p.as_slice())).collect();
+        self.put_many_ref(&refs)
+    }
+
+    fn put_many_ref(&mut self, items: &[(&Digest, &[u8])]) -> std::io::Result<()> {
         self.check_poisoned()?;
-        let n = format::pages_for(payload.len(), self.page_size);
-        let pages = self.allocate(n);
-        let lsn = self.next_lsn;
-        self.next_lsn += 1;
-        let record = WalRecord::Put {
-            lsn,
-            key: *key,
-            total_len: payload.len() as u64,
-            content: format::content_digest(payload),
-            old_head: self.index.get(key).map_or(0, |c| c.pages[0]),
-            pages: pages.clone(),
-            payload: payload.to_vec(),
-        };
+        if items.is_empty() {
+            return Ok(());
+        }
+        // Phase A — build one record per item in order. A key written
+        // twice in the batch chains `old_head` through its earlier record
+        // so apply frees the superseded chain, same as sequential puts.
+        let mut batch_heads: HashMap<Digest, u64> = HashMap::new();
+        let mut records = Vec::with_capacity(items.len());
+        for (key, payload) in items {
+            let n = format::pages_for(payload.len(), self.page_size);
+            let pages = self.allocate(n);
+            let lsn = self.next_lsn;
+            self.next_lsn += 1;
+            let old_head = batch_heads
+                .get(*key)
+                .copied()
+                .or_else(|| self.index.get(*key).map(|c| c.pages[0]))
+                .unwrap_or(0);
+            batch_heads.insert(**key, pages[0]);
+            records.push(WalRecord::Put {
+                lsn,
+                key: **key,
+                total_len: payload.len() as u64,
+                content: format::content_digest(payload),
+                old_head,
+                pages,
+                payload: payload.to_vec(),
+            });
+        }
+        // Phase B — one append, one fsync: the whole batch's commit point.
         let fsync_start = std::time::Instant::now();
-        let committed = self.wal.append(&record);
+        let committed = self.wal.append_batch(&records);
         self.metrics
             .wal_fsync
             .observe(fsync_start.elapsed().as_secs_f64());
         self.poison(committed)?;
+        self.counters.wal_fsyncs += 1;
+        if records.len() > 1 {
+            self.counters.group_commits += 1;
+        }
+        // Phase C — apply in LSN order (earlier chains freed correctly).
         let write_start = std::time::Instant::now();
-        self.apply_put(&record)?;
+        for record in &records {
+            self.apply_put(record)?;
+        }
         self.metrics
             .page_write
             .observe(write_start.elapsed().as_secs_f64());
@@ -567,6 +672,7 @@ impl Store {
             .wal_fsync
             .observe(fsync_start.elapsed().as_secs_f64());
         self.poison(committed)?;
+        self.counters.wal_fsyncs += 1;
         let image = format::encode_free(self.page_size, lsn);
         let write = self.file.write_page(chain.pages[0], &image);
         self.poison(write)?;
@@ -762,6 +868,8 @@ impl Store {
             wal_replayed: self.counters.wal_replayed,
             recoveries: self.counters.recoveries,
             buffer_evictions: self.pool.evictions(),
+            wal_fsyncs: self.counters.wal_fsyncs,
+            group_commits: self.counters.group_commits,
         }
     }
 
@@ -1084,6 +1192,50 @@ mod tests {
         let mut s = Store::open(&d, tuning(256)).unwrap();
         assert_eq!(s.len(), 2);
         assert_eq!(s.get(&key(9)).unwrap().unwrap(), vec![9u8; 1500]);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn put_many_commits_a_batch_under_one_fsync() {
+        let d = dir("groupcommit");
+        let mut s = Store::open(&d, tuning(256)).unwrap();
+        let fsyncs_before = s.stats().wal_fsyncs;
+        let batch: Vec<(Digest, Vec<u8>)> = (0..8u8).map(|t| (key(t), vec![t; 700])).collect();
+        s.put_many(&batch).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.wal_fsyncs, fsyncs_before + 1, "one commit point");
+        assert_eq!(stats.group_commits, 1);
+        for (k, p) in &batch {
+            assert_eq!(s.get(k).unwrap().unwrap(), *p);
+        }
+        // Survives recovery like any sequence of puts.
+        drop(s);
+        let mut s = Store::open(&d, tuning(256)).unwrap();
+        for (k, p) in &batch {
+            assert_eq!(s.get(k).unwrap().unwrap(), *p);
+        }
+        assert!(s.verify().unwrap().consistent());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn put_many_duplicate_keys_last_write_wins() {
+        let d = dir("groupdup");
+        let mut s = Store::open(&d, tuning(256)).unwrap();
+        s.put(&key(1), &[9u8; 300]).unwrap();
+        let batch = vec![
+            (key(1), vec![1u8; 600]),
+            (key(2), vec![2u8; 600]),
+            (key(1), vec![3u8; 600]),
+        ];
+        s.put_many(&batch).unwrap();
+        assert_eq!(s.get(&key(1)).unwrap().unwrap(), vec![3u8; 600]);
+        assert_eq!(s.get(&key(2)).unwrap().unwrap(), vec![2u8; 600]);
+        assert!(s.verify().unwrap().consistent());
+        drop(s);
+        let mut s = Store::open(&d, tuning(256)).unwrap();
+        assert_eq!(s.get(&key(1)).unwrap().unwrap(), vec![3u8; 600]);
+        assert!(s.verify().unwrap().consistent());
         let _ = std::fs::remove_dir_all(&d);
     }
 

@@ -253,14 +253,28 @@ impl Wal {
 
     /// Appends and fsyncs one record; on return the record is committed.
     pub fn append(&mut self, record: &WalRecord) -> std::io::Result<()> {
-        let body = record.encode_body();
-        let mut frame = Vec::with_capacity(12 + body.len());
-        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&sum64(&[&body]).to_le_bytes());
-        frame.extend_from_slice(&body);
-        self.file.write_all_at(self.end, &frame)?;
+        self.append_batch(std::slice::from_ref(record))
+    }
+
+    /// Appends every record in one write followed by a *single* fsync —
+    /// the group-commit primitive: the whole batch shares one commit
+    /// point. Each record keeps its own length + checksum frame, so a
+    /// crash mid-append commits exactly the undamaged prefix.
+    pub fn append_batch(&mut self, records: &[WalRecord]) -> std::io::Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut frames = Vec::new();
+        for record in records {
+            let body = record.encode_body();
+            frames.reserve(12 + body.len());
+            frames.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            frames.extend_from_slice(&sum64(&[&body]).to_le_bytes());
+            frames.extend_from_slice(&body);
+        }
+        self.file.write_all_at(self.end, &frames)?;
         self.file.sync()?;
-        self.end += frame.len() as u64;
+        self.end += frames.len() as u64;
         Ok(())
     }
 

@@ -12,6 +12,12 @@
 //!
 //! weaverc profile <dir|manifest> [batch flags]
 //!
+//! weaverc submit <file|dir|manifest> --server unix:<path>|tcp:<host:port>
+//!         [--target <name>] [--frontend <name>] [--jsonl file] [--out file]
+//!         [shared option flags]
+//!
+//! weaverc admin <ping|stats|shutdown> --server <addr>
+//!
 //! weaverc cache stats <dir>
 //! weaverc cache compact <dir>
 //!
@@ -36,7 +42,15 @@
 //! Batch mode compiles a whole fixture directory or manifest through
 //! `weaver-engine`: jobs run on a work-stealing pool, finished artifacts
 //! land in a content-addressed cache, and results stream as JSONL (each
-//! successful record carrying the per-pass timing trace). `weaverc cache
+//! successful record carrying the per-pass timing trace). `weaverc
+//! submit` is the client half of the `weaverd` compile daemon: workloads
+//! are read and their frontends resolved locally, then shipped inline
+//! over the framed JSON protocol to `--server` and the streamed results
+//! are printed exactly like a local batch (a single workload file
+//! behaves like single-shot mode, writing the compiled wQasm to `--out`
+//! or stdout); `weaverc admin` sends one control verb — `ping`, `stats`
+//! (queue, cache tiers, store introspection, and the daemon's full
+//! Prometheus snapshot), or `shutdown` (graceful drain). `weaverc cache
 //! stats` opens a batch cache directory's paged artifact store (running
 //! crash recovery if the last writer died mid-operation), runs a full
 //! checksum scan, and reports layout, counters, and a final
@@ -84,6 +98,10 @@ struct Args {
     profile: bool,
     // Batch-only surface.
     batch: bool,
+    // `weaverc submit` / `weaverc admin` client surface for `weaverd`.
+    submit: bool,
+    server: Option<String>,
+    admin_cmd: Option<String>,
     // `weaverc cache <stats|compact> <dir>` maintenance surface.
     cache_cmd: Option<(String, String)>,
     jobs: usize,
@@ -102,6 +120,10 @@ fn usage() -> &'static str {
      \x20              [--check] [--jsonl file] [--out-dir dir] [--cache-dir dir]\n\
      \x20              [--no-cache] [shared option flags]\n\
      \x20      weaverc profile <dir|manifest> [batch flags]\n\
+     \x20      weaverc submit <file|dir|manifest> --server unix:<path>|tcp:<host:port>\n\
+     \x20              [--target <name>] [--frontend <name>] [--jsonl file] [--out file]\n\
+     \x20              [shared option flags]\n\
+     \x20      weaverc admin <ping|stats|shutdown> --server <addr>\n\
      \x20      weaverc cache stats <dir>\n\
      \x20      weaverc cache compact <dir>\n\
      \x20      weaverc targets\n\
@@ -132,6 +154,9 @@ fn parse_args() -> Result<Args, String> {
         metrics_out: None,
         profile: false,
         batch: false,
+        submit: false,
+        server: None,
+        admin_cmd: None,
         cache_cmd: None,
         jobs: 0,
         jsonl: None,
@@ -152,9 +177,39 @@ fn parse_args() -> Result<Args, String> {
         args.profile = true;
         it.next();
     }
+    // `weaverc submit <input> --server <addr>` — the weaverd client. It
+    // shares the single-shot/batch option flags plus `--jsonl`/`--out`.
+    if !args.batch && it.peek().map(String::as_str) == Some("submit") {
+        args.submit = true;
+        it.next();
+    }
+    // `weaverc admin <ping|stats|shutdown> --server <addr>` — daemon
+    // control; parsed up front (it shares no flags with the compile
+    // modes).
+    if !args.batch && !args.submit && it.peek().map(String::as_str) == Some("admin") {
+        it.next();
+        let verb = match it.next() {
+            Some(v) if v == "ping" || v == "stats" || v == "shutdown" => v,
+            Some(v) => return Err(format!("unknown admin verb `{v}`\n{}", usage())),
+            None => return Err(format!("missing admin verb\n{}", usage())),
+        };
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--server" => args.server = Some(it.next().ok_or("missing value for --server")?),
+                "--help" | "-h" => return Err(usage().to_string()),
+                other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+            }
+        }
+        if args.server.is_none() {
+            return Err(format!("`weaverc admin` requires --server\n{}", usage()));
+        }
+        args.input = verb.clone();
+        args.admin_cmd = Some(verb);
+        return Ok(args);
+    }
     // `weaverc cache <stats|compact> <dir>` — store maintenance; parsed
     // up front (it shares no flags with the compile modes).
-    if !args.batch && it.peek().map(String::as_str) == Some("cache") {
+    if !args.batch && !args.submit && it.peek().map(String::as_str) == Some("cache") {
         it.next();
         let action = match it.next() {
             Some(a) if a == "stats" || a == "compact" => a,
@@ -175,8 +230,8 @@ fn parse_args() -> Result<Args, String> {
         return Ok(args);
     }
     // `weaverc batch targets` keeps treating `targets` as a path (same for
-    // `frontends`).
-    if !args.batch {
+    // `frontends` and `submit`).
+    if !args.batch && !args.submit {
         if let keyword @ ("targets" | "frontends") =
             it.peek().map(String::as_str).unwrap_or_default()
         {
@@ -221,7 +276,8 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --jobs: {e}"))?
             }
-            "--jsonl" if args.batch => args.jsonl = Some(value(&mut it, "--jsonl")?),
+            "--server" if args.submit => args.server = Some(value(&mut it, "--server")?),
+            "--jsonl" if args.batch || args.submit => args.jsonl = Some(value(&mut it, "--jsonl")?),
             "--out-dir" if args.batch => args.out_dir = Some(value(&mut it, "--out-dir")?),
             "--cache-dir" if args.batch => args.cache_dir = Some(value(&mut it, "--cache-dir")?),
             "--no-cache" if args.batch => args.use_cache = false,
@@ -234,6 +290,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.input.is_empty() {
         return Err(usage().to_string());
+    }
+    if args.submit && args.server.is_none() {
+        return Err(format!("`weaverc submit` requires --server\n{}", usage()));
     }
     Ok(args)
 }
@@ -253,6 +312,10 @@ fn main() -> ExitCode {
     }
     let code = if let Some((action, dir)) = &args.cache_cmd {
         run_cache(action, dir)
+    } else if let Some(verb) = &args.admin_cmd {
+        run_admin(verb, args.server.as_deref().unwrap_or_default())
+    } else if args.submit {
+        run_submit(&args)
     } else if args.input == "targets" && !args.batch {
         run_targets()
     } else if args.input == "frontends" && !args.batch {
@@ -465,6 +528,285 @@ fn run_cache(action: &str, dir: &str) -> ExitCode {
         },
         _ => unreachable!("parse_args validated the action"),
     }
+}
+
+// ---------------------------------------------------------------------------
+// weaverd client: submit + admin
+// ---------------------------------------------------------------------------
+
+/// `weaverc submit <file|dir|manifest> --server <addr>` — ships compile
+/// jobs to a running `weaverd` over the framed JSON protocol and streams
+/// the results back. Workload text is read and its frontend resolved
+/// locally (path and extension context does not survive the wire), so the
+/// daemon sees fully-specified inline jobs.
+fn run_submit(args: &Args) -> ExitCode {
+    use weaver::engine::jsonl::JsonValue;
+    use weaver::engine::server::{read_frame, write_frame, ClientStream, ListenAddr};
+    use weaver::engine::{CompileJob, JobSource};
+
+    let server = args.server.as_deref().unwrap_or_default();
+    let addr = match ListenAddr::parse(server) {
+        Ok(a) => a,
+        Err(e) => return error_line("io", &format!("bad --server `{server}`: {e}")),
+    };
+    let target = match Target::parse(&args.target) {
+        Ok(t) => t,
+        Err(e) => return error_line("unknown-target", &e),
+    };
+    let defaults = JobOptions {
+        compression: args.compression,
+        parallel_shuttling: args.parallel_shuttling,
+        dsatur: args.dsatur,
+        ccz_fidelity: args.ccz_fidelity,
+        gamma: args.gamma,
+        beta: args.beta,
+        check: args.check,
+    };
+    let registry = FrontendRegistry::global();
+    if let Some(name) = &args.frontend {
+        if registry.get(name).is_none() {
+            return error_line("unknown-format", &registry.unknown_format(name));
+        }
+    }
+
+    // A file whose extension any frontend claims (or with `--frontend`
+    // pinned) is one workload, compiled like single-shot mode; everything
+    // else goes through the same dir/manifest discovery as `weaverc
+    // batch`.
+    let path = std::path::Path::new(&args.input);
+    let claimed_extension = path
+        .extension()
+        .and_then(|x| x.to_str())
+        .map(|x| x.to_ascii_lowercase())
+        .is_some_and(|x| {
+            registry
+                .frontends()
+                .any(|f| f.info().extensions.contains(&x))
+        });
+    let single = path.is_file() && (args.frontend.is_some() || claimed_extension);
+    let jobs: Vec<CompileJob> = if single {
+        vec![CompileJob {
+            source: JobSource::Path(path.to_path_buf()),
+            frontend: args.frontend.clone(),
+            target,
+            options: defaults,
+        }]
+    } else {
+        let mut jobs = match discover_jobs(path, target, &defaults) {
+            Ok(jobs) => jobs,
+            Err(e) => return error_line("io", &e),
+        };
+        if let Some(name) = &args.frontend {
+            for job in jobs.iter_mut().filter(|j| j.frontend.is_none()) {
+                job.frontend = Some(name.clone());
+            }
+        }
+        jobs
+    };
+
+    let mut requests = Vec::new();
+    for (id, job) in jobs.iter().enumerate() {
+        let JobSource::Path(p) = &job.source else {
+            return error_line("io", "discovery produced a non-path job");
+        };
+        let text = match std::fs::read_to_string(p) {
+            Ok(t) => t,
+            Err(e) => return error_line("io", &format!("cannot read {}: {e}", p.display())),
+        };
+        let frontend = match registry.resolve(job.frontend.as_deref(), Some(p), &text) {
+            Ok(front) => front.info().name,
+            Err(e) => return error_line("unknown-format", &e),
+        };
+        let mut request = weaver::engine::jsonl::JsonObject::new()
+            .str("verb", "compile")
+            .u64("id", id as u64)
+            .str("name", &p.display().to_string())
+            .str("text", &text)
+            .str("frontend", &frontend)
+            .str("target", job.target.name())
+            .bool("check", job.options.check)
+            .bool("compression", job.options.compression)
+            .bool("parallel-shuttling", job.options.parallel_shuttling)
+            .bool("dsatur", job.options.dsatur)
+            .f64("gamma", job.options.gamma)
+            .f64("beta", job.options.beta)
+            .bool("emit", single);
+        if let Some(f) = job.options.ccz_fidelity {
+            request = request.f64("ccz-fidelity", f);
+        }
+        requests.push(request.finish());
+    }
+
+    let mut stream = match ClientStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => return error_line("io", &format!("cannot connect to {addr}: {e}")),
+    };
+    // Pipeline every request before reading: the daemon streams job
+    // records back in completion order, tagged with our ids.
+    for request in &requests {
+        if let Err(e) = write_frame(&mut stream, request.as_bytes()) {
+            return error_line("io", &format!("cannot send to {addr}: {e}"));
+        }
+    }
+
+    let sink_file = match &args.jsonl {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Some(std::sync::Mutex::new(f)),
+            Err(e) => return error_line("io", &format!("cannot create {path}: {e}")),
+        },
+        None => None,
+    };
+    let mut failed = 0usize;
+    let mut single_artifact: Option<String> = None;
+    for _ in 0..requests.len() {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => {
+                return error_line("io", &format!("{addr} closed before all results arrived"))
+            }
+            Err(e) => return error_line("io", &format!("cannot receive from {addr}: {e}")),
+        };
+        let line = String::from_utf8_lossy(&frame).into_owned();
+        let record = match JsonValue::parse(&line) {
+            Ok(v) => v,
+            Err(e) => return error_line("io", &format!("bad record from {addr}: {e}")),
+        };
+        match record.str_field("kind") {
+            Some("job") => {
+                if record.str_field("status") != Some("ok") {
+                    failed += 1;
+                    let kind = record.str_field("error_kind").unwrap_or("check");
+                    let what = record
+                        .str_field("error")
+                        .unwrap_or("wChecker FAIL")
+                        .to_string();
+                    let name = record.str_field("name").unwrap_or("?");
+                    eprintln!("weaverc: error: {kind}: {what} ({name})");
+                } else if single {
+                    single_artifact = record.str_field("wqasm").map(str::to_string);
+                }
+            }
+            Some("busy") => {
+                failed += 1;
+                eprintln!(
+                    "weaverc: error: server-busy: queue at bound {} — resubmit later",
+                    record
+                        .get("limit")
+                        .and_then(JsonValue::as_u64)
+                        .unwrap_or_default()
+                );
+            }
+            _ => {
+                failed += 1;
+                let kind = record.str_field("error_kind").unwrap_or("io");
+                let what = record.str_field("error").unwrap_or("unexpected record");
+                eprintln!("weaverc: error: {kind}: {what}");
+            }
+        }
+        // The JSONL stream mirrors local batch mode; single-file mode
+        // reserves stdout for the compiled wQasm instead.
+        match &sink_file {
+            Some(file) => {
+                let _ = writeln!(file.lock().unwrap(), "{line}");
+            }
+            None if single => {}
+            None => println!("{line}"),
+        }
+    }
+
+    if single {
+        return match single_artifact {
+            Some(qasm) if failed == 0 => write_output(&args.out, &qasm),
+            _ => ExitCode::FAILURE,
+        };
+    }
+    eprintln!(
+        "weaverc: submit done — {}/{} succeeded on {addr}",
+        requests.len() - failed,
+        requests.len(),
+    );
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `weaverc admin <ping|stats|shutdown> --server <addr>` — one control
+/// verb against a running `weaverd`. `stats` prints a short summary plus
+/// the daemon's full Prometheus snapshot; the other verbs echo the raw
+/// response record.
+fn run_admin(verb: &str, server: &str) -> ExitCode {
+    use weaver::engine::jsonl::{JsonObject, JsonValue};
+    use weaver::engine::server::{read_frame, write_frame, ClientStream, ListenAddr};
+
+    let addr = match ListenAddr::parse(server) {
+        Ok(a) => a,
+        Err(e) => return error_line("io", &format!("bad --server `{server}`: {e}")),
+    };
+    let mut stream = match ClientStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => return error_line("io", &format!("cannot connect to {addr}: {e}")),
+    };
+    let request = JsonObject::new().str("verb", verb).u64("id", 0).finish();
+    if let Err(e) = write_frame(&mut stream, request.as_bytes()) {
+        return error_line("io", &format!("cannot send to {addr}: {e}"));
+    }
+    let frame = match read_frame(&mut stream) {
+        Ok(Some(frame)) => frame,
+        Ok(None) => return error_line("io", &format!("{addr} closed without answering")),
+        Err(e) => return error_line("io", &format!("cannot receive from {addr}: {e}")),
+    };
+    let line = String::from_utf8_lossy(&frame).into_owned();
+    if verb != "stats" {
+        println!("{line}");
+        return ExitCode::SUCCESS;
+    }
+    let record = match JsonValue::parse(&line) {
+        Ok(v) => v,
+        Err(e) => return error_line("io", &format!("bad record from {addr}: {e}")),
+    };
+    let count = |v: Option<&JsonValue>, key: &str| {
+        v.and_then(|v| v.get(key))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_default()
+    };
+    let top = Some(&record);
+    println!(
+        "queue:  {} queued (bound {}), {} workers{}",
+        count(top, "queue_depth"),
+        count(top, "queue_bound"),
+        count(top, "workers"),
+        if record.get("draining").and_then(JsonValue::as_bool) == Some(true) {
+            ", draining"
+        } else {
+            ""
+        },
+    );
+    let cache = record.get("cache");
+    println!(
+        "cache:  {} memory hits, {} disk hits, {} misses, {} evictions",
+        count(cache, "memory_hits"),
+        count(cache, "disk_hits"),
+        count(cache, "misses"),
+        count(cache, "evictions"),
+    );
+    let store = record.get("store");
+    if store.is_some_and(|s| s.get("artifacts").is_some()) {
+        println!(
+            "store:  {} artifacts on {} live pages ({} free), {} wal fsyncs ({} group commits)",
+            count(store, "artifacts"),
+            count(store, "live_pages"),
+            count(store, "free_pages"),
+            count(store, "wal_fsyncs"),
+            count(store, "group_commits"),
+        );
+    }
+    println!();
+    if let Some(snapshot) = record.str_field("metrics") {
+        print!("{snapshot}");
+    }
+    ExitCode::SUCCESS
 }
 
 // ---------------------------------------------------------------------------

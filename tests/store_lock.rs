@@ -1,0 +1,117 @@
+//! Regression suite for store-lock liveness (the `store.lock` PID
+//! protocol): a lock held by a **live** process must never be evicted,
+//! while a lock left behind by a **dead** process must be reclaimed
+//! instead of wedging the directory forever. The live holder is a real
+//! child process (blocked on its stdin pipe) whose PID is planted in the
+//! lock file; the dead holder is a child that has already been reaped, so
+//! its `/proc/<pid>` entry is provably gone.
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use weaver::engine::store::{is_locked, Store, StoreTuning, LOCK_FILE, STORE_FILE};
+
+fn tdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("weaver-lock-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn live_holder_is_never_evicted_dead_holder_is_reclaimed() {
+    let dir = tdir("liveness");
+
+    // A child that stays alive exactly as long as we hold its stdin pipe:
+    // `cat` blocks on read until the far end drops.
+    let mut child = Command::new("cat")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn cat");
+    let live_pid = child.id();
+    std::fs::write(dir.join(LOCK_FILE), format!("{live_pid}\n")).unwrap();
+
+    // Live holder: open must refuse, with a lock error naming the holder,
+    // and must not touch the lock file.
+    let err = match Store::open(&dir, StoreTuning::default()) {
+        Ok(_) => panic!("store held by a live process must not open"),
+        Err(e) => e,
+    };
+    assert!(is_locked(&err), "lock refusal classifies as locked: {err}");
+    assert!(
+        err.to_string().contains(&live_pid.to_string()),
+        "error names the holder pid: {err}"
+    );
+    assert_eq!(
+        std::fs::read_to_string(dir.join(LOCK_FILE)).unwrap().trim(),
+        live_pid.to_string(),
+        "a live holder's lock file is left untouched"
+    );
+
+    // Kill and reap the holder; its PID now provably dead, the stale lock
+    // must be reclaimed and the store must open.
+    drop(child.stdin.take());
+    child.kill().ok();
+    child.wait().expect("reap cat");
+    let store = Store::open(&dir, StoreTuning::default())
+        .expect("a dead holder's stale lock must be reclaimed");
+    assert_eq!(
+        std::fs::read_to_string(dir.join(LOCK_FILE)).unwrap().trim(),
+        std::process::id().to_string(),
+        "reclaiming rewrites the lock with the new holder's pid"
+    );
+    drop(store);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reaped_child_pid_counts_as_dead() {
+    let dir = tdir("reaped");
+
+    // `true` exits immediately; after wait() the PID is reaped and (modulo
+    // astronomically unlikely reuse) /proc/<pid> is gone.
+    let mut child = Command::new("true").spawn().expect("spawn true");
+    let dead_pid = child.id();
+    child.wait().expect("reap true");
+    std::fs::write(dir.join(LOCK_FILE), format!("{dead_pid}\n")).unwrap();
+
+    let mut store = Store::open(&dir, StoreTuning::default())
+        .expect("a reaped holder's lock must be reclaimed");
+    // The reclaimed store is fully usable.
+    let key = {
+        let mut fp = weaver::core::cache::Fingerprint::new();
+        fp.u64(1);
+        fp.digest()
+    };
+    store.put(&key, b"payload").unwrap();
+    assert_eq!(store.get(&key).unwrap().as_deref(), Some(&b"payload"[..]));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unparseable_lock_file_is_stolen() {
+    let dir = tdir("garbage");
+    std::fs::write(dir.join(LOCK_FILE), "not-a-pid\n").unwrap();
+    let store = Store::open(&dir, StoreTuning::default())
+        .expect("a lock file no weaver holder wrote must not wedge the dir");
+    assert!(dir.join(STORE_FILE).exists());
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn same_process_reopen_is_refused_while_held() {
+    let dir = tdir("same-process");
+    let store = Store::open(&dir, StoreTuning::default()).unwrap();
+    let err = match Store::open(&dir, StoreTuning::default()) {
+        Ok(_) => panic!("second in-process open must be refused"),
+        Err(e) => e,
+    };
+    assert!(is_locked(&err), "{err}");
+    drop(store);
+    // Releasing the first handle frees the directory.
+    Store::open(&dir, StoreTuning::default()).expect("reopen after drop");
+    let _ = std::fs::remove_dir_all(&dir);
+}
